@@ -1,0 +1,47 @@
+// Command scexperiments regenerates the figures and tables of Condon & Hu
+// as reproduced by this repository (see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded outputs).
+//
+// Usage:
+//
+//	scexperiments            # run everything
+//	scexperiments -exp fig1  # one experiment
+//	scexperiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scverify/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id, or 'all'")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(" ", id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := experiments.Run(id, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command sctest runs the per-run testing scenario of Section 5 of Condon
+// & Hu: random executions of a protocol are observed and checked on the
+// fly, optionally cross-checking each trace against the exact (worst-case
+// exponential) serial-reordering search of Gibbons & Korach. It is the
+// lightweight alternative to full model checking for implementations too
+// large to verify exhaustively.
+//
+// Usage:
+//
+//	sctest -protocol storebuffer -p 2 -b 2 -v 1 -runs 1000 -steps 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scverify/internal/registry"
+	"scverify/internal/sctest"
+	"scverify/internal/trace"
+)
+
+func main() {
+	var (
+		name    = flag.String("protocol", "msi", "protocol to test")
+		procs   = flag.Int("p", 2, "number of processors")
+		blocks  = flag.Int("b", 2, "number of memory blocks")
+		values  = flag.Int("v", 2, "number of data values")
+		qcap    = flag.Int("qcap", 1, "queue capacity (store buffer / lazy caching)")
+		runs    = flag.Int("runs", 500, "number of random runs")
+		steps   = flag.Int("steps", 24, "maximum steps per run")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		exact   = flag.Bool("exact", true, "cross-check short traces with the exact reordering search")
+		limit   = flag.Int("exactlimit", 14, "maximum trace length for the exact cross-check")
+		workers = flag.Int("workers", 1, "parallel campaign workers")
+	)
+	flag.Parse()
+
+	params := trace.Params{Procs: *procs, Blocks: *blocks, Values: *values}
+	tgt, err := registry.Build(*name, registry.Options{Params: params, QueueCap: *qcap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("testing %s (%s) at %s: %d runs × %d steps\n",
+		tgt.Protocol.Name(), tgt.Note, params, *runs, *steps)
+	res := sctest.Campaign(tgt, sctest.Config{
+		Runs: *runs, Steps: *steps, Seed: *seed,
+		Exact: *exact, ExactLimit: *limit, Workers: *workers,
+	})
+	fmt.Println(res)
+
+	if res.SoundnessBreaks > 0 {
+		fmt.Println("FATAL: a run was accepted whose trace is not SC — method soundness bug")
+		os.Exit(1)
+	}
+	if res.FirstRejected != nil {
+		fmt.Printf("first rejected run:\n  %s\n  trace: %s\n  cause: %v\n",
+			res.FirstRejected, res.FirstRejected.Trace, res.FirstCause)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Lazycaching: reproduce the Section 4.2 story of Condon & Hu — the
+// Afek–Brown–Merritt Lazy Caching protocol is sequentially consistent, but
+// its stores serialize in memory-write order, not trace order, so the
+// trivial real-time ST-order generator produces a cyclic witness while the
+// queue-aware generator certifies the same run.
+//
+// Run with: go run ./examples/lazycaching
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scverify/internal/checker"
+	"scverify/internal/observer"
+	"scverify/internal/protocol"
+	"scverify/internal/protocols/lazycache"
+	"scverify/internal/trace"
+)
+
+func main() {
+	m := lazycache.New(trace.Params{Procs: 3, Blocks: 1, Values: 2}, 1, 2)
+
+	// Drive the run in which P2's store serializes before P1's even
+	// though P1 stored first, and P3 observes both values in
+	// memory-write order.
+	r := protocol.NewRunner(m)
+	for _, want := range []string{
+		"ST(P1,B1,1)",
+		"ST(P2,B1,2)",
+		"memory-write(2,1)", // P2's store hits memory first
+		"memory-write(1,1)",
+		"cache-update(3,1)",
+		"LD(P3,B1,2)",
+		"cache-update(3,1)",
+		"LD(P3,B1,1)",
+	} {
+		found := false
+		for _, tr := range r.Enabled() {
+			if tr.Action.String() == want {
+				r.Take(tr)
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("action %q not enabled", want)
+		}
+	}
+	run := r.Run()
+	fmt.Println("run:  ", run)
+	fmt.Println("trace:", run.Trace)
+	fmt.Println("trace is SC (exact check):", trace.HasSerialReordering(run.Trace))
+
+	check := func(name string, gen observer.STOrderGenerator) {
+		stream, obs, err := observer.ObserveRun(run, gen, observer.Config{PoolSize: m.RecommendedPoolSize()})
+		if err != nil {
+			fmt.Printf("%-22s observer error: %v\n", name+":", err)
+			return
+		}
+		if err := checker.Check(stream, obs.K()); err != nil {
+			fmt.Printf("%-22s REJECTED — %v\n", name+":", err)
+			return
+		}
+		fmt.Printf("%-22s accepted (%d descriptor symbols)\n", name+":", len(stream))
+	}
+
+	fmt.Println()
+	check("real-time generator", observer.NewRealTime())
+	check("queue-aware generator", lazycache.NewGenerator(3))
+
+	fmt.Println("\nThe protocol is SC; only the ST-order annotation differs.")
+	fmt.Println("This is why Section 4.2 makes the ST-order generator pluggable.")
+}

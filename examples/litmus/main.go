@@ -1,0 +1,63 @@
+// Litmus: explore the Figure 1 program of Condon & Hu under three memory
+// models, then validate each claimed-SC outcome with the exact trace-level
+// decision procedure and the constraint-graph machinery.
+//
+// Run with: go run ./examples/litmus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scverify/internal/checker"
+	"scverify/internal/descriptor"
+	"scverify/internal/graph"
+	"scverify/internal/memmodel"
+	"scverify/internal/trace"
+)
+
+func main() {
+	prog := memmodel.Figure1()
+	fmt.Println("Figure 1 program — P1: ST x←1; ST y←2.   P2: LD y→r2; LD x→r1.")
+
+	serial, err := prog.SerialOutcome([]int{0, 0, 1, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serial memory:", serial)
+	fmt.Println("sequential consistency:", memmodel.OutcomeStrings(prog.SCOutcomes()))
+	fmt.Println("relaxed (loads reordered):", memmodel.OutcomeStrings(prog.RelaxedOutcomes()))
+
+	// For each SC outcome, build a witnessing trace, its canonical
+	// constraint graph, and run the finite-state checker on the encoded
+	// descriptor: all three layers must agree.
+	fmt.Println("\nper-outcome validation:")
+	for _, sched := range [][]int{
+		{0, 0, 1, 1}, {1, 1, 0, 0}, {1, 0, 0, 1}, {0, 1, 0, 1},
+	} {
+		tr, err := prog.Trace(sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, sc := trace.FindSerialReordering(tr)
+		verdict := "not SC"
+		if sc {
+			g := graph.Canonical(tr, r)
+			s, k := descriptor.EncodeAuto(g)
+			if err := checker.Check(s, k); err != nil {
+				log.Fatalf("checker rejected an SC trace: %v", err)
+			}
+			verdict = fmt.Sprintf("SC (graph bandwidth %d, checker accepts)", g.Bandwidth())
+		}
+		fmt.Printf("  schedule %v → trace %s: %s\n", sched, tr, verdict)
+	}
+
+	// The forbidden outcome r1=0, r2=2 corresponds to a trace with a
+	// cyclic constraint graph; show the exact decision agreeing.
+	bad := trace.Trace{
+		trace.ST(1, 1, 1), trace.ST(1, 2, 2),
+		trace.LD(2, 2, 2), trace.LD(2, 1, trace.Bottom),
+	}
+	fmt.Printf("\nforbidden outcome trace %s: SC=%v (must be false)\n",
+		bad, trace.HasSerialReordering(bad))
+}

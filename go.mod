@@ -1,0 +1,3 @@
+module scverify
+
+go 1.22

@@ -1,0 +1,140 @@
+// Package boundedreorder implements the restrictive witness style of
+// Henzinger, Qadeer & Rajamani (CAV 1999) that Section 1.1 of Condon & Hu
+// contrasts with their own: a finite-state observer that reorders the
+// trace through a bounded buffer of at most w pending operations. A trace
+// is w-window serializable iff it has a serial reordering obtainable by
+// delaying each operation by at most the buffer capacity. The paper's
+// point — reproduced as experiment E9 — is that real protocols like Lazy
+// Caching need unboundedly large windows as their queues grow, while the
+// constraint-graph observer stays fixed.
+package boundedreorder
+
+import (
+	"sort"
+	"strings"
+
+	"scverify/internal/trace"
+)
+
+// CanReorder reports whether the trace has a serial reordering in which
+// every operation is emitted while at most w operations are buffered. The
+// search is a memoized DFS over (input position, buffered operations,
+// memory contents) states.
+func CanReorder(t trace.Trace, w int) bool {
+	if len(t) == 0 {
+		return true
+	}
+	if w < 1 {
+		return t.IsSerial()
+	}
+	s := &searcher{t: t, w: w, memo: map[string]bool{}}
+	mem := make(map[trace.BlockID]trace.Value)
+	return s.search(0, nil, mem)
+}
+
+// MinWindow returns the smallest buffer capacity under which the trace is
+// window-serializable, or -1 if even a buffer holding the whole trace does
+// not help (the trace is not SC at all).
+func MinWindow(t trace.Trace) int {
+	for w := 0; w <= len(t); w++ {
+		if CanReorder(t, w) {
+			return w
+		}
+	}
+	return -1
+}
+
+type searcher struct {
+	t    trace.Trace
+	w    int
+	memo map[string]bool
+}
+
+// key canonically encodes (next, buffer, memory). The buffer is a set of
+// trace positions; per-processor order within it is implied by positions.
+func (s *searcher) key(next int, buf []int, mem map[trace.BlockID]trace.Value) string {
+	var sb strings.Builder
+	sb.Grow(4 * (len(buf) + len(mem) + 1))
+	sb.WriteByte(byte(next))
+	sb.WriteByte(byte(next >> 8))
+	for _, i := range buf {
+		sb.WriteByte(byte(i))
+		sb.WriteByte(byte(i >> 8))
+	}
+	sb.WriteByte(0xff)
+	blocks := make([]int, 0, len(mem))
+	for b := range mem {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		sb.WriteByte(byte(b))
+		sb.WriteByte(byte(mem[trace.BlockID(b)]))
+	}
+	return sb.String()
+}
+
+func (s *searcher) search(next int, buf []int, mem map[trace.BlockID]trace.Value) bool {
+	if next == len(s.t) && len(buf) == 0 {
+		return true
+	}
+	k := s.key(next, buf, mem)
+	if v, ok := s.memo[k]; ok {
+		return v
+	}
+	s.memo[k] = false // cycle guard; overwritten on success
+
+	// Move the next input operation into the buffer.
+	if next < len(s.t) && len(buf) < s.w {
+		nbuf := append(append([]int(nil), buf...), next)
+		if s.search(next+1, nbuf, mem) {
+			s.memo[k] = true
+			return true
+		}
+	}
+	// Emit any buffered operation that is the oldest of its processor in
+	// the buffer and consistent with serial semantics.
+	for idx, pos := range buf {
+		op := s.t[pos]
+		oldest := true
+		for _, other := range buf {
+			if other < pos && s.t[other].Proc == op.Proc {
+				oldest = false
+				break
+			}
+		}
+		if !oldest {
+			continue
+		}
+		switch op.Kind {
+		case trace.Load:
+			cur, ok := mem[op.Block]
+			if !ok {
+				cur = trace.Bottom
+			}
+			if op.Value != cur {
+				continue
+			}
+			nbuf := append(append([]int(nil), buf[:idx]...), buf[idx+1:]...)
+			if s.search(next, nbuf, mem) {
+				s.memo[k] = true
+				return true
+			}
+		case trace.Store:
+			old, had := mem[op.Block]
+			mem[op.Block] = op.Value
+			nbuf := append(append([]int(nil), buf[:idx]...), buf[idx+1:]...)
+			ok := s.search(next, nbuf, mem)
+			if had {
+				mem[op.Block] = old
+			} else {
+				delete(mem, op.Block)
+			}
+			if ok {
+				s.memo[k] = true
+				return true
+			}
+		}
+	}
+	return false
+}

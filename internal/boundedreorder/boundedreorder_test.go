@@ -1,0 +1,100 @@
+package boundedreorder
+
+import (
+	"testing"
+
+	"scverify/internal/trace"
+)
+
+func TestSerialTraceNeedsNoWindow(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.LD(2, 1, 1)}
+	if !CanReorder(tr, 0) {
+		t.Error("serial trace rejected at w=0")
+	}
+	if got := MinWindow(tr); got != 0 {
+		t.Errorf("MinWindow = %d, want 0", got)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	if !CanReorder(nil, 0) {
+		t.Error("empty trace rejected")
+	}
+}
+
+func TestSimpleSwapNeedsWindowTwo(t *testing.T) {
+	// LD must move before the ST: both must sit in the buffer together.
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.LD(2, 1, trace.Bottom)}
+	if CanReorder(tr, 1) {
+		t.Error("swap possible with buffer of one")
+	}
+	if !CanReorder(tr, 2) {
+		t.Error("swap impossible with buffer of two")
+	}
+	if got := MinWindow(tr); got != 2 {
+		t.Errorf("MinWindow = %d, want 2", got)
+	}
+}
+
+func TestNonSCTraceHasNoWindow(t *testing.T) {
+	tr := trace.Trace{
+		trace.ST(1, 1, 1), trace.ST(1, 2, 2),
+		trace.LD(2, 2, 2), trace.LD(2, 1, trace.Bottom),
+	}
+	if trace.HasSerialReordering(tr) {
+		t.Fatal("premise: trace should not be SC")
+	}
+	if got := MinWindow(tr); got != -1 {
+		t.Errorf("MinWindow = %d, want -1", got)
+	}
+}
+
+func TestProgramOrderRespectedInBuffer(t *testing.T) {
+	// P2 reads 2 then 1: only a reordering that swaps P1's two stores
+	// could satisfy it, and program order forbids that.
+	tr := trace.Trace{
+		trace.ST(1, 1, 1), trace.ST(1, 1, 2),
+		trace.LD(2, 1, 2), trace.LD(2, 1, 1),
+	}
+	if trace.HasSerialReordering(tr) {
+		t.Fatal("premise: trace should not be SC")
+	}
+	if MinWindow(tr) != -1 {
+		t.Error("window reordering violated program order")
+	}
+}
+
+func TestWindowGrowsWithDelay(t *testing.T) {
+	// Family: ST(P1,B1,1), then d loads of the NEW value by P2, then a
+	// stale ⊥-load by P3. Serially the stale load must come first, so
+	// every earlier operation must still be buffered when it is emitted:
+	// the required window is exactly d+2.
+	for d := 0; d <= 4; d++ {
+		tr := trace.Trace{trace.ST(1, 1, 1)}
+		for i := 0; i < d; i++ {
+			tr = append(tr, trace.LD(2, 1, 1))
+		}
+		tr = append(tr, trace.LD(3, 1, trace.Bottom))
+		w := MinWindow(tr)
+		if w != d+2 {
+			t.Errorf("d=%d: MinWindow = %d, want %d", d, w, d+2)
+		}
+	}
+}
+
+func TestAgreesWithExactDecisionOnRandomTraces(t *testing.T) {
+	// Whole-trace window == unrestricted reordering: MinWindow ≥ 0 iff the
+	// trace is SC.
+	gen := trace.NewGenerator(trace.Params{Procs: 2, Blocks: 2, Values: 2}, 13)
+	for i := 0; i < 40; i++ {
+		tr := gen.SC(10)
+		if m, ok := gen.Mutate(tr); ok && i%2 == 0 {
+			tr = m
+		}
+		want := trace.HasSerialReordering(tr)
+		got := MinWindow(tr) >= 0
+		if got != want {
+			t.Fatalf("disagreement on %s: window=%v exact=%v", tr, got, want)
+		}
+	}
+}

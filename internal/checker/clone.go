@@ -1,0 +1,98 @@
+package checker
+
+import "scverify/internal/trace"
+
+// Clone returns a deep copy of the checker; stepping the copy never
+// affects the original. The model checker clones at every branch of the
+// product-state exploration.
+func (c *Checker) Clone() *Checker {
+	out := &Checker{
+		k:        c.k,
+		params:   c.params,
+		noValues: c.noValues,
+		cyc:      c.cyc.Clone(),
+		owner:    make([]*rec, len(c.owner)),
+		seq:      c.seq,
+		procs:    make(map[trace.ProcID]*procState, len(c.procs)),
+		blocks:   make(map[trace.BlockID]*blockState, len(c.blocks)),
+		armed:    make(map[*oblig]bool, len(c.armed)),
+		bottoms:  make(map[[2]int]*bottomOblig, len(c.bottoms)),
+		rejected: c.rejected,
+	}
+
+	// Copy the rec graph, memoizing so shared pointers stay shared.
+	recMap := make(map[*rec]*rec)
+	var copyRec func(r *rec) *rec
+	obMap := make(map[*oblig]*oblig)
+	var copyOb func(ob *oblig) *oblig
+	copyRec = func(r *rec) *rec {
+		if r == nil {
+			return nil
+		}
+		if cp, ok := recMap[r]; ok {
+			return cp
+		}
+		cp := &rec{
+			seq: r.seq, op: r.op, active: r.active, idCount: r.idCount,
+			poIn: r.poIn, poOut: r.poOut,
+			stIn: r.stIn, stOut: r.stOut, inhIn: r.inhIn,
+		}
+		recMap[r] = cp
+		cp.inhFrom = copyRec(r.inhFrom)
+		cp.stSucc = copyRec(r.stSucc)
+		cp.poNext = copyRec(r.poNext)
+		if r.forcedTo != nil {
+			cp.forcedTo = make(map[*rec]bool, len(r.forcedTo))
+			for t := range r.forcedTo {
+				cp.forcedTo[copyRec(t)] = true
+			}
+		}
+		if r.pending != nil {
+			cp.pending = make(map[trace.ProcID]*oblig, len(r.pending))
+			for p, ob := range r.pending {
+				cp.pending[p] = copyOb(ob)
+			}
+		}
+		return cp
+	}
+	copyOb = func(ob *oblig) *oblig {
+		if ob == nil {
+			return nil
+		}
+		if cp, ok := obMap[ob]; ok {
+			return cp
+		}
+		cp := &oblig{proc: ob.proc, done: ob.done}
+		obMap[ob] = cp
+		cp.store = copyRec(ob.store)
+		cp.load = copyRec(ob.load)
+		cp.target = copyRec(ob.target)
+		return cp
+	}
+
+	for id, r := range c.owner {
+		if r != nil {
+			out.owner[id] = copyRec(r)
+		}
+	}
+	for ob := range c.armed {
+		out.armed[copyOb(ob)] = true
+	}
+	for key, bo := range c.bottoms {
+		cp := &bottomOblig{load: copyRec(bo.load), targets: make(map[*rec]bool, len(bo.targets))}
+		for t := range bo.targets {
+			cp.targets[copyRec(t)] = true
+		}
+		out.bottoms[key] = cp
+	}
+	for p, ps := range c.procs {
+		cp := *ps
+		out.procs[p] = &cp
+	}
+	for b, bs := range c.blocks {
+		cp := *bs
+		cp.orphan = copyRec(bs.orphan)
+		out.blocks[b] = &cp
+	}
+	return out
+}

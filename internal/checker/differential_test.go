@@ -1,0 +1,135 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/graph"
+	"scverify/internal/trace"
+)
+
+// offlineVerdict decides acceptance by the unbounded reference path: decode
+// the stream into a whole graph, then require the five edge-annotation
+// constraints plus acyclicity. The streaming checker must agree.
+func offlineVerdict(s descriptor.Stream) bool {
+	d := descriptor.Decode(s)
+	g, err := d.ToConstraintGraph()
+	if err != nil {
+		return false
+	}
+	return g.CheckConstraints() == nil && g.IsAcyclic()
+}
+
+// mutateStream applies one random structure-preserving perturbation:
+// dropping a symbol, swapping an edge's direction, or relabeling an edge.
+func mutateStream(rng *rand.Rand, s descriptor.Stream) descriptor.Stream {
+	if len(s) == 0 {
+		return s
+	}
+	out := make(descriptor.Stream, len(s))
+	copy(out, s)
+	i := rng.Intn(len(out))
+	switch rng.Intn(3) {
+	case 0:
+		return append(out[:i], out[i+1:]...)
+	case 1:
+		if e, ok := out[i].(descriptor.Edge); ok {
+			e.From, e.To = e.To, e.From
+			out[i] = e
+		}
+	default:
+		if e, ok := out[i].(descriptor.Edge); ok {
+			e.Label = descriptor.EdgeLabel(rng.Intn(8))
+			out[i] = e
+		}
+	}
+	return out
+}
+
+func TestStreamingMatchesOfflineOnCanonicalStreams(t *testing.T) {
+	gen := trace.NewGenerator(trace.Params{Procs: 3, Blocks: 2, Values: 2}, 31)
+	rng := rand.New(rand.NewSource(32))
+	agreeReject := 0
+	for i := 0; i < 200; i++ {
+		tr := gen.SC(12)
+		r, ok := trace.FindSerialReordering(tr)
+		if !ok {
+			t.Fatal("generated trace not SC")
+		}
+		g := graph.Canonical(tr, r)
+		s, k := descriptor.EncodeAuto(g)
+
+		// Unmutated canonical stream: both accept.
+		if got, want := Check(s, k) == nil, offlineVerdict(s); got != want || !got {
+			t.Fatalf("canonical stream: streaming=%v offline=%v\ntrace: %s", got, want, tr)
+		}
+
+		// Mutated stream: verdicts must agree (either way).
+		m := mutateStream(rng, s)
+		got := Check(m, k) == nil
+		want := offlineVerdict(m)
+		if got != want {
+			t.Fatalf("mutated stream verdict mismatch: streaming=%v offline=%v\nstream: %s",
+				got, want, m.Text())
+		}
+		if !got {
+			agreeReject++
+		}
+	}
+	if agreeReject == 0 {
+		t.Error("no mutation ever produced a rejection; mutation operator too weak to exercise the checker")
+	}
+}
+
+func TestStateKeyDeterministicAndDiscriminating(t *testing.T) {
+	s := figure3Stream()
+	a, b := New(3), New(3)
+	for _, sym := range s {
+		if err := a.Step(sym); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Step(sym); err != nil {
+			t.Fatal(err)
+		}
+		if string(a.StateKey()) != string(b.StateKey()) {
+			t.Fatal("same history, different keys")
+		}
+	}
+	// A checker one symbol behind must differ at some point; compare final
+	// against a prefix-fed checker.
+	p := New(3)
+	for _, sym := range s[:len(s)-1] {
+		_ = p.Step(sym)
+	}
+	if string(p.StateKey()) == string(a.StateKey()) {
+		t.Error("prefix state collides with full state")
+	}
+	// Rejected checkers share the distinguished key.
+	r := New(3)
+	_ = r.Step(descriptor.Node{ID: 99})
+	if string(r.StateKey()) != "\xff" {
+		t.Errorf("rejected key = %v", r.StateKey())
+	}
+}
+
+func TestStateKeyConvergesAcrossHistories(t *testing.T) {
+	// Two different complete self-contained episodes ending with everything
+	// retired should reach keys that differ only in the persistent
+	// finalization state — and two identical episodes must match exactly.
+	episode := func() *Checker {
+		c := New(2)
+		syms := descriptor.Stream{
+			descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+			descriptor.Node{ID: 2, Op: op(trace.LD(2, 1, 1))},
+			descriptor.Edge{From: 1, To: 2, Label: descriptor.Inh},
+		}
+		for _, sym := range syms {
+			_ = c.Step(sym)
+		}
+		return c
+	}
+	if string(episode().StateKey()) != string(episode().StateKey()) {
+		t.Error("identical episodes diverge")
+	}
+}

@@ -1,0 +1,32 @@
+package checker_test
+
+import (
+	"fmt"
+
+	"scverify/internal/checker"
+	"scverify/internal/descriptor"
+	"scverify/internal/trace"
+)
+
+func op(o trace.Op) *trace.Op { return &o }
+
+// The checker accepts exactly the streams describing acyclic constraint
+// graphs: here a load inherits from a store whose ST-order successor it
+// precedes via a forced edge.
+func ExampleCheck() {
+	s := descriptor.Stream{
+		descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+		descriptor.Node{ID: 2, Op: op(trace.LD(2, 1, 1))},
+		descriptor.Edge{From: 1, To: 2, Label: descriptor.Inh},
+		descriptor.Node{ID: 3, Op: op(trace.ST(1, 1, 2))},
+		descriptor.Edge{From: 1, To: 3, Label: descriptor.POSTo},
+		descriptor.Edge{From: 2, To: 3, Label: descriptor.Forced},
+	}
+	fmt.Println("accepted:", checker.Check(s, 3) == nil)
+
+	// Dropping the forced edge violates constraint 5(a).
+	fmt.Println("without forced edge:", checker.Check(s[:5], 3))
+	// Output:
+	// accepted: true
+	// without forced edge: checker: constraint 5a: load LD(P2,B1,1) never produced a forced edge to ST(P1,B1,2)
+}

@@ -1,0 +1,304 @@
+package checker
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"scverify/internal/trace"
+)
+
+// StateKey returns a canonical encoding of the checker's state: two
+// checkers with equal keys accept and reject identical symbol futures.
+// The encoding names nodes canonically — active nodes by the smallest
+// descriptor ID they hold, retired-but-referenced nodes by their relative
+// age — so keys are independent of how many symbols have been consumed.
+// Model checking over the protocol ⊗ observer ⊗ checker product uses this
+// key to close the state space.
+func (c *Checker) StateKey() []byte {
+	return c.StateKeyRenamed(nil)
+}
+
+// StateKeyRenamed returns the state key under an ID permutation (raw ID →
+// canonical ID); see observer.CanonicalRename. When a rename is supplied,
+// the relative-age ranks of active nodes are omitted from the key: the
+// rename is only available in product-mode exploration, where the symbol
+// source is an observer whose program-order edges respect trace order by
+// construction, so ages cannot influence acceptance.
+func (c *Checker) StateKeyRenamed(rename []int) []byte {
+	if c.rejected != nil {
+		return []byte{0xff}
+	}
+	mapID := func(id int) int {
+		if rename == nil {
+			return id
+		}
+		return rename[id]
+	}
+
+	// Canonical node numbering: active nodes first, ordered by minimum
+	// (renamed) ID; then retired nodes referenced by live obligations,
+	// ordered by relative age.
+	type namedRec struct {
+		r     *rec
+		minID int
+	}
+	var actives []namedRec
+	minID := make(map[*rec]int, len(c.owner))
+	for id := 1; id <= c.k+1; id++ {
+		r := c.owner[id]
+		if r == nil {
+			continue
+		}
+		m := mapID(id)
+		if cur, ok := minID[r]; !ok || m < cur {
+			minID[r] = m
+		}
+	}
+	for r, m := range minID {
+		actives = append(actives, namedRec{r: r, minID: m})
+	}
+	sort.Slice(actives, func(i, j int) bool { return actives[i].minID < actives[j].minID })
+
+	cid := make(map[*rec]int)
+	for i, nr := range actives {
+		cid[nr.r] = i + 1
+	}
+	var retired []*rec
+	addRetired := func(r *rec) {
+		if r == nil {
+			return
+		}
+		if _, ok := cid[r]; ok {
+			return
+		}
+		cid[r] = -1 // placeholder; renumbered below
+		retired = append(retired, r)
+	}
+	for ob := range c.armed {
+		addRetired(ob.store)
+		addRetired(ob.load)
+		addRetired(ob.target)
+	}
+	for _, bo := range c.bottoms {
+		addRetired(bo.load)
+		for t := range bo.targets {
+			addRetired(t)
+		}
+	}
+	for _, bs := range c.blocks {
+		addRetired(bs.orphan)
+	}
+	for _, nr := range actives {
+		for _, ob := range nr.r.pending {
+			addRetired(ob.load)
+			addRetired(ob.target)
+		}
+		for t := range nr.r.forcedTo {
+			addRetired(t)
+		}
+		addRetired(nr.r.inhFrom)
+		addRetired(nr.r.stSucc)
+	}
+	sort.Slice(retired, func(i, j int) bool { return retired[i].seq < retired[j].seq })
+	for i, r := range retired {
+		cid[r] = len(actives) + i + 1
+	}
+
+	// fingerprint compresses a retired record into a structural signature:
+	// used in renamed (product) mode, where a retired node's identity can
+	// no longer influence acceptance of observer-generated futures — only
+	// its shape can (see StateKeyRenamed).
+	fingerprint := func(r *rec) uint64 {
+		f := uint64(1) << 40
+		f |= uint64(r.op.Kind) << 36
+		f |= uint64(r.op.Proc) << 28
+		f |= uint64(r.op.Block) << 20
+		f |= uint64(r.op.Value) << 12
+		for i, b := range []bool{r.poIn, r.poOut, r.stIn, r.stOut, r.inhIn} {
+			if b {
+				f |= uint64(1) << i
+			}
+		}
+		return f
+	}
+
+	ref := func(r *rec) uint64 {
+		if r == nil {
+			return 0
+		}
+		if rename != nil && !r.active {
+			return fingerprint(r)
+		}
+		return uint64(cid[r])
+	}
+
+	var key []byte
+	put := func(vs ...uint64) {
+		for _, v := range vs {
+			key = binary.AppendUvarint(key, v)
+		}
+	}
+	putRec := func(r *rec, withSeqRank bool, rank int) {
+		flags := uint64(0)
+		for i, b := range []bool{r.active, r.poIn, r.poOut, r.stIn, r.stOut, r.inhIn} {
+			if b {
+				flags |= 1 << i
+			}
+		}
+		put(uint64(r.op.Kind), uint64(r.op.Proc), uint64(r.op.Block), uint64(r.op.Value), flags)
+		put(ref(r.inhFrom), ref(r.stSucc))
+		if withSeqRank {
+			put(uint64(rank))
+		}
+		// Pending obligation slots, sorted by processor.
+		var procs []int
+		for p := range r.pending {
+			procs = append(procs, int(p))
+		}
+		sort.Ints(procs)
+		put(uint64(len(procs)))
+		for _, p := range procs {
+			ob := r.pending[trace.ProcID(p)]
+			done := uint64(0)
+			if ob.done {
+				done = 1
+			}
+			put(uint64(p), ref(ob.load), ref(ob.target), done)
+		}
+		// Forced-edge targets, sorted by canonical id.
+		var ts []int
+		for t := range r.forcedTo {
+			ts = append(ts, int(ref(t)))
+		}
+		sort.Ints(ts)
+		put(uint64(len(ts)))
+		for _, t := range ts {
+			put(uint64(t))
+		}
+	}
+
+	key = append(key, c.cyc.StateKeyRenamed(rename)...)
+	key = append(key, 0xfe)
+
+	// ID ownership map in canonical ID order.
+	slots := make([]uint64, c.k+2)
+	for id := 1; id <= c.k+1; id++ {
+		if r := c.owner[id]; r != nil {
+			slots[mapID(id)] = ref(r)
+		}
+	}
+	for _, s := range slots[1:] {
+		put(s)
+	}
+
+	// Without a rename, active records carry a relative age rank (their
+	// order matters for the trace-order side condition on program-order
+	// edges against adversarial streams); see StateKeyRenamed for why the
+	// rank is sound to omit in product mode.
+	rank := make(map[*rec]int, len(actives))
+	if rename == nil {
+		bySeq := make([]*rec, len(actives))
+		for i, nr := range actives {
+			bySeq[i] = nr.r
+		}
+		sort.Slice(bySeq, func(i, j int) bool { return bySeq[i].seq < bySeq[j].seq })
+		for i, r := range bySeq {
+			rank[r] = i
+		}
+	}
+	put(uint64(len(actives)))
+	for _, nr := range actives {
+		putRec(nr.r, rename == nil, rank[nr.r])
+	}
+	// In renamed (product) mode retired records appear only as structural
+	// fingerprints at their reference sites; their full serialization is
+	// needed only for the adversarial-stream key.
+	if rename == nil {
+		put(uint64(len(retired)))
+		for _, r := range retired {
+			putRec(r, false, 0)
+		}
+	}
+
+	// Armed obligations.
+	type armedKey struct{ s, l, t, p, d int }
+	var arms []armedKey
+	for ob := range c.armed {
+		d := 0
+		if ob.done {
+			d = 1
+		}
+		arms = append(arms, armedKey{s: int(ref(ob.store)), l: int(ref(ob.load)), t: int(ref(ob.target)), p: int(ob.proc), d: d})
+	}
+	sort.Slice(arms, func(i, j int) bool {
+		a, b := arms[i], arms[j]
+		if a.s != b.s {
+			return a.s < b.s
+		}
+		if a.p != b.p {
+			return a.p < b.p
+		}
+		return a.l < b.l
+	})
+	put(uint64(len(arms)))
+	for _, a := range arms {
+		put(uint64(a.s), uint64(a.p), uint64(a.l), uint64(a.t), uint64(a.d))
+	}
+
+	// Bottom-load obligations.
+	var bkeys [][2]int
+	for k := range c.bottoms {
+		bkeys = append(bkeys, k)
+	}
+	sort.Slice(bkeys, func(i, j int) bool {
+		if bkeys[i][0] != bkeys[j][0] {
+			return bkeys[i][0] < bkeys[j][0]
+		}
+		return bkeys[i][1] < bkeys[j][1]
+	})
+	put(uint64(len(bkeys)))
+	for _, bk := range bkeys {
+		bo := c.bottoms[bk]
+		put(uint64(bk[0]), uint64(bk[1]), ref(bo.load))
+		var ts []int
+		for t := range bo.targets {
+			ts = append(ts, int(ref(t)))
+		}
+		sort.Ints(ts)
+		put(uint64(len(ts)))
+		for _, t := range ts {
+			put(uint64(t))
+		}
+	}
+
+	// Per-processor and per-block finalization state.
+	var ps []int
+	for p := range c.procs {
+		ps = append(ps, int(p))
+	}
+	sort.Ints(ps)
+	put(uint64(len(ps)))
+	for _, p := range ps {
+		st := c.procs[trace.ProcID(p)]
+		seen := uint64(0)
+		if st.seen {
+			seen = 1
+		}
+		put(uint64(p), seen, uint64(st.srcFinal), uint64(st.snkFinal))
+	}
+	var bs []int
+	for b := range c.blocks {
+		bs = append(bs, int(b))
+	}
+	sort.Ints(bs)
+	put(uint64(len(bs)))
+	for _, b := range bs {
+		st := c.blocks[trace.BlockID(b)]
+		stores := uint64(0)
+		if st.stores {
+			stores = 1
+		}
+		put(uint64(b), stores, uint64(st.srcFinal), uint64(st.snkFinal), ref(st.orphan))
+	}
+	return key
+}

@@ -1,0 +1,308 @@
+package cycle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/graph"
+	"scverify/internal/trace"
+)
+
+func node(id int) descriptor.Node                        { return descriptor.Node{ID: id} }
+func edge(from, to int) descriptor.Edge                  { return descriptor.Edge{From: from, To: to} }
+func addID(ex, nw int) descriptor.AddID                  { return descriptor.AddID{Existing: ex, New: nw} }
+func stream(syms ...descriptor.Symbol) descriptor.Stream { return descriptor.Stream(syms) }
+
+func TestAcceptsChain(t *testing.T) {
+	s := stream(node(1), node(2), edge(1, 2), node(1), edge(2, 1))
+	if err := CheckStream(s, 2); err != nil {
+		t.Errorf("chain rejected: %v", err)
+	}
+}
+
+func TestRejectsTwoCycle(t *testing.T) {
+	s := stream(node(1), node(2), edge(1, 2), edge(2, 1))
+	if err := CheckStream(s, 2); err == nil {
+		t.Error("2-cycle accepted")
+	}
+}
+
+func TestRejectsSelfLoop(t *testing.T) {
+	s := stream(node(1), edge(1, 1))
+	if err := CheckStream(s, 2); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestRejectsSelfLoopViaAlias(t *testing.T) {
+	s := stream(node(1), addID(1, 2), edge(1, 2))
+	if err := CheckStream(s, 2); err == nil {
+		t.Error("aliased self-loop accepted")
+	}
+}
+
+func TestContractionPreservesCycles(t *testing.T) {
+	// Build 1 -> 2 -> 3, recycle node 2's ID (contracting 1 -> 3), then add
+	// the back edge 3 -> 1: must reject even though node 2 is gone.
+	s := stream(
+		node(1), node(2), node(3),
+		edge(1, 2), edge(2, 3),
+		node(2), // recycles ID 2; contraction adds 1 -> 3
+		edge(3, 1),
+	)
+	if err := CheckStream(s, 3); err == nil {
+		t.Error("cycle through contracted node accepted")
+	}
+}
+
+func TestContractionChainDeep(t *testing.T) {
+	// A long path whose middle is repeatedly contracted, then closed.
+	k := 2
+	c := New(k)
+	must := func(sym descriptor.Symbol) {
+		t.Helper()
+		if err := c.Step(sym); err != nil {
+			t.Fatalf("unexpected reject: %v", err)
+		}
+	}
+	must(node(1))
+	must(node(2))
+	must(edge(1, 2))
+	for i := 0; i < 20; i++ {
+		// Extend the path using ID 3, retiring ID 2's node each round.
+		must(node(3))
+		must(edge(2, 3))
+		must(addID(3, 2)) // node formerly ID 3 now holds {3,2}... then reuse 3
+		must(node(3))
+		must(edge(2, 3))
+		must(addID(3, 2))
+	}
+	// Close the cycle back to the head (ID 1 still live).
+	if err := c.Step(edge(2, 1)); err == nil {
+		t.Error("long contracted cycle accepted")
+	}
+}
+
+func TestUnboundEdgeIgnored(t *testing.T) {
+	s := stream(node(1), edge(1, 3), edge(3, 1))
+	if err := CheckStream(s, 3); err != nil {
+		t.Errorf("unbound edges should denote nothing: %v", err)
+	}
+}
+
+func TestRejectSticky(t *testing.T) {
+	c := New(2)
+	if err := c.Step(edge(9, 9)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := c.Step(node(1)); err == nil {
+		t.Error("checker should stay rejected")
+	}
+	if c.Err() == nil {
+		t.Error("Err() should report rejection")
+	}
+}
+
+func TestIDRangeEnforced(t *testing.T) {
+	if err := CheckStream(stream(node(4)), 2); err == nil {
+		t.Error("node ID beyond k+1 accepted")
+	}
+	if err := CheckStream(stream(node(1), addID(1, 4)), 2); err == nil {
+		t.Error("add-ID beyond k+1 accepted")
+	}
+}
+
+func TestAddIDSelfNoop(t *testing.T) {
+	c := New(2)
+	_ = c.Step(node(1))
+	if err := c.Step(addID(1, 1)); err != nil {
+		t.Fatalf("self add-ID rejected: %v", err)
+	}
+	if c.Active() != 1 {
+		t.Errorf("active = %d, want 1", c.Active())
+	}
+}
+
+func TestAddIDDisplacementContracts(t *testing.T) {
+	// Node A(1), node B(2), edge A->B; then alias ID 2 onto A: node B loses
+	// its last ID and is contracted away. Active graph should hold A only.
+	c := New(2)
+	for _, sym := range stream(node(1), node(2), edge(1, 2), addID(1, 2)) {
+		if err := c.Step(sym); err != nil {
+			t.Fatalf("reject: %v", err)
+		}
+	}
+	if c.Active() != 1 {
+		t.Errorf("active = %d, want 1", c.Active())
+	}
+}
+
+func TestFigure3StreamAccepted(t *testing.T) {
+	op := func(o trace.Op) *trace.Op { return &o }
+	s := descriptor.Stream{
+		descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+		descriptor.Node{ID: 2, Op: op(trace.LD(2, 1, 1))},
+		descriptor.Edge{From: 1, To: 2, Label: descriptor.Inh},
+		descriptor.Node{ID: 3, Op: op(trace.ST(1, 1, 2))},
+		descriptor.Edge{From: 1, To: 3, Label: descriptor.POSTo},
+		descriptor.Node{ID: 4, Op: op(trace.LD(2, 1, 1))},
+		descriptor.Edge{From: 1, To: 4, Label: descriptor.Inh},
+		descriptor.Edge{From: 2, To: 4, Label: descriptor.PO},
+		descriptor.Edge{From: 4, To: 3, Label: descriptor.Forced},
+		descriptor.Node{ID: 1, Op: op(trace.LD(2, 1, 2))},
+		descriptor.Edge{From: 3, To: 1, Label: descriptor.Inh},
+		descriptor.Edge{From: 4, To: 1, Label: descriptor.PO},
+	}
+	c := New(3)
+	if err := c.Check(s); err != nil {
+		t.Errorf("Figure 3 descriptor rejected: %v", err)
+	}
+	if c.Stats().MaxActive > 4 {
+		t.Errorf("active graph grew to %d nodes, bound is k+1=4", c.Stats().MaxActive)
+	}
+}
+
+// randomStream emits a random but ID-range-respecting symbol stream and is
+// the workhorse of the differential property test below.
+func randomStream(rng *rand.Rand, k, n int) descriptor.Stream {
+	s := make(descriptor.Stream, 0, n)
+	bound := map[int]bool{}
+	for i := 0; i < n; i++ {
+		id := func() int { return 1 + rng.Intn(k+1) }
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := id()
+			s = append(s, descriptor.Node{ID: v})
+			bound[v] = true
+		case 2:
+			if len(bound) == 0 {
+				continue
+			}
+			s = append(s, descriptor.Edge{From: id(), To: id()})
+		default:
+			s = append(s, descriptor.AddID{Existing: id(), New: id()})
+		}
+	}
+	return s
+}
+
+func TestDifferentialAgainstDecoderProperty(t *testing.T) {
+	// Lemma 3.3 property: the finite-state checker accepts exactly the
+	// streams whose decoded (full, unbounded) graph is acyclic. The decoder
+	// keeps everything; the checker keeps at most k+1 nodes.
+	rng := rand.New(rand.NewSource(9))
+	k := 4
+	prop := func(_ uint8) bool {
+		s := randomStream(rng, k, 30)
+		want := descriptor.Decode(s).IsAcyclic()
+		got := CheckStream(s, k) == nil
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDifferentialOnEncodedDAGs(t *testing.T) {
+	// Every encoded DAG must be accepted; the same stream with one edge
+	// reversed into a cycle must be rejected by both implementations alike.
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 50; i++ {
+		n := 3 + rng.Intn(10)
+		tr := make(trace.Trace, n)
+		for j := range tr {
+			tr[j] = trace.ST(1, 1, 1)
+		}
+		g := graph.New(tr)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.35 {
+					g.AddEdge(a, b, 0)
+				}
+			}
+		}
+		s, k := descriptor.EncodeAuto(g)
+		if err := CheckStream(s, k); err != nil {
+			t.Fatalf("encoded DAG rejected: %v", err)
+		}
+	}
+}
+
+func TestMaxActiveBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{1, 2, 5, 8} {
+		c := New(k)
+		for _, sym := range randomStream(rng, k, 200) {
+			if c.Step(sym) != nil {
+				break
+			}
+		}
+		if c.Stats().MaxActive > k+1 {
+			t.Errorf("k=%d: active graph reached %d nodes", k, c.Stats().MaxActive)
+		}
+	}
+}
+
+func TestStateKeyDistinguishesAndMatches(t *testing.T) {
+	// Same symbol history => same key.
+	a, b := New(3), New(3)
+	s := stream(node(1), node(2), edge(1, 2))
+	for _, sym := range s {
+		_ = a.Step(sym)
+		_ = b.Step(sym)
+	}
+	if string(a.StateKey()) != string(b.StateKey()) {
+		t.Error("identical histories produced different keys")
+	}
+	// Different edge direction => different key.
+	cck := New(3)
+	for _, sym := range stream(node(1), node(2), edge(2, 1)) {
+		_ = cck.Step(sym)
+	}
+	if string(a.StateKey()) == string(cck.StateKey()) {
+		t.Error("different graphs share a key")
+	}
+	// Rejected checker has the distinguished key.
+	r := New(3)
+	_ = r.Step(edge(1, 1))
+	_ = r.Step(node(9))
+	if string(r.StateKey()) != "\xff" {
+		t.Errorf("rejected key = %v", r.StateKey())
+	}
+}
+
+func TestStateKeyCanonicalAcrossHandleHistories(t *testing.T) {
+	// Two different symbol histories arriving at the same abstract state —
+	// nodes {1} and {2} with no edges — must share a key, even though the
+	// internal node handles differ.
+	a := New(2)
+	for _, sym := range stream(node(1), node(2)) {
+		_ = a.Step(sym)
+	}
+	b := New(2)
+	for _, sym := range stream(node(2), node(1), node(2)) {
+		// First {2} node is displaced and contracted away by the third
+		// symbol, leaving {1} and a fresh {2}.
+		_ = b.Step(sym)
+	}
+	if string(a.StateKey()) != string(b.StateKey()) {
+		t.Errorf("equal abstract states produced different keys:\n a=%v\n b=%v",
+			a.StateKey(), b.StateKey())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New(2)
+	s := stream(node(1), node(2), edge(1, 2), node(1))
+	for _, sym := range s {
+		if err := c.Step(sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Symbols != 4 || st.Edges != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

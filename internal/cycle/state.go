@@ -1,0 +1,71 @@
+package cycle
+
+import "sort"
+
+// StateKey returns a canonical encoding of the checker state, suitable for
+// hashing in model-checking state spaces. Two checkers with the same key
+// behave identically on all future inputs. Nodes are canonicalized by the
+// smallest ID they hold, so internal slot numbers never leak.
+func (c *Checker) StateKey() []byte {
+	return c.StateKeyRenamed(nil)
+}
+
+// StateKeyRenamed returns the state key under an ID permutation (raw ID →
+// canonical ID); see observer.CanonicalRename. A nil rename is the
+// identity.
+func (c *Checker) StateKeyRenamed(rename []int) []byte {
+	if c.rejected != nil {
+		return []byte{0xff}
+	}
+	mapID := func(id int) int {
+		if rename == nil {
+			return id
+		}
+		return rename[id]
+	}
+	// Representative per slot: the minimum renamed ID naming it.
+	rep := make([]int, c.n)
+	for i := range rep {
+		rep[i] = 0
+	}
+	for id := 1; id <= c.k+1; id++ {
+		slot := c.owner[id]
+		if slot < 0 {
+			continue
+		}
+		m := mapID(id)
+		if rep[slot] == 0 || m < rep[slot] {
+			rep[slot] = m
+		}
+	}
+	key := make([]byte, 0, c.k+1+16)
+	// ID ownership in canonical ID order: position i-1 holds the
+	// representative of canonical ID i's node (0 when unbound).
+	slots := make([]byte, c.k+2)
+	for id := 1; id <= c.k+1; id++ {
+		if s := c.owner[id]; s >= 0 {
+			slots[mapID(id)] = byte(rep[s])
+		}
+	}
+	key = append(key, slots[1:]...)
+	// Edges as sorted representative pairs.
+	var edges [][2]int
+	n := c.n
+	for f := 0; f < n; f++ {
+		for t := 0; t < n; t++ {
+			if c.adj[f*n+t] {
+				edges = append(edges, [2]int{rep[f], rep[t]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		key = append(key, byte(e[0]), byte(e[1]))
+	}
+	return key
+}

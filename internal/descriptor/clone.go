@@ -1,0 +1,20 @@
+package descriptor
+
+// Clone returns a deep copy of the tracker; stepping the copy never
+// affects the original. Used by the model checker to branch exploration.
+func (t *Tracker) Clone() *Tracker {
+	out := &Tracker{
+		owner: make(map[int]int, len(t.owner)),
+		ids:   make(map[int][]int, len(t.ids)),
+		nodes: t.nodes,
+	}
+	for id, n := range t.owner {
+		out.owner[id] = n
+	}
+	for n, ids := range t.ids {
+		cp := make([]int, len(ids))
+		copy(cp, ids)
+		out.ids[n] = cp
+	}
+	return out
+}

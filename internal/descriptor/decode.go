@@ -1,0 +1,110 @@
+package descriptor
+
+import (
+	"fmt"
+
+	"scverify/internal/graph"
+	"scverify/internal/trace"
+)
+
+// DecodedEdge is an edge of the graph a descriptor denotes, between 0-based
+// node creation indices.
+type DecodedEdge struct {
+	From, To int
+	Kind     graph.EdgeKind
+}
+
+// Decoded is the full graph denoted by a descriptor stream: node operation
+// labels (nil entries for unlabeled nodes) and annotated edges. It is the
+// unbounded-memory reference implementation of the descriptor graph
+// semantics of Section 3.2, used to differentially test the finite-state
+// checkers.
+type Decoded struct {
+	Labels []*trace.Op
+	Edges  []DecodedEdge
+}
+
+// Decode reconstructs the graph denoted by the stream. Edge symbols whose
+// IDs are unbound denote no edge (per the paper's semantics) and are
+// dropped.
+func Decode(s Stream) Decoded {
+	t := NewTracker()
+	var d Decoded
+	for _, sym := range s {
+		eff := t.Apply(sym)
+		switch v := sym.(type) {
+		case Node:
+			if v.Op != nil {
+				op := *v.Op
+				d.Labels = append(d.Labels, &op)
+			} else {
+				d.Labels = append(d.Labels, nil)
+			}
+		case Edge:
+			if eff.FromNode >= 0 && eff.ToNode >= 0 {
+				d.Edges = append(d.Edges, DecodedEdge{From: eff.FromNode, To: eff.ToNode, Kind: v.Label.Kind()})
+			}
+		}
+	}
+	return d
+}
+
+// IsAcyclic reports whether the decoded graph has no directed cycle,
+// independent of node labels. Kahn's algorithm.
+func (d Decoded) IsAcyclic() bool {
+	n := len(d.Labels)
+	succ := make([][]int, n)
+	indeg := make([]int, n)
+	for _, e := range d.Edges {
+		succ[e.From] = append(succ[e.From], e.To)
+		indeg[e.To]++
+	}
+	ready := make([]int, 0, n)
+	for i, deg := range indeg {
+		if deg == 0 {
+			ready = append(ready, i)
+		}
+	}
+	seen := 0
+	for len(ready) > 0 {
+		u := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		seen++
+		for _, v := range succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return seen == n
+}
+
+// ToConstraintGraph converts the decoded graph into a constraint graph over
+// the trace formed by its node labels. It fails if any node is unlabeled.
+func (d Decoded) ToConstraintGraph() (*graph.Graph, error) {
+	tr := make(trace.Trace, len(d.Labels))
+	for i, op := range d.Labels {
+		if op == nil {
+			return nil, fmt.Errorf("descriptor: node %d has no operation label", i+1)
+		}
+		tr[i] = *op
+	}
+	g := graph.New(tr)
+	for _, e := range d.Edges {
+		g.AddEdge(e.From, e.To, e.Kind)
+	}
+	return g, nil
+}
+
+// Trace extracts the memory-operation subsequence the stream's node labels
+// spell out, in node order, skipping unlabeled nodes.
+func (s Stream) Trace() trace.Trace {
+	var tr trace.Trace
+	for _, sym := range s {
+		if n, ok := sym.(Node); ok && n.Op != nil {
+			tr = append(tr, *n.Op)
+		}
+	}
+	return tr
+}

@@ -1,0 +1,308 @@
+package descriptor
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"scverify/internal/graph"
+	"scverify/internal/trace"
+)
+
+func op(o trace.Op) *trace.Op { return &o }
+
+// figure3Stream is the 3-bandwidth descriptor of the paper's Figure 3 as
+// written in Section 3.2, where ID 1 is recycled for node 5:
+//
+//	1, ST(P1,B,1), 2, LD(P2,B,1), (1,2), inh, 3, ST(P1,B,2), (1,3), po-STo,
+//	4, LD(P2,B,1), (1,4), inh, (2,4), po, (4,3), forced,
+//	1, LD(P2,B,2), (3,1), inh, (4,1), po
+func figure3Stream() Stream {
+	return Stream{
+		Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+		Node{ID: 2, Op: op(trace.LD(2, 1, 1))},
+		Edge{From: 1, To: 2, Label: Inh},
+		Node{ID: 3, Op: op(trace.ST(1, 1, 2))},
+		Edge{From: 1, To: 3, Label: POSTo},
+		Node{ID: 4, Op: op(trace.LD(2, 1, 1))},
+		Edge{From: 1, To: 4, Label: Inh},
+		Edge{From: 2, To: 4, Label: PO},
+		Edge{From: 4, To: 3, Label: Forced},
+		Node{ID: 1, Op: op(trace.LD(2, 1, 2))},
+		Edge{From: 3, To: 1, Label: Inh},
+		Edge{From: 4, To: 1, Label: PO},
+	}
+}
+
+func TestEdgeLabelStrings(t *testing.T) {
+	cases := map[EdgeLabel]string{
+		None: "", Inh: "inh", PO: "po", Forced: "forced", STo: "STo",
+		POSTo: "po-STo", POInh: "po-inh", POForced: "po-forced",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("label %d = %q, want %q", l, got, want)
+		}
+	}
+	if got := EdgeLabel(99).String(); got != "EdgeLabel(99)" {
+		t.Errorf("unknown label = %q", got)
+	}
+}
+
+func TestEdgeLabelKindRoundTrip(t *testing.T) {
+	for l := None; l < numEdgeLabels; l++ {
+		labels := LabelsForKind(l.Kind())
+		if l == None {
+			if len(labels) != 1 || labels[0] != None {
+				t.Errorf("None round trip = %v", labels)
+			}
+			continue
+		}
+		if len(labels) != 1 || labels[0] != l {
+			t.Errorf("label %v round trip = %v", l, labels)
+		}
+	}
+}
+
+func TestLabelsForKindDecomposes(t *testing.T) {
+	// inh|STo has no single label: must decompose into two symbols whose
+	// kinds OR back to the original.
+	kind := graph.Inheritance | graph.StoreOrder
+	labels := LabelsForKind(kind)
+	var got graph.EdgeKind
+	for _, l := range labels {
+		got |= l.Kind()
+	}
+	if got != kind {
+		t.Errorf("decomposition %v ORs to %v, want %v", labels, got, kind)
+	}
+	// po|inh|forced: three annotations, must still OR back.
+	kind = graph.ProgramOrder | graph.Inheritance | graph.Forced
+	labels = LabelsForKind(kind)
+	got = 0
+	for _, l := range labels {
+		got |= l.Kind()
+	}
+	if got != kind {
+		t.Errorf("decomposition %v ORs to %v, want %v", labels, got, kind)
+	}
+}
+
+func TestSymbolText(t *testing.T) {
+	if got := (Node{ID: 3}).Text(); got != "3" {
+		t.Errorf("unlabeled node text = %q", got)
+	}
+	if got := (Node{ID: 1, Op: op(trace.ST(1, 2, 3))}).Text(); got != "1,ST(P1,B2,3)" {
+		t.Errorf("labeled node text = %q", got)
+	}
+	if got := (Edge{From: 1, To: 2}).Text(); got != "(1,2)" {
+		t.Errorf("unlabeled edge text = %q", got)
+	}
+	if got := (Edge{From: 4, To: 3, Label: Forced}).Text(); got != "(4,3),forced" {
+		t.Errorf("labeled edge text = %q", got)
+	}
+	if got := (AddID{Existing: 1, New: 4}).Text(); got != "add-ID(1,4)" {
+		t.Errorf("add-ID text = %q", got)
+	}
+}
+
+func TestFigure3StreamText(t *testing.T) {
+	text := figure3Stream().Text()
+	for _, frag := range []string{"1,ST(P1,B1,1)", "(1,3),po-STo", "(4,3),forced", "(3,1),inh"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("stream text missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestFigure3StreamDecodesToFigure3Graph(t *testing.T) {
+	d := Decode(figure3Stream())
+	if len(d.Labels) != 5 {
+		t.Fatalf("decoded %d nodes, want 5", len(d.Labels))
+	}
+	g, err := d.ToConstraintGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConstraints(); err != nil {
+		t.Errorf("decoded Figure 3 violates constraints: %v", err)
+	}
+	if !g.IsAcyclic() {
+		t.Error("decoded Figure 3 cyclic")
+	}
+	// ID 1 recycling: the inh edge (3,1) must land on node 5 (index 4),
+	// not node 1 (index 0).
+	k, ok := g.EdgeKindBetween(2, 4)
+	if !ok || k&graph.Inheritance == 0 {
+		t.Errorf("edge (3,5) after recycling: kind=%v ok=%v", k, ok)
+	}
+	if bw := g.Bandwidth(); bw != 3 {
+		t.Errorf("bandwidth = %d, want 3", bw)
+	}
+}
+
+func TestFigure3StreamValidates(t *testing.T) {
+	s := figure3Stream()
+	if err := s.Validate(3, true); err != nil {
+		t.Errorf("Figure 3 stream invalid at k=3: %v", err)
+	}
+	if err := s.Validate(2, true); err == nil {
+		t.Error("Figure 3 stream uses ID 4; must fail at k=2")
+	}
+	if got := s.MaxID(); got != 4 {
+		t.Errorf("MaxID = %d, want 4", got)
+	}
+}
+
+func TestValidateUnboundEdge(t *testing.T) {
+	s := Stream{
+		Node{ID: 1},
+		Edge{From: 1, To: 2}, // ID 2 never bound
+	}
+	if err := s.Validate(3, true); err == nil {
+		t.Error("unbound edge target accepted in strict mode")
+	}
+	if err := s.Validate(3, false); err != nil {
+		t.Errorf("lenient mode should accept: %v", err)
+	}
+}
+
+func TestValidateUnboundAddID(t *testing.T) {
+	// Both IDs unbound: a complete no-op, rejected in strict mode.
+	s := Stream{Node{ID: 1}, AddID{Existing: 2, New: 3}}
+	if err := s.Validate(3, true); err == nil {
+		t.Error("fully unbound add-ID accepted")
+	}
+	// Unbound source with bound target is the release idiom: accepted.
+	s = Stream{Node{ID: 1}, AddID{Existing: 2, New: 1}}
+	if err := s.Validate(3, true); err != nil {
+		t.Errorf("release add-ID rejected: %v", err)
+	}
+}
+
+func TestTrackerNodeRecycling(t *testing.T) {
+	tr := NewTracker()
+	eff := tr.Apply(Node{ID: 1})
+	if eff.NewNode != 0 || eff.Displaced != -1 {
+		t.Fatalf("first node effect = %+v", eff)
+	}
+	eff = tr.Apply(Node{ID: 1})
+	if eff.NewNode != 1 || eff.Displaced != 0 || !eff.DisplacedEmptied {
+		t.Fatalf("recycled node effect = %+v", eff)
+	}
+	if n, ok := tr.Owner(1); !ok || n != 1 {
+		t.Errorf("owner of 1 = %d, %v", n, ok)
+	}
+	if got := tr.Nodes(); got != 2 {
+		t.Errorf("Nodes() = %d", got)
+	}
+}
+
+func TestTrackerAddID(t *testing.T) {
+	tr := NewTracker()
+	tr.Apply(Node{ID: 1})
+	tr.Apply(Node{ID: 2})
+	// Alias ID 3 to node 0 via its ID 1.
+	eff := tr.Apply(AddID{Existing: 1, New: 3})
+	if eff.Gainer != 0 {
+		t.Fatalf("gainer = %d, want 0", eff.Gainer)
+	}
+	if set := tr.IDSet(0); len(set) != 2 {
+		t.Errorf("node 0 ID-set = %v", set)
+	}
+	// Steal ID 2 (held by node 1) for node 0: node 1 is displaced and
+	// leaves the active set.
+	eff = tr.Apply(AddID{Existing: 3, New: 2})
+	if eff.Gainer != 0 || eff.Displaced != 1 || !eff.DisplacedEmptied {
+		t.Fatalf("steal effect = %+v", eff)
+	}
+	if _, ok := tr.Owner(2); !ok {
+		t.Error("ID 2 should now be bound to node 0")
+	}
+	if len(tr.Active()) != 1 {
+		t.Errorf("active = %v", tr.Active())
+	}
+}
+
+func TestTrackerAddIDSelf(t *testing.T) {
+	tr := NewTracker()
+	tr.Apply(Node{ID: 1})
+	eff := tr.Apply(AddID{Existing: 1, New: 1})
+	if eff.Gainer != 0 || eff.Displaced != -1 {
+		t.Fatalf("self add-ID effect = %+v", eff)
+	}
+	if set := tr.IDSet(0); len(set) != 1 || set[0] != 1 {
+		t.Errorf("ID-set after self add = %v", set)
+	}
+}
+
+func TestTrackerAddIDUnboundSourceReleasesNew(t *testing.T) {
+	tr := NewTracker()
+	tr.Apply(Node{ID: 2})
+	// add-ID(1,2) with ID 1 unbound: ID 2 is released from node 0 and
+	// bound to nothing.
+	eff := tr.Apply(AddID{Existing: 1, New: 2})
+	if eff.Gainer != -1 || eff.Displaced != 0 || !eff.DisplacedEmptied {
+		t.Fatalf("effect = %+v", eff)
+	}
+	if _, ok := tr.Owner(2); ok {
+		t.Error("ID 2 should be unbound")
+	}
+}
+
+func TestTrackerEdgeEffect(t *testing.T) {
+	tr := NewTracker()
+	tr.Apply(Node{ID: 1})
+	tr.Apply(Node{ID: 2})
+	eff := tr.Apply(Edge{From: 1, To: 2})
+	if eff.FromNode != 0 || eff.ToNode != 1 {
+		t.Fatalf("edge effect = %+v", eff)
+	}
+	eff = tr.Apply(Edge{From: 1, To: 9})
+	if eff.ToNode != -1 {
+		t.Errorf("unbound target effect = %+v", eff)
+	}
+}
+
+func TestDecodeMultiIDNode(t *testing.T) {
+	// A store whose value is copied into a second location: the node gains
+	// an alias, and edges through either ID hit the same node.
+	s := Stream{
+		Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+		AddID{Existing: 1, New: 2},
+		Node{ID: 3, Op: op(trace.LD(2, 1, 1))},
+		Edge{From: 2, To: 3, Label: Inh},
+	}
+	d := Decode(s)
+	if len(d.Edges) != 1 || d.Edges[0].From != 0 || d.Edges[0].To != 1 {
+		t.Fatalf("edges = %+v", d.Edges)
+	}
+}
+
+func TestDecodedIsAcyclic(t *testing.T) {
+	s := Stream{Node{ID: 1}, Node{ID: 2}, Edge{From: 1, To: 2}, Edge{From: 2, To: 1}}
+	if Decode(s).IsAcyclic() {
+		t.Error("2-cycle reported acyclic")
+	}
+	s = Stream{Node{ID: 1}, Node{ID: 2}, Edge{From: 1, To: 2}}
+	if !Decode(s).IsAcyclic() {
+		t.Error("chain reported cyclic")
+	}
+}
+
+func TestToConstraintGraphUnlabeled(t *testing.T) {
+	if _, err := Decode(Stream{Node{ID: 1}}).ToConstraintGraph(); err == nil {
+		t.Error("unlabeled node accepted")
+	}
+}
+
+func TestStreamTrace(t *testing.T) {
+	tr := figure3Stream().Trace()
+	want := trace.Trace{
+		trace.ST(1, 1, 1), trace.LD(2, 1, 1), trace.ST(1, 1, 2),
+		trace.LD(2, 1, 1), trace.LD(2, 1, 2),
+	}
+	if !reflect.DeepEqual(tr, want) {
+		t.Errorf("Trace() = %s, want %s", tr, want)
+	}
+}

@@ -1,0 +1,114 @@
+package descriptor
+
+import (
+	"fmt"
+
+	"scverify/internal/graph"
+)
+
+// Encode produces a k-graph descriptor for the constraint graph following
+// the construction of Lemma 3.2: nodes are emitted in trace order, each
+// taking an ID from a pool of k+1 recyclable IDs; edges between a new node
+// and earlier still-active nodes are emitted immediately after the node;
+// and a node's IDs return to the pool once all of its edges have been
+// listed (its furthest adjacency is behind the cut).
+//
+// Encode fails if the graph's node bandwidth exceeds k — by Lemma 3.2, a
+// bandwidth of at most k guarantees the pool never runs dry.
+func Encode(g *graph.Graph, k int) (Stream, error) {
+	n := g.Len()
+	// Furthest adjacency per node (either direction); -1 for isolated nodes.
+	reach := make([]int, n)
+	for i := range reach {
+		reach[i] = -1
+	}
+	type adj struct {
+		other int
+		kind  graph.EdgeKind
+		out   bool // true: edge node->other; false: other->node
+	}
+	// For each node, edges to earlier nodes (emitted when the node appears).
+	back := make([][]adj, n)
+	for _, e := range g.Edges() {
+		if e.To > reach[e.From] {
+			reach[e.From] = e.To
+		}
+		if e.From > reach[e.To] {
+			reach[e.To] = e.From
+		}
+		switch {
+		case e.From < e.To:
+			back[e.To] = append(back[e.To], adj{other: e.From, kind: e.Kind, out: false})
+		case e.From > e.To:
+			back[e.From] = append(back[e.From], adj{other: e.To, kind: e.Kind, out: true})
+		default:
+			return nil, fmt.Errorf("descriptor: self-loop on node %d not encodable", e.From+1)
+		}
+	}
+
+	// releaseAt[i] lists nodes whose furthest adjacency is i; their IDs
+	// recycle once node i has been processed.
+	releaseAt := make([][]int, n)
+	for j, r := range reach {
+		if r > j {
+			releaseAt[r] = append(releaseAt[r], j)
+		}
+	}
+
+	free := make([]int, 0, k+1)
+	for id := k + 1; id >= 1; id-- {
+		free = append(free, id) // pop order: 1, 2, 3, ...
+	}
+	idOf := make([]int, n)
+	var out Stream
+	for i := 0; i < n; i++ {
+		if len(free) == 0 {
+			return nil, fmt.Errorf("descriptor: ID pool exhausted at node %d: graph bandwidth exceeds k=%d", i+1, k)
+		}
+		id := free[len(free)-1]
+		free = free[:len(free)-1]
+		idOf[i] = id
+		op := g.Trace[i]
+		out = append(out, Node{ID: id, Op: &op})
+		for _, a := range back[i] {
+			from, to := idOf[a.other], id
+			if a.out {
+				from, to = id, idOf[a.other]
+			}
+			for _, lbl := range LabelsForKind(a.kind) {
+				out = append(out, Edge{From: from, To: to, Label: lbl})
+			}
+		}
+		// Release every node (possibly including i itself) whose adjacencies
+		// are now fully behind the cut: isolated nodes die immediately and
+		// the rest die when the cut passes their furthest adjacency.
+		if reach[i] <= i {
+			free = append(free, idOf[i])
+			idOf[i] = 0
+		}
+		for _, j := range releaseAt[i] {
+			if idOf[j] != 0 {
+				free = append(free, idOf[j])
+				idOf[j] = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+// EncodeAuto encodes the graph with the smallest sufficient ID pool,
+// returning the stream and the bandwidth bound used (the graph's node
+// bandwidth).
+func EncodeAuto(g *graph.Graph) (Stream, int) {
+	k := g.Bandwidth()
+	if k == 0 {
+		k = 1 // a pool of one ID still needs k+1 >= 2 only for edges; nodes alone need 1
+	}
+	s, err := Encode(g, k)
+	if err != nil {
+		// Bandwidth computation and encoder disagree — a bug, not an input
+		// condition; surface loudly.
+		panic(fmt.Sprintf("descriptor: EncodeAuto failed at k=%d: %v", k, err))
+	}
+	return s, k
+}

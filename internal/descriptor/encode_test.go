@@ -1,0 +1,184 @@
+package descriptor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scverify/internal/graph"
+	"scverify/internal/trace"
+)
+
+func figure3Graph() *graph.Graph {
+	t := trace.Trace{
+		trace.ST(1, 1, 1), trace.LD(2, 1, 1), trace.ST(1, 1, 2),
+		trace.LD(2, 1, 1), trace.LD(2, 1, 2),
+	}
+	g := graph.New(t)
+	g.AddEdge(0, 1, graph.Inheritance)
+	g.AddEdge(0, 2, graph.ProgramOrder|graph.StoreOrder)
+	g.AddEdge(0, 3, graph.Inheritance)
+	g.AddEdge(1, 3, graph.ProgramOrder)
+	g.AddEdge(3, 2, graph.Forced)
+	g.AddEdge(2, 4, graph.Inheritance)
+	g.AddEdge(3, 4, graph.ProgramOrder)
+	return g
+}
+
+// decodeToGraph re-materializes a constraint graph from a stream; test
+// helper for round trips.
+func decodeToGraph(t *testing.T, s Stream) *graph.Graph {
+	t.Helper()
+	g, err := Decode(s).ToConstraintGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	return reflect.DeepEqual(a.Trace, b.Trace) && reflect.DeepEqual(a.Edges(), b.Edges())
+}
+
+func TestEncodeFigure3RoundTrip(t *testing.T) {
+	g := figure3Graph()
+	s, err := Encode(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(3, true); err != nil {
+		t.Fatalf("encoded stream invalid: %v", err)
+	}
+	if !graphsEqual(g, decodeToGraph(t, s)) {
+		t.Errorf("round trip mismatch:\n in: %s\nout: %s", g, decodeToGraph(t, s))
+	}
+}
+
+func TestEncodeRejectsTooSmallK(t *testing.T) {
+	g := figure3Graph() // bandwidth 3
+	if _, err := Encode(g, 2); err == nil {
+		t.Error("k below bandwidth accepted")
+	}
+}
+
+func TestEncodeRejectsSelfLoop(t *testing.T) {
+	g := graph.New(trace.Trace{trace.ST(1, 1, 1)})
+	g.AddEdge(0, 0, 0)
+	if _, err := Encode(g, 3); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestEncodeAuto(t *testing.T) {
+	g := figure3Graph()
+	s, k := EncodeAuto(g)
+	if k != 3 {
+		t.Errorf("EncodeAuto bandwidth = %d, want 3", k)
+	}
+	if !graphsEqual(g, decodeToGraph(t, s)) {
+		t.Error("EncodeAuto round trip mismatch")
+	}
+}
+
+func TestEncodeEmptyGraph(t *testing.T) {
+	g := graph.New(nil)
+	s, err := Encode(g, 0)
+	if err != nil || len(s) != 0 {
+		t.Errorf("empty graph: stream=%v err=%v", s, err)
+	}
+}
+
+// randomDAG builds a random DAG over n trace operations with edges only
+// from lower to higher indices, then reports it and its bandwidth.
+func randomDAG(rng *rand.Rand, n int, density float64) *graph.Graph {
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = trace.ST(trace.ProcID(1+rng.Intn(3)), trace.BlockID(1+rng.Intn(3)), trace.Value(1+rng.Intn(3)))
+	}
+	g := graph.New(tr)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.AddEdge(i, j, 0)
+			}
+		}
+	}
+	return g
+}
+
+func TestEncodeDecodeRandomDAGsProperty(t *testing.T) {
+	// Lemma 3.2 property: every k-bandwidth-bounded graph has a k-graph
+	// descriptor, and decoding it recovers the graph exactly.
+	rng := rand.New(rand.NewSource(3))
+	prop := func(_ uint8) bool {
+		n := 2 + rng.Intn(14)
+		g := randomDAG(rng, n, 0.3)
+		bw := g.Bandwidth()
+		k := bw
+		if k == 0 {
+			k = 1
+		}
+		s, err := Encode(g, k)
+		if err != nil {
+			return false
+		}
+		if s.Validate(k, true) != nil {
+			return false
+		}
+		got, err := Decode(s).ToConstraintGraph()
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeUsesAtMostKPlusOneIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		g := randomDAG(rng, 12, 0.4)
+		s, k := EncodeAuto(g)
+		if got := s.MaxID(); got > k+1 {
+			t.Fatalf("stream uses ID %d with bandwidth %d", got, k)
+		}
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	s := figure3Stream()
+	s = append(s, AddID{Existing: 1, New: 2}, Node{ID: 2}, Edge{From: 1, To: 2})
+	data := Marshal(s)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("wire round trip mismatch:\n in: %v\nout: %v", s, got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		{99},                   // unknown tag
+		{tagNode},              // truncated varint
+		{tagNodeLabeled, 1},    // missing label fields
+		{tagEdgeLabeled, 1, 2}, // missing label byte
+		{tagAddID, 1},          // truncated
+	}
+	for _, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("Unmarshal(%v) accepted", data)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	s := figure3Stream()
+	if !reflect.DeepEqual(Marshal(s), Marshal(s)) {
+		t.Error("Marshal not deterministic")
+	}
+}

@@ -1,0 +1,28 @@
+package descriptor_test
+
+import (
+	"fmt"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/graph"
+	"scverify/internal/trace"
+)
+
+// Encode turns a bandwidth-bounded constraint graph into the paper's
+// descriptor string; Decode recovers the graph exactly.
+func ExampleEncode() {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.LD(2, 1, 1)}
+	g := graph.New(tr)
+	g.AddEdge(0, 1, graph.Inheritance)
+
+	s, err := descriptor.Encode(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Text())
+	d := descriptor.Decode(s)
+	fmt.Println("nodes:", len(d.Labels), "edges:", len(d.Edges), "acyclic:", d.IsAcyclic())
+	// Output:
+	// 1,ST(P1,B1,1), 2,LD(P2,B1,1), (1,2),inh
+	// nodes: 2 edges: 1 acyclic: true
+}

@@ -1,0 +1,66 @@
+package descriptor
+
+import (
+	"testing"
+
+	"scverify/internal/trace"
+)
+
+// FuzzUnmarshal exercises the wire decoder on arbitrary bytes: it must
+// never panic, and whatever decodes must re-encode to a byte string that
+// decodes to the same stream (idempotent normalization).
+func FuzzUnmarshal(f *testing.F) {
+	op := trace.ST(1, 1, 1)
+	f.Add([]byte{})
+	f.Add(Marshal(Stream{Node{ID: 1, Op: &op}, Edge{From: 1, To: 2, Label: Inh}}))
+	f.Add(Marshal(Stream{AddID{Existing: 1, New: 2}, Node{ID: 3}}))
+	f.Add([]byte{tagNodeLabeled, 0x01, 0x00})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		round := Marshal(s)
+		s2, err := Unmarshal(round)
+		if err != nil {
+			t.Fatalf("re-decode of normalized bytes failed: %v", err)
+		}
+		if string(Marshal(s2)) != string(round) {
+			t.Fatal("normalization not idempotent")
+		}
+	})
+}
+
+// FuzzTrackerAndDecode drives the ID-set semantics and the whole-graph
+// decoder with arbitrary (well-typed) symbol streams derived from fuzz
+// bytes: no panics, and the decoder's node count must equal the number of
+// node symbols.
+func FuzzTrackerAndDecode(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 2, 3, 1, 2})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Stream
+		nodes := 0
+		for i := 0; i+1 < len(data) && len(s) < 64; i += 2 {
+			a := int(data[i]%5) + 1
+			b := int(data[i+1]%5) + 1
+			switch data[i] % 3 {
+			case 0:
+				op := trace.ST(trace.ProcID(a), trace.BlockID(b), 1)
+				s = append(s, Node{ID: a, Op: &op})
+				nodes++
+			case 1:
+				s = append(s, Edge{From: a, To: b, Label: EdgeLabel(data[i+1] % 8)})
+			default:
+				s = append(s, AddID{Existing: a, New: b})
+			}
+		}
+		d := Decode(s)
+		if len(d.Labels) != nodes {
+			t.Fatalf("decoded %d nodes, want %d", len(d.Labels), nodes)
+		}
+		d.IsAcyclic() // must not panic
+	})
+}

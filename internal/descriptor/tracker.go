@@ -1,0 +1,151 @@
+package descriptor
+
+// Tracker implements the ID-set semantics of Section 3.2: it maps each ID
+// to the node (by 0-based creation index) currently holding it, applying
+// the four ID-set update rules as symbols arrive. It is the shared
+// bookkeeping core of the decoder, the stream validator, the cycle checker
+// and the full SC checker.
+type Tracker struct {
+	owner map[int]int   // ID -> node index currently holding it
+	ids   map[int][]int // node index -> IDs it holds (active nodes only)
+	nodes int           // node descriptors seen so far
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{owner: make(map[int]int), ids: make(map[int][]int)}
+}
+
+// Nodes returns the number of node descriptors applied so far; node indices
+// are 0..Nodes()-1 in order of appearance.
+func (t *Tracker) Nodes() int { return t.nodes }
+
+// Owner returns the node currently holding the ID, if any.
+func (t *Tracker) Owner(id int) (node int, ok bool) {
+	node, ok = t.owner[id]
+	return node, ok
+}
+
+// IDSet returns the IDs currently held by the node. The returned slice is
+// owned by the tracker; callers must not mutate it.
+func (t *Tracker) IDSet(node int) []int { return t.ids[node] }
+
+// Active returns the indices of all nodes with non-empty ID-sets.
+func (t *Tracker) Active() []int {
+	out := make([]int, 0, len(t.ids))
+	for n := range t.ids {
+		out = append(out, n)
+	}
+	return out
+}
+
+// release removes the ID from its current owner, reporting the node that
+// lost it and whether its ID-set became empty (the node left the active
+// set).
+func (t *Tracker) release(id int) (node int, emptied, had bool) {
+	node, had = t.owner[id]
+	if !had {
+		return 0, false, false
+	}
+	delete(t.owner, id)
+	set := t.ids[node]
+	for i, v := range set {
+		if v == id {
+			set[i] = set[len(set)-1]
+			set = set[:len(set)-1]
+			break
+		}
+	}
+	if len(set) == 0 {
+		delete(t.ids, node)
+		return node, true, true
+	}
+	t.ids[node] = set
+	return node, false, true
+}
+
+// Apply advances the tracker by one symbol and returns the effect:
+//   - For a Node symbol, NewNode is the fresh node's index, and Displaced /
+//     DisplacedEmptied describe the node (if any) that lost the reused ID.
+//   - For an AddID symbol, Gainer is the node that gained the alias (or -1
+//     if the source ID was unbound, making the symbol a pure release of
+//     the New ID), and Displaced describes the previous holder of New.
+//   - For an Edge symbol, FromNode and ToNode are the endpoint nodes, or -1
+//     if the corresponding ID is unbound (the edge then denotes nothing,
+//     per the paper's graph semantics).
+func (t *Tracker) Apply(sym Symbol) Effect {
+	switch v := sym.(type) {
+	case Node:
+		eff := Effect{Kind: EffectNode, NewNode: t.nodes, FromNode: -1, ToNode: -1, Displaced: -1, Gainer: -1}
+		if node, emptied, had := t.release(v.ID); had {
+			eff.Displaced = node
+			eff.DisplacedEmptied = emptied
+		}
+		t.owner[v.ID] = t.nodes
+		t.ids[t.nodes] = append(t.ids[t.nodes], v.ID)
+		t.nodes++
+		return eff
+	case AddID:
+		eff := Effect{Kind: EffectAddID, NewNode: -1, FromNode: -1, ToNode: -1, Displaced: -1, Gainer: -1}
+		gainer, hasGainer := t.owner[v.Existing]
+		if v.Existing == v.New {
+			// add-ID(I,I): by the paper's rules the ID stays where it is.
+			if hasGainer {
+				eff.Gainer = gainer
+			}
+			return eff
+		}
+		if node, emptied, had := t.release(v.New); had {
+			eff.Displaced = node
+			eff.DisplacedEmptied = emptied
+		}
+		if hasGainer {
+			eff.Gainer = gainer
+			t.owner[v.New] = gainer
+			t.ids[gainer] = append(t.ids[gainer], v.New)
+		}
+		return eff
+	case Edge:
+		eff := Effect{Kind: EffectEdge, NewNode: -1, FromNode: -1, ToNode: -1, Displaced: -1, Gainer: -1}
+		if n, ok := t.owner[v.From]; ok {
+			eff.FromNode = n
+		}
+		if n, ok := t.owner[v.To]; ok {
+			eff.ToNode = n
+		}
+		return eff
+	default:
+		return Effect{Kind: EffectUnknown, NewNode: -1, FromNode: -1, ToNode: -1, Displaced: -1, Gainer: -1}
+	}
+}
+
+// EffectKind classifies what a symbol did to the tracker.
+type EffectKind uint8
+
+const (
+	// EffectUnknown marks a symbol of unrecognized type.
+	EffectUnknown EffectKind = iota
+	// EffectNode marks a node-descriptor application.
+	EffectNode
+	// EffectEdge marks an edge-descriptor application.
+	EffectEdge
+	// EffectAddID marks an add-ID application.
+	EffectAddID
+)
+
+// Effect describes the consequences of applying one symbol.
+type Effect struct {
+	Kind EffectKind
+	// NewNode is the index of the node created by a Node symbol, else -1.
+	NewNode int
+	// FromNode and ToNode are the edge endpoints for an Edge symbol, -1 when
+	// the corresponding ID was unbound.
+	FromNode, ToNode int
+	// Displaced is the node that lost a reused ID, else -1.
+	Displaced int
+	// DisplacedEmptied reports whether the displaced node's ID-set became
+	// empty, removing it from the active set.
+	DisplacedEmptied bool
+	// Gainer is the node that gained an alias from an AddID symbol, else -1.
+	Gainer int
+}

@@ -1,0 +1,144 @@
+package descriptor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scverify/internal/trace"
+)
+
+// Binary wire format for descriptor streams. Each symbol is a 1-byte tag
+// followed by uvarint fields. The format exists so observer output can be
+// streamed, hashed and measured as a flat byte sequence — the "string" the
+// paper's automata read — without holding symbol slices.
+const (
+	tagNode        byte = 1 // id
+	tagNodeLabeled byte = 2 // id, kind, proc, block, value
+	tagEdge        byte = 3 // from, to
+	tagEdgeLabeled byte = 4 // from, to, label
+	tagAddID       byte = 5 // existing, new
+)
+
+// AppendBinary appends the symbol's wire encoding to dst and returns the
+// extended slice.
+func AppendBinary(dst []byte, sym Symbol) []byte {
+	switch v := sym.(type) {
+	case Node:
+		if v.Op == nil {
+			dst = append(dst, tagNode)
+			return binary.AppendUvarint(dst, uint64(v.ID))
+		}
+		dst = append(dst, tagNodeLabeled)
+		dst = binary.AppendUvarint(dst, uint64(v.ID))
+		dst = append(dst, byte(v.Op.Kind))
+		dst = binary.AppendUvarint(dst, uint64(v.Op.Proc))
+		dst = binary.AppendUvarint(dst, uint64(v.Op.Block))
+		return binary.AppendUvarint(dst, uint64(v.Op.Value))
+	case Edge:
+		if v.Label == None {
+			dst = append(dst, tagEdge)
+			dst = binary.AppendUvarint(dst, uint64(v.From))
+			return binary.AppendUvarint(dst, uint64(v.To))
+		}
+		dst = append(dst, tagEdgeLabeled)
+		dst = binary.AppendUvarint(dst, uint64(v.From))
+		dst = binary.AppendUvarint(dst, uint64(v.To))
+		return append(dst, byte(v.Label))
+	case AddID:
+		dst = append(dst, tagAddID)
+		dst = binary.AppendUvarint(dst, uint64(v.Existing))
+		return binary.AppendUvarint(dst, uint64(v.New))
+	default:
+		panic(fmt.Sprintf("descriptor: unknown symbol type %T", sym))
+	}
+}
+
+// Marshal encodes the whole stream.
+func Marshal(s Stream) []byte {
+	var out []byte
+	for _, sym := range s {
+		out = AppendBinary(out, sym)
+	}
+	return out
+}
+
+// Unmarshal decodes a wire-encoded stream.
+func Unmarshal(data []byte) (Stream, error) {
+	var out Stream
+	pos := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("descriptor: truncated varint at byte %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	for pos < len(data) {
+		tag := data[pos]
+		pos++
+		switch tag {
+		case tagNode:
+			id, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Node{ID: int(id)})
+		case tagNodeLabeled:
+			id, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if pos >= len(data) {
+				return nil, fmt.Errorf("descriptor: truncated node label at byte %d", pos)
+			}
+			kind := trace.OpKind(data[pos])
+			pos++
+			p, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			b, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			val, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			op := trace.Op{Kind: kind, Proc: trace.ProcID(p), Block: trace.BlockID(b), Value: trace.Value(val)}
+			out = append(out, Node{ID: int(id), Op: &op})
+		case tagEdge, tagEdgeLabeled:
+			from, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			to, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			label := None
+			if tag == tagEdgeLabeled {
+				if pos >= len(data) {
+					return nil, fmt.Errorf("descriptor: truncated edge label at byte %d", pos)
+				}
+				label = EdgeLabel(data[pos])
+				pos++
+			}
+			out = append(out, Edge{From: int(from), To: int(to), Label: label})
+		case tagAddID:
+			ex, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			nw, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AddID{Existing: int(ex), New: int(nw)})
+		default:
+			return nil, fmt.Errorf("descriptor: unknown tag %d at byte %d", tag, pos-1)
+		}
+	}
+	return out, nil
+}

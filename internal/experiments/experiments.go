@@ -1,0 +1,380 @@
+// Package experiments regenerates every figure and table of Condon & Hu
+// (per the experiment index in DESIGN.md) as plain-text reports. Each
+// function writes one artifact; Run dispatches by experiment ID. The same
+// code paths back the repository's benchmarks, so the printed tables and
+// the benchmarked numbers cannot drift apart.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"scverify/internal/boundedreorder"
+	"scverify/internal/checker"
+	"scverify/internal/descriptor"
+	"scverify/internal/graph"
+	"scverify/internal/litmus"
+	"scverify/internal/mc"
+	"scverify/internal/memmodel"
+	"scverify/internal/observer"
+	"scverify/internal/protocol"
+	"scverify/internal/registry"
+	"scverify/internal/sctest"
+	"scverify/internal/sizebound"
+	"scverify/internal/trace"
+)
+
+// IDs lists the experiment identifiers Run accepts, in presentation order.
+func IDs() []string {
+	return []string{"fig1", "fig3", "fig4", "verify", "litmus", "sizebound", "testing", "lazy", "boundedreorder"}
+}
+
+// Run executes one experiment by ID, writing its report to w.
+func Run(id string, w io.Writer) error {
+	switch id {
+	case "fig1":
+		return Fig1(w)
+	case "fig3":
+		return Fig3(w)
+	case "fig4":
+		return Fig4(w)
+	case "verify":
+		return VerifyAll(w)
+	case "litmus":
+		return Litmus(w)
+	case "sizebound":
+		return SizeBound(w)
+	case "testing":
+		return TestingScenario(w)
+	case "lazy":
+		return LazyGenerators(w)
+	case "boundedreorder":
+		return BoundedReorder(w)
+	default:
+		return fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+}
+
+// Fig1 reproduces Figure 1: the outcomes of the message-passing program
+// under serial memory, sequential consistency, and a relaxed model.
+func Fig1(w io.Writer) error {
+	p := memmodel.Figure1()
+	serial, err := p.SerialOutcome([]int{0, 0, 1, 1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Experiment E1 — Figure 1: memory-model outcome sets")
+	fmt.Fprintln(w, "Program: P1: ST x←1; ST y←2.  P2: LD y→r2; LD x→r1.  (x=B1, y=B2, ⊥=0)")
+	fmt.Fprintf(w, "  serial memory (schedule P1,P1,P2,P2): %s\n", serial)
+	fmt.Fprintf(w, "  sequential consistency:               %v\n", memmodel.OutcomeStrings(p.SCOutcomes()))
+	fmt.Fprintf(w, "  relaxed (loads out of order):         %v\n", memmodel.OutcomeStrings(p.RelaxedOutcomes()))
+	fmt.Fprintf(w, "  TSO (store buffers only):             %v\n", memmodel.OutcomeStrings(p.TSOOutcomes()))
+	fmt.Fprintln(w, "Paper: SC allows r1=1,r2=2 / r1=0,r2=0 / r1=1,r2=0 but not r1=0,r2=2; the relaxed model adds r1=0,r2=2.")
+	return nil
+}
+
+// fig3Graph builds the constraint graph of Figure 3.
+func fig3Graph() *graph.Graph {
+	t := trace.Trace{
+		trace.ST(1, 1, 1), trace.LD(2, 1, 1), trace.ST(1, 1, 2),
+		trace.LD(2, 1, 1), trace.LD(2, 1, 2),
+	}
+	g := graph.New(t)
+	g.AddEdge(0, 1, graph.Inheritance)
+	g.AddEdge(0, 2, graph.ProgramOrder|graph.StoreOrder)
+	g.AddEdge(0, 3, graph.Inheritance)
+	g.AddEdge(1, 3, graph.ProgramOrder)
+	g.AddEdge(3, 2, graph.Forced)
+	g.AddEdge(2, 4, graph.Inheritance)
+	g.AddEdge(3, 4, graph.ProgramOrder)
+	return g
+}
+
+// Fig3 reproduces Figure 3 and the Section 3.2 descriptor example: the
+// constraint graph, its bandwidth, its ID-recycling descriptor, and the
+// checker verdict.
+func Fig3(w io.Writer) error {
+	g := fig3Graph()
+	fmt.Fprintln(w, "Experiment E2 — Figure 3: constraint graph and 3-bandwidth descriptor")
+	fmt.Fprintf(w, "  graph: %s\n", g)
+	fmt.Fprintf(w, "  node bandwidth: %d (paper: 3)\n", g.Bandwidth())
+	fmt.Fprintf(w, "  acyclic: %v; constraints: %v\n", g.IsAcyclic(), g.CheckConstraints() == nil)
+	s, k := descriptor.EncodeAuto(g)
+	fmt.Fprintf(w, "  %d-graph descriptor: %s\n", k, s.Text())
+	err := checker.Check(s, k)
+	fmt.Fprintf(w, "  finite-state checker verdict: accept=%v\n", err == nil)
+	r, ok := g.SerialReordering()
+	fmt.Fprintf(w, "  serial reordering from topological order: %v (valid=%v)\n", r, ok && r.IsSerialReordering(g.Trace))
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Fig4 reproduces Figure 4: the tracking-label run, its per-step state,
+// the ST-index table, and the Lemma 4.1 inheritance descriptor.
+func Fig4(w io.Writer) error {
+	script := &protocol.Scripted{
+		ProtoName: "figure4", P: 2, B: 3, V: 3, L: 4,
+		Steps: []protocol.ScriptStep{
+			{Action: protocol.MemOp(trace.ST(1, 1, 1)), Loc: 1},
+			{Action: protocol.MemOp(trace.ST(2, 2, 2)), Loc: 4},
+			{Action: protocol.Internal("Get-Shared", 2, 1), Copies: []protocol.Copy{{Dst: 3, Src: 1}}},
+			{Action: protocol.MemOp(trace.ST(1, 3, 3)), Loc: 1},
+		},
+	}
+	fmt.Fprintln(w, "Experiment E3 — Figure 4: tracking labels and ST-indexes")
+	r := protocol.NewRunner(script)
+	st := protocol.NewSTIndexTracker(script.Locations())
+	for {
+		en := r.Enabled()
+		if len(en) == 0 {
+			break
+		}
+		r.Take(en[0])
+		last := r.Run().Steps[len(r.Run().Steps)-1]
+		st.Apply(last.Transition, last.TraceIndex)
+		fmt.Fprintf(w, "  after %-20s ST-indexes %v\n", last.Action, st.Snapshot()[1:])
+	}
+	fmt.Fprintf(w, "  final table (paper Figure 4c): loc1=%d loc2=%d loc3=%d loc4=%d (want 3,0,1,2)\n",
+		st.Index(1), st.Index(2), st.Index(3), st.Index(4))
+	stream, err := observer.ObserveInheritance(r.Run())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  Lemma 4.1 inheritance descriptor: %s\n", stream.Text())
+	return nil
+}
+
+// VerifyAll model-checks every registered protocol at small parameters —
+// the Section 4 verification experiment (E6). SC protocols must verify;
+// non-SC protocols must yield counterexamples.
+func VerifyAll(w io.Writer) error {
+	fmt.Fprintln(w, "Experiment E6 — exhaustive verification of the protocol suite")
+	fmt.Fprintf(w, "  %-20s %-9s %-10s %10s %12s %7s %9s\n",
+		"protocol", "expected", "verdict", "states", "transitions", "depth", "time")
+	for _, name := range registry.Names() {
+		tgt, err := registry.Build(name, registry.Options{Params: paramsFor(name), QueueCap: 1})
+		if err != nil {
+			return err
+		}
+		opts := mc.Options{
+			Generator: tgt.Generator,
+			PoolSize:  tgt.PoolSize,
+			MaxDepth:  depthFor(name),
+			MaxStates: 1 << 21,
+		}
+		res := mc.Verify(tgt.Protocol, opts)
+		expected := "reject"
+		if tgt.ExpectSC {
+			expected = "accept"
+		}
+		fmt.Fprintf(w, "  %-20s %-9s %-10s %10d %12d %7d %9s\n",
+			name, expected, res.Verdict, res.States, res.Transitions, res.Depth,
+			res.Elapsed.Round(time.Millisecond))
+		if res.Verdict == mc.Violated {
+			if run, err := mc.Replay(tgt.Protocol, res.Counterexample); err == nil {
+				fmt.Fprintf(w, "      counterexample: %s\n", run)
+			}
+		}
+		switch {
+		case tgt.ExpectSC && res.Verdict == mc.Violated:
+			return fmt.Errorf("experiments: %s expected SC but violated: %v", name, res.Err)
+		case !tgt.ExpectSC && res.Verdict == mc.Verified:
+			return fmt.Errorf("experiments: %s expected a violation but verified", name)
+		}
+	}
+	fmt.Fprintln(w, "  (depth-bounded entries are reported as incomplete unless a violation is found first)")
+	return nil
+}
+
+// depthFor bounds exploration for protocols whose full product space is
+// too large for an interactive report; violations in the non-SC targets
+// appear within a few steps, and SC targets that complete within the bound
+// report verified.
+func depthFor(name string) int {
+	switch name {
+	case "serial", "storebuffer":
+		return 0 // full exploration
+	case "msi-lost-writeback", "msi-no-invalidate", "lazy-realtime",
+		"writethrough-no-invalidate":
+		return 12
+	default:
+		return 10
+	}
+}
+
+// paramsFor picks the smallest parameters that exhibit each protocol's
+// interesting behaviour: the no-invalidate bug needs a second block to
+// build the message-passing violation, and the lazy-caching reordering
+// needs two distinguishable values.
+func paramsFor(name string) trace.Params {
+	switch name {
+	case "msi-no-invalidate", "writethrough-no-invalidate":
+		return trace.Params{Procs: 2, Blocks: 2, Values: 1}
+	case "lazy-realtime", "lazy":
+		return trace.Params{Procs: 2, Blocks: 1, Values: 2}
+	default:
+		return trace.Params{Procs: 2, Blocks: 1, Values: 1}
+	}
+}
+
+// Litmus runs the classic litmus suite against representative protocols,
+// comparing each protocol's reachable outcome set with the SC set — the
+// architectural view of the property the checker decides per trace.
+func Litmus(w io.Writer) error {
+	fmt.Fprintln(w, "Experiment — litmus outcomes per protocol vs sequential consistency")
+	if err := litmus.VerifySuiteAgainstSC(); err != nil {
+		return err
+	}
+	targets := []string{"serial", "writethrough", "msi", "storebuffer", "storebuffer-fenced", "writethrough-no-invalidate"}
+	for _, tc := range litmus.Suite() {
+		if tc.Name == "IRIW" {
+			continue // 4 processors: too wide for the interactive report
+		}
+		fmt.Fprintf(w, "  %s (SC forbids %v):\n", tc.Name, tc.ForbiddenSC)
+		for _, name := range targets {
+			tgt, err := registry.Build(name, registry.Options{
+				Params:   trace.Params{Procs: len(tc.Prog.Threads), Blocks: 2, Values: 1},
+				QueueCap: 1,
+			})
+			if err != nil {
+				return err
+			}
+			c, err := litmus.ClassifyProtocol(tgt.Protocol, tc, 1<<19)
+			if err != nil {
+				return err
+			}
+			verdict := "SC-clean"
+			if len(c.Extra) > 0 {
+				verdict = fmt.Sprintf("VIOLATES SC: %v", c.Extra)
+			}
+			fmt.Fprintf(w, "    %-28s %s\n", name, verdict)
+			if tgt.ExpectSC && len(c.Extra) > 0 {
+				return fmt.Errorf("experiments: %s produced non-SC litmus outcomes %v", name, c.Extra)
+			}
+		}
+	}
+	fmt.Fprintln(w, "  shape: SC protocols never exhibit forbidden outcomes; the store buffer")
+	fmt.Fprintln(w, "  exhibits exactly SB; the buggy write-through exhibits MP.")
+	return nil
+}
+
+// SizeBound prints the Section 4.4 observer-size table (E7): the analytic
+// bound across a parameter sweep, plus measured observer-state counts for
+// the protocols verified exhaustively.
+func SizeBound(w io.Writer) error {
+	fmt.Fprintln(w, "Experiment E7 — Section 4.4 observer size bound")
+	fmt.Fprintln(w, "  bound = (L+pb)(lg p + lg b + lg v + 1) + L lg L bits")
+	rows := sizebound.Sweep(
+		[]int{2, 4, 8}, []int{1, 2, 4}, []int{2, 4},
+		func(p, b int) int { return b * (1 + p) }, // memory + one line per cache
+	)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+
+	// Measured: distinct observer states during exhaustive product
+	// exploration of serial memory (the tightest measurable case).
+	params := trace.Params{Procs: 2, Blocks: 1, Values: 1}
+	tgt, err := registry.Build("serial", registry.Options{Params: params})
+	if err != nil {
+		return err
+	}
+	res := mc.Verify(tgt.Protocol, mc.Options{Generator: tgt.Generator, TrackObserverStates: true})
+	in := sizebound.Inputs{
+		Procs: params.Procs, Blocks: params.Blocks, Values: params.Values,
+		Locations: tgt.Protocol.Locations(),
+	}
+	row := sizebound.NewRow(in, res.ObserverStates)
+	fmt.Fprintf(w, "  measured on serial(%s): %d distinct observer states (≈%d bits) vs bound %d bits\n",
+		params, res.ObserverStates, row.MeasuredBits, row.BoundBits)
+	fmt.Fprintf(w, "  (full product: %d states, including protocol and checker components)\n", res.States)
+	fmt.Fprintln(w, "  shape check: the analytic bound must dominate the measured observer bits")
+	if row.MeasuredBits > row.BoundBits {
+		return fmt.Errorf("experiments: measured observer bits %d exceed bound %d", row.MeasuredBits, row.BoundBits)
+	}
+	return nil
+}
+
+// TestingScenario runs the Section 5 per-run testing mode (E8) against
+// the suite, cross-checking with the exact reordering search.
+func TestingScenario(w io.Writer) error {
+	fmt.Fprintln(w, "Experiment E8 — Section 5 testing scenario (random runs, exact cross-check)")
+	params := trace.Params{Procs: 2, Blocks: 2, Values: 2}
+	cfg := sctest.Config{Runs: 200, Steps: 16, Seed: 11, Exact: true}
+	names := registry.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tgt, err := registry.Build(name, registry.Options{Params: params, QueueCap: 1})
+		if err != nil {
+			return err
+		}
+		res := sctest.Campaign(tgt, cfg)
+		fmt.Fprintf(w, "  %-20s %s\n", name, res)
+		if res.SoundnessBreaks > 0 {
+			return fmt.Errorf("experiments: %s: accepted run with non-SC trace", name)
+		}
+		if tgt.ExpectSC && res.NonSCConfirmed > 0 {
+			return fmt.Errorf("experiments: %s: confirmed violation on an SC protocol", name)
+		}
+	}
+	return nil
+}
+
+// LazyGenerators contrasts the trivial and queue-aware ST-order generators
+// on lazy caching — the Section 4.2 point that motivates generator
+// pluggability.
+func LazyGenerators(w io.Writer) error {
+	fmt.Fprintln(w, "Experiment — Section 4.2: lazy caching needs a non-trivial ST-order generator")
+	params := trace.Params{Procs: 2, Blocks: 1, Values: 2}
+	cfg := sctest.Config{Runs: 600, Steps: 24, Seed: 17, Exact: true}
+	for _, name := range []string{"lazy", "lazy-realtime"} {
+		tgt, err := registry.Build(name, registry.Options{Params: params, QueueCap: 1})
+		if err != nil {
+			return err
+		}
+		res := sctest.Campaign(tgt, cfg)
+		fmt.Fprintf(w, "  %-15s %s\n", name, res)
+		if name == "lazy" && res.Rejected > 0 {
+			return fmt.Errorf("experiments: queue-aware generator rejected a lazy run: %v", res.FirstCause)
+		}
+		if name == "lazy-realtime" && res.NonSCConfirmed > 0 {
+			return fmt.Errorf("experiments: real-time generator rejections were real violations")
+		}
+	}
+	fmt.Fprintln(w, "  shape: the queue-aware generator accepts every run; the trivial one")
+	fmt.Fprintln(w, "  rejects some runs whose traces are nonetheless SC (annotation inadequacy).")
+	return nil
+}
+
+// BoundedReorder is the E9 ablation: the bounded-window witness of
+// Henzinger et al. needs windows that grow with the reordering distance,
+// while the constraint-graph checker's state stays fixed.
+func BoundedReorder(w io.Writer) error {
+	fmt.Fprintln(w, "Experiment E9 — bounded-window witness vs constraint-graph observer")
+	fmt.Fprintf(w, "  %-8s %-12s %-22s\n", "delay d", "min window", "constraint-graph checker")
+	for d := 0; d <= 6; d++ {
+		tr := trace.Trace{trace.ST(1, 1, 1)}
+		for i := 0; i < d; i++ {
+			tr = append(tr, trace.LD(2, 1, 1))
+		}
+		tr = append(tr, trace.LD(3, 1, trace.Bottom))
+		win := boundedreorder.MinWindow(tr)
+
+		// The same trace through the canonical constraint graph: bandwidth
+		// stays constant in d.
+		r, ok := trace.FindSerialReordering(tr)
+		if !ok {
+			return fmt.Errorf("experiments: delay family trace not SC at d=%d", d)
+		}
+		g := graph.Canonical(tr, r)
+		s, k := descriptor.EncodeAuto(g)
+		verdict := checker.Check(s, k) == nil
+		fmt.Fprintf(w, "  %-8d %-12d bandwidth=%d accept=%v\n", d, win, k, verdict)
+	}
+	fmt.Fprintln(w, "  shape: min window grows linearly with d; graph bandwidth stays constant.")
+	return nil
+}

@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"fmt"
+
+	"scverify/internal/trace"
+)
+
+// CheckConstraints verifies the five edge-annotation constraints of
+// Section 3.1 against the graph, returning nil if all hold or an error
+// describing the first violation found. This is the offline reference
+// implementation; the streaming finite-state equivalent lives in
+// internal/checker and is differentially tested against this one.
+//
+// Node numbers in error messages are 1-based to match the paper.
+func (g *Graph) CheckConstraints() error {
+	n := len(g.Trace)
+
+	poIn := make([]int, n)  // count of incoming program-order edges
+	poOut := make([]int, n) // count of outgoing program-order edges
+	stIn := make([]int, n)
+	stOut := make([]int, n)
+	inhIn := make([]int, n)
+	inhFrom := make([]int, n) // source of the (unique) inheritance edge, -1 if none
+	for i := range inhFrom {
+		inhFrom[i] = -1
+	}
+	poEdges := 0
+	stEdges := make(map[trace.BlockID]int)
+
+	for key, kind := range g.edges {
+		from, to := key[0], key[1]
+		fop, top := g.Trace[from], g.Trace[to]
+		if kind&ProgramOrder != 0 {
+			if fop.Proc != top.Proc {
+				return fmt.Errorf("constraint 2: program-order edge (%d,%d) crosses processors P%d→P%d", from+1, to+1, fop.Proc, top.Proc)
+			}
+			if from >= to {
+				return fmt.Errorf("constraint 2: program-order edge (%d,%d) inconsistent with trace order", from+1, to+1)
+			}
+			poOut[from]++
+			poIn[to]++
+			poEdges++
+		}
+		if kind&StoreOrder != 0 {
+			if !fop.IsStore() || !top.IsStore() {
+				return fmt.Errorf("constraint 3: ST-order edge (%d,%d) touches a non-store", from+1, to+1)
+			}
+			if fop.Block != top.Block {
+				return fmt.Errorf("constraint 3: ST-order edge (%d,%d) crosses blocks B%d→B%d", from+1, to+1, fop.Block, top.Block)
+			}
+			stOut[from]++
+			stIn[to]++
+			stEdges[fop.Block]++
+		}
+		if kind&Inheritance != 0 {
+			if !top.IsLoad() || top.Value == trace.Bottom {
+				return fmt.Errorf("constraint 4: inheritance edge (%d,%d) into %s", from+1, to+1, top)
+			}
+			if !fop.IsStore() || fop.Block != top.Block || fop.Value != top.Value {
+				return fmt.Errorf("constraint 4: inheritance edge (%d,%d) from %s into %s", from+1, to+1, fop, top)
+			}
+			inhIn[to]++
+			inhFrom[to] = from
+		}
+	}
+
+	// Constraint 2: per-processor totality. With every po edge same-proc and
+	// trace-order increasing, in/out degree ≤ 1 plus an edge count of u-1
+	// per processor forces a Hamiltonian path over that processor's nodes.
+	procNodes := make(map[trace.ProcID]int)
+	for i := 0; i < n; i++ {
+		procNodes[g.Trace[i].Proc]++
+		if poIn[i] > 1 {
+			return fmt.Errorf("constraint 2: node %d has %d incoming program-order edges", i+1, poIn[i])
+		}
+		if poOut[i] > 1 {
+			return fmt.Errorf("constraint 2: node %d has %d outgoing program-order edges", i+1, poOut[i])
+		}
+	}
+	wantPO := 0
+	for _, u := range procNodes {
+		wantPO += u - 1
+	}
+	if poEdges != wantPO {
+		return fmt.Errorf("constraint 2: %d program-order edges, want %d", poEdges, wantPO)
+	}
+
+	// Constraint 3: per-block store totality.
+	blockStores := make(map[trace.BlockID]int)
+	for i := 0; i < n; i++ {
+		if g.Trace[i].IsStore() {
+			blockStores[g.Trace[i].Block]++
+			if stIn[i] > 1 {
+				return fmt.Errorf("constraint 3: store node %d has %d incoming ST-order edges", i+1, stIn[i])
+			}
+			if stOut[i] > 1 {
+				return fmt.Errorf("constraint 3: store node %d has %d outgoing ST-order edges", i+1, stOut[i])
+			}
+		}
+	}
+	for b, u := range blockStores {
+		if stEdges[b] != u-1 {
+			return fmt.Errorf("constraint 3: block B%d has %d ST-order edges, want %d", b, stEdges[b], u-1)
+		}
+	}
+	// Degrees ≤ 1 and u-1 edges still admit a cycle plus isolated stores
+	// (e.g. a 3-cycle beside one lone store). Walk the chain from each
+	// block's unique source to confirm a single path covers all u stores.
+	{
+		succ := make(map[int]int)
+		for key, kind := range g.edges {
+			if kind&StoreOrder != 0 {
+				succ[key[0]] = key[1]
+			}
+		}
+		for b, u := range blockStores {
+			start := -1
+			for i := 0; i < n; i++ {
+				if g.Trace[i].IsStore() && g.Trace[i].Block == b && stIn[i] == 0 {
+					start = i
+					break
+				}
+			}
+			if u > 0 && start < 0 {
+				return fmt.Errorf("constraint 3: block B%d ST-order has no source (cycle)", b)
+			}
+			count := 0
+			for cur := start; cur >= 0; {
+				count++
+				next, ok := succ[cur]
+				if !ok {
+					break
+				}
+				cur = next
+			}
+			if count != u {
+				return fmt.Errorf("constraint 3: block B%d ST-order chain covers %d of %d stores", b, count, u)
+			}
+		}
+	}
+
+	// Constraint 4: every non-bottom load has exactly one inheritance edge.
+	for i := 0; i < n; i++ {
+		op := g.Trace[i]
+		if op.IsLoad() && op.Value != trace.Bottom {
+			if inhIn[i] == 0 {
+				return fmt.Errorf("constraint 4: load node %d (%s) has no inheritance edge", i+1, op)
+			}
+			if inhIn[i] > 1 {
+				return fmt.Errorf("constraint 4: load node %d has %d inheritance edges", i+1, inhIn[i])
+			}
+		}
+	}
+
+	// Precompute, per store node, its ST-order successor (unique by the
+	// degree checks above) and, per block, the first store in ST order.
+	stSucc := make([]int, n)
+	for i := range stSucc {
+		stSucc[i] = -1
+	}
+	firstStore := make(map[trace.BlockID]int)
+	for key, kind := range g.edges {
+		if kind&StoreOrder != 0 {
+			stSucc[key[0]] = key[1]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if g.Trace[i].IsStore() && stIn[i] == 0 {
+			firstStore[g.Trace[i].Block] = i
+		}
+	}
+
+	// Program-order successor per node (unique).
+	poSucc := make([]int, n)
+	for i := range poSucc {
+		poSucc[i] = -1
+	}
+	for key, kind := range g.edges {
+		if kind&ProgramOrder != 0 {
+			poSucc[key[0]] = key[1]
+		}
+	}
+
+	hasForced := func(from, to int) bool {
+		k, ok := g.EdgeKindBetween(from, to)
+		return ok && k&Forced != 0
+	}
+
+	// Constraint 5(a): for each inheritance edge (i,j) where i has an
+	// ST-order successor k, some program-order descendant j' of j (j itself
+	// included) that also inherits from i must carry a forced edge to k.
+	for j := 0; j < n; j++ {
+		i := inhFrom[j]
+		if i < 0 {
+			continue
+		}
+		k := stSucc[i]
+		if k < 0 {
+			continue // no ST-order successor: constraint vacuous
+		}
+		ok := false
+		for cur := j; cur >= 0; cur = poSucc[cur] {
+			if cur != j && inhFrom[cur] != i {
+				continue
+			}
+			if hasForced(cur, k) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("constraint 5a: load node %d inherits from %d but no forced edge reaches ST-order successor %d", j+1, i+1, k+1)
+		}
+	}
+
+	// Constraint 5(b): each LD(P,B,⊥) needs a forced edge, possibly via a
+	// later same-processor ⊥-load of the same block, to the first store to
+	// B in ST order.
+	for j := 0; j < n; j++ {
+		op := g.Trace[j]
+		if !op.IsLoad() || op.Value != trace.Bottom {
+			continue
+		}
+		k, exists := firstStore[op.Block]
+		if !exists {
+			continue // block never stored: vacuous
+		}
+		ok := false
+		for cur := j; cur >= 0; cur = poSucc[cur] {
+			curOp := g.Trace[cur]
+			if cur != j && !(curOp.IsLoad() && curOp.Value == trace.Bottom && curOp.Block == op.Block) {
+				continue
+			}
+			if hasForced(cur, k) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("constraint 5b: ⊥-load node %d has no forced edge to first store %d of block B%d", j+1, k+1, op.Block)
+		}
+	}
+
+	return nil
+}
+
+// IsConstraintGraph reports whether the graph satisfies all five edge
+// annotation constraints.
+func (g *Graph) IsConstraintGraph() bool { return g.CheckConstraints() == nil }
+
+// Canonical constructs the constraint graph of Lemma 3.1 from a serial
+// reordering of the trace: program-order edges between each processor's
+// consecutive operations, ST-order edges between consecutive stores to each
+// block in reordered order, inheritance edges from the most recent store,
+// and forced edges for every (store, inheriting load, next store) triple
+// plus the ⊥-load rule. The result is acyclic whenever r is a serial
+// reordering.
+func Canonical(t trace.Trace, r trace.Reordering) *Graph {
+	g := New(t)
+
+	// Program order: consecutive per-processor operations (reordering
+	// preserves program order, so trace order suffices).
+	last := make(map[trace.ProcID]int)
+	for i, op := range t {
+		if prev, ok := last[op.Proc]; ok {
+			g.AddEdge(prev, i, ProgramOrder)
+		}
+		last[op.Proc] = i
+	}
+
+	// ST order from the reordering.
+	storeOrder := r.StoreOrder(t)
+	stSucc := make(map[int]int)
+	firstStore := make(map[trace.BlockID]int)
+	for b, stores := range storeOrder {
+		if len(stores) > 0 {
+			firstStore[b] = stores[0]
+		}
+		for i := 0; i+1 < len(stores); i++ {
+			g.AddEdge(stores[i], stores[i+1], StoreOrder)
+			stSucc[stores[i]] = stores[i+1]
+		}
+	}
+
+	// Inheritance edges, plus forced edges for constraint 5(a).
+	inh := r.InheritanceMap(t)
+	for load, store := range inh {
+		g.AddEdge(store, load, Inheritance)
+		if k, ok := stSucc[store]; ok {
+			g.AddEdge(load, k, Forced)
+		}
+	}
+
+	// Forced edges for ⊥-loads (constraint 5(b)).
+	for i, op := range t {
+		if op.IsLoad() && op.Value == trace.Bottom {
+			if k, ok := firstStore[op.Block]; ok {
+				g.AddEdge(i, k, Forced)
+			}
+		}
+	}
+	return g
+}
+
+// SerialReordering extracts a serial reordering from an acyclic constraint
+// graph (the converse direction of Lemma 3.1): any topological order of the
+// nodes is one. Returns nil and false if the graph is cyclic.
+func (g *Graph) SerialReordering() (trace.Reordering, bool) {
+	order, ok := g.TopologicalOrder()
+	if !ok {
+		return nil, false
+	}
+	return trace.Reordering(order), true
+}

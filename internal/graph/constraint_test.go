@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scverify/internal/trace"
+)
+
+func mustReorder(t *testing.T, tr trace.Trace) trace.Reordering {
+	t.Helper()
+	r, ok := trace.FindSerialReordering(tr)
+	if !ok {
+		t.Fatalf("trace not SC: %s", tr)
+	}
+	return r
+}
+
+func TestCanonicalLemma31Forward(t *testing.T) {
+	// Lemma 3.1 forward direction: a serial reordering yields an acyclic
+	// constraint graph.
+	traces := []trace.Trace{
+		{},
+		{trace.ST(1, 1, 1)},
+		{trace.LD(1, 1, trace.Bottom)},
+		{trace.ST(1, 1, 1), trace.LD(2, 1, trace.Bottom)},
+		{trace.ST(1, 1, 1), trace.ST(2, 1, 2), trace.LD(1, 1, 2), trace.LD(2, 2, trace.Bottom)},
+		{
+			trace.ST(1, 1, 1), trace.LD(2, 1, 1), trace.ST(1, 1, 2),
+			trace.LD(2, 1, 1), trace.LD(2, 1, 2),
+		}, // the Figure 3 trace
+	}
+	for _, tr := range traces {
+		r := mustReorder(t, tr)
+		g := Canonical(tr, r)
+		if !g.IsAcyclic() {
+			t.Errorf("canonical graph cyclic for %s", tr)
+		}
+		if err := g.CheckConstraints(); err != nil {
+			t.Errorf("canonical graph for %s violates constraints: %v", tr, err)
+		}
+	}
+}
+
+func TestCanonicalLemma31Converse(t *testing.T) {
+	// Converse: any topological order of an (acyclic) constraint graph is a
+	// serial reordering.
+	g := figure3()
+	r, ok := g.SerialReordering()
+	if !ok {
+		t.Fatal("cyclic")
+	}
+	if !r.IsSerialReordering(g.Trace) {
+		t.Fatalf("topo order %v of constraint graph is not serial", r)
+	}
+}
+
+func TestCanonicalRoundTripProperty(t *testing.T) {
+	// Property over random SC traces: Canonical(t, witness) is an acyclic
+	// constraint graph whose every topological order is a serial reordering.
+	gen := trace.NewGenerator(trace.Params{Procs: 3, Blocks: 2, Values: 2}, 11)
+	prop := func(_ uint8) bool {
+		tr := gen.SC(12)
+		r, ok := trace.FindSerialReordering(tr)
+		if !ok {
+			return false
+		}
+		g := Canonical(tr, r)
+		if err := g.CheckConstraints(); err != nil {
+			return false
+		}
+		topo, ok := g.SerialReordering()
+		return ok && topo.IsSerialReordering(tr)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalBandwidthModest(t *testing.T) {
+	// Section 4's informal argument: canonical graphs of realistic traces
+	// have bandwidth far below the trace length. Sanity-check the trend.
+	gen := trace.NewGenerator(trace.Params{Procs: 2, Blocks: 2, Values: 2}, 5)
+	tr := gen.SC(40)
+	r := mustReorder(t, tr)
+	g := Canonical(tr, r)
+	if bw := g.Bandwidth(); bw >= len(tr) {
+		t.Errorf("bandwidth %d not below trace length %d", bw, len(tr))
+	}
+}
+
+func TestCheckConstraintsCrossProcessorPO(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.ST(2, 1, 2)}
+	g := New(tr)
+	g.AddEdge(0, 1, ProgramOrder|StoreOrder)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "crosses processors") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsPOAgainstTraceOrder(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 1, 2)}
+	g := New(tr)
+	g.AddEdge(1, 0, ProgramOrder)
+	g.AddEdge(0, 1, StoreOrder)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "inconsistent with trace order") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsMissingPOEdge(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 1, 2)}
+	g := New(tr)
+	g.AddEdge(0, 1, StoreOrder) // po edge missing
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "program-order edges, want") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsDoublePOOut(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 1, 2), trace.ST(1, 1, 3)}
+	g := New(tr)
+	g.AddEdge(0, 1, ProgramOrder|StoreOrder)
+	g.AddEdge(0, 2, ProgramOrder)
+	g.AddEdge(1, 2, StoreOrder)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "outgoing program-order") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsSTOrderNonStore(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.LD(1, 1, 1)}
+	g := New(tr)
+	g.AddEdge(0, 1, StoreOrder|ProgramOrder|Inheritance)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "non-store") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsSTOrderCrossBlock(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 2, 2)}
+	g := New(tr)
+	g.AddEdge(0, 1, StoreOrder|ProgramOrder)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "crosses blocks") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsSTOrderCycle(t *testing.T) {
+	// Three stores in a ST-order cycle beside a lone fourth store: degree
+	// and count checks pass, the chain-coverage check must fail.
+	tr := trace.Trace{
+		trace.ST(1, 1, 1), trace.ST(1, 1, 2), trace.ST(1, 1, 3), trace.ST(1, 1, 4),
+	}
+	g := New(tr)
+	g.AddEdge(0, 1, ProgramOrder)
+	g.AddEdge(1, 2, ProgramOrder)
+	g.AddEdge(2, 3, ProgramOrder)
+	g.AddEdge(0, 1, StoreOrder)
+	g.AddEdge(1, 2, StoreOrder)
+	g.AddEdge(2, 0, StoreOrder)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "ST-order") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsInheritanceIntoBottomLoad(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.LD(2, 1, trace.Bottom)}
+	g := New(tr)
+	g.AddEdge(0, 1, Inheritance)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "constraint 4") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsInheritanceValueMismatch(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.LD(2, 1, 2)}
+	g := New(tr)
+	g.AddEdge(0, 1, Inheritance)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "constraint 4") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraintsLoadWithoutInheritance(t *testing.T) {
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.LD(2, 1, 1)}
+	g := New(tr)
+	// No inheritance edge at all.
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "no inheritance edge") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCheckConstraints5aViaProgramOrderPath(t *testing.T) {
+	// A load without a direct forced edge but with a later same-processor
+	// load inheriting from the same store that has one — legal per 5(a).
+	// This is exactly the Figure 3 situation for node 2 (via node 4).
+	g := figure3()
+	if err := g.CheckConstraints(); err != nil {
+		t.Fatalf("Figure 3 pattern rejected: %v", err)
+	}
+}
+
+func TestCheckConstraints5bViolation(t *testing.T) {
+	// LD(P2,B1,⊥) followed by a store to B1 but no forced edge.
+	tr := trace.Trace{trace.LD(2, 1, trace.Bottom), trace.ST(1, 1, 1)}
+	g := New(tr)
+	err := g.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "5b") {
+		t.Errorf("got %v", err)
+	}
+	// Adding the forced edge fixes it.
+	g.AddEdge(0, 1, Forced)
+	if err := g.CheckConstraints(); err != nil {
+		t.Errorf("after forced edge: %v", err)
+	}
+}
+
+func TestCheckConstraints5bVacuousWithoutStores(t *testing.T) {
+	tr := trace.Trace{trace.LD(1, 1, trace.Bottom), trace.LD(2, 1, trace.Bottom)}
+	g := New(tr)
+	if err := g.CheckConstraints(); err != nil {
+		t.Errorf("⊥-loads with no stores should be fine: %v", err)
+	}
+}
+
+func TestIsConstraintGraph(t *testing.T) {
+	if !figure3().IsConstraintGraph() {
+		t.Error("Figure 3 rejected")
+	}
+	g := New(trace.Trace{trace.ST(1, 1, 1), trace.LD(2, 1, 1)})
+	if g.IsConstraintGraph() {
+		t.Error("graph missing inheritance accepted")
+	}
+}

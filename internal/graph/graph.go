@@ -1,0 +1,292 @@
+// Package graph implements the constraint graphs of Section 3.1 of Condon &
+// Hu: directed graphs over the operations of a trace whose edges carry
+// inheritance, program-order, ST-order and forced annotations, together
+// with the five edge-annotation constraints, acyclicity testing, node
+// bandwidth (Section 3.2), and the canonical construction of Lemma 3.1
+// that turns a serial reordering into an acyclic constraint graph and an
+// acyclic constraint graph back into a serial reordering.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scverify/internal/trace"
+)
+
+// EdgeKind is a bitmask of edge annotations. An edge may carry zero or more
+// annotations (edge annotation constraint 1).
+type EdgeKind uint8
+
+const (
+	// Inheritance marks an edge from a store to a load that inherits its value.
+	Inheritance EdgeKind = 1 << iota
+	// ProgramOrder marks an edge in some processor's program-order chain.
+	ProgramOrder
+	// StoreOrder marks an edge in some block's total store order.
+	StoreOrder
+	// Forced marks an edge required by constraint 5 (no store to the same
+	// block may sit between a store and a load inheriting from it).
+	Forced
+)
+
+// String renders the annotation set in the paper's edge-label notation,
+// e.g. "po-STo" for a program-order + store-order edge.
+func (k EdgeKind) String() string {
+	if k == 0 {
+		return "plain"
+	}
+	var parts []string
+	if k&Inheritance != 0 {
+		parts = append(parts, "inh")
+	}
+	if k&ProgramOrder != 0 {
+		parts = append(parts, "po")
+	}
+	if k&StoreOrder != 0 {
+		parts = append(parts, "STo")
+	}
+	if k&Forced != 0 {
+		parts = append(parts, "forced")
+	}
+	return strings.Join(parts, "-")
+}
+
+// Edge is a directed, annotated edge between trace positions (0-based).
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// Graph is a constraint graph over the operations of a trace. Nodes are
+// identified by their 0-based position in the trace (the paper numbers
+// them 1..k; we keep Go's convention and translate only when printing).
+type Graph struct {
+	Trace trace.Trace
+	edges map[[2]int]EdgeKind
+	succ  [][]int // adjacency, built lazily; nil when dirty
+}
+
+// New returns an empty constraint graph over the trace.
+func New(t trace.Trace) *Graph {
+	return &Graph{Trace: t, edges: make(map[[2]int]EdgeKind)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.Trace) }
+
+// AddEdge adds the annotations in kind to the edge (from, to), creating it
+// if absent. Self-loops are legal to add (they make the graph cyclic) so
+// the acyclicity check can report them. Out-of-range endpoints panic: they
+// indicate a programming error, not a verification outcome.
+func (g *Graph) AddEdge(from, to int, kind EdgeKind) {
+	if from < 0 || from >= len(g.Trace) || to < 0 || to >= len(g.Trace) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, len(g.Trace)))
+	}
+	g.edges[[2]int{from, to}] |= kind
+	g.succ = nil
+}
+
+// EdgeKindBetween returns the annotation set on edge (from, to), or 0 with
+// ok=false if the edge is absent.
+func (g *Graph) EdgeKindBetween(from, to int) (EdgeKind, bool) {
+	k, ok := g.edges[[2]int{from, to}]
+	return k, ok
+}
+
+// Edges returns all edges sorted by (From, To) for deterministic iteration.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for key, kind := range g.edges {
+		out = append(out, Edge{From: key[0], To: key[1], Kind: kind})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+func (g *Graph) adjacency() [][]int {
+	if g.succ != nil {
+		return g.succ
+	}
+	succ := make([][]int, len(g.Trace))
+	for key := range g.edges {
+		succ[key[0]] = append(succ[key[0]], key[1])
+	}
+	for _, s := range succ {
+		sort.Ints(s)
+	}
+	g.succ = succ
+	return succ
+}
+
+// TopologicalOrder returns a topological order of the nodes and true if the
+// graph is acyclic, or nil and false otherwise. Kahn's algorithm with a
+// smallest-index tie-break keeps the result deterministic.
+func (g *Graph) TopologicalOrder() ([]int, bool) {
+	n := len(g.Trace)
+	succ := g.adjacency()
+	indeg := make([]int, n)
+	for _, outs := range succ {
+		for _, to := range outs {
+			indeg[to]++
+		}
+	}
+	// Min-heap-free variant: repeatedly scan a sorted ready list. n is small
+	// in verification workloads; keep it simple and deterministic.
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		// Pop the smallest ready node.
+		minIdx := 0
+		for i, v := range ready {
+			if v < ready[minIdx] {
+				minIdx = i
+			}
+		}
+		node := ready[minIdx]
+		ready = append(ready[:minIdx], ready[minIdx+1:]...)
+		order = append(order, node)
+		for _, to := range succ[node] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, ok := g.TopologicalOrder()
+	return ok
+}
+
+// FindCycle returns some directed cycle as a node sequence (first node
+// repeated at the end), or nil if the graph is acyclic. Useful for
+// counterexample reporting.
+func (g *Graph) FindCycle() []int {
+	succ := g.adjacency()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Trace))
+	parent := make([]int, len(g.Trace))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range succ[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u -> v; reconstruct the cycle.
+				cycle = []int{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				cycle = append(cycle, v)
+				// Reverse to get forward direction v ... u v.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range color {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Bandwidth returns the node bandwidth of the graph under its trace-order
+// node numbering (Section 3.2): the maximum over all prefixes N_i of the
+// number of nodes in N_i with an edge to or from a node outside N_i. The
+// graph in the paper's Figure 3 has bandwidth 3.
+func (g *Graph) Bandwidth() int {
+	n := len(g.Trace)
+	if n == 0 {
+		return 0
+	}
+	// For each node, the largest index it is adjacent to (either direction).
+	reach := make([]int, n)
+	for i := range reach {
+		reach[i] = -1
+	}
+	for key := range g.edges {
+		a, b := key[0], key[1]
+		if b > reach[a] {
+			reach[a] = b
+		}
+		if a > reach[b] {
+			reach[b] = a
+		}
+	}
+	// Node j ≤ i is "live across the cut after i" iff reach[j] > i. Sweep
+	// the cut left to right, adding node i when it reaches past itself and
+	// expiring nodes whose furthest adjacency is the cut position.
+	expireAt := make([][]int, n)
+	for j, r := range reach {
+		if r > j {
+			expireAt[r] = append(expireAt[r], j)
+		}
+	}
+	max, live := 0, 0
+	for i := 0; i < n-1; i++ {
+		if reach[i] > i {
+			live++
+		}
+		if live > max {
+			max = live
+		}
+		live -= len(expireAt[i+1]) // nodes whose last adjacency is i+1 die after this cut
+	}
+	return max
+}
+
+// String renders the graph in the paper's descriptor-like notation with
+// 1-based node numbers, e.g. "1:ST(P1,B1,1) ... (1,2):inh".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for i, op := range g.Trace {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%d:%s", i+1, op)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, " (%d,%d):%s", e.From+1, e.To+1, e.Kind)
+	}
+	return sb.String()
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"scverify/internal/trace"
+)
+
+// figure3 builds the exact constraint graph of the paper's Figure 3.
+// Nodes (1-based in the paper, 0-based here):
+//
+//	1: ST(P1,B,1)  2: LD(P2,B,1)  3: ST(P1,B,2)  4: LD(P2,B,1)  5: LD(P2,B,2)
+//
+// Edges: (1,2) inh, (1,3) po-STo, (1,4) inh, (2,4) po, (4,3) forced,
+// (3,5) inh, (4,5) po.
+func figure3() *Graph {
+	t := trace.Trace{
+		trace.ST(1, 1, 1),
+		trace.LD(2, 1, 1),
+		trace.ST(1, 1, 2),
+		trace.LD(2, 1, 1),
+		trace.LD(2, 1, 2),
+	}
+	g := New(t)
+	g.AddEdge(0, 1, Inheritance)
+	g.AddEdge(0, 2, ProgramOrder|StoreOrder)
+	g.AddEdge(0, 3, Inheritance)
+	g.AddEdge(1, 3, ProgramOrder)
+	g.AddEdge(3, 2, Forced)
+	g.AddEdge(2, 4, Inheritance)
+	g.AddEdge(3, 4, ProgramOrder)
+	return g
+}
+
+func TestEdgeKindString(t *testing.T) {
+	cases := []struct {
+		k    EdgeKind
+		want string
+	}{
+		{0, "plain"},
+		{Inheritance, "inh"},
+		{ProgramOrder, "po"},
+		{StoreOrder, "STo"},
+		{Forced, "forced"},
+		{ProgramOrder | StoreOrder, "po-STo"},
+		{Inheritance | ProgramOrder, "inh-po"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestFigure3IsAcyclicConstraintGraph(t *testing.T) {
+	g := figure3()
+	if !g.IsAcyclic() {
+		t.Fatal("Figure 3 graph reported cyclic")
+	}
+	if err := g.CheckConstraints(); err != nil {
+		t.Fatalf("Figure 3 graph violates constraints: %v", err)
+	}
+}
+
+func TestFigure3Bandwidth(t *testing.T) {
+	// Section 3.2: "the graph in Figure 3 is 3-node-bandwidth bounded."
+	if bw := figure3().Bandwidth(); bw != 3 {
+		t.Errorf("Figure 3 bandwidth = %d, want 3", bw)
+	}
+}
+
+func TestFigure3SerialReordering(t *testing.T) {
+	g := figure3()
+	r, ok := g.SerialReordering()
+	if !ok {
+		t.Fatal("no serial reordering from acyclic graph")
+	}
+	if !r.IsSerialReordering(g.Trace) {
+		t.Errorf("topological order %v is not a serial reordering of %s", r, g.Trace)
+	}
+}
+
+func TestFigure3ForcedEdgePreventsCycle(t *testing.T) {
+	// The forced edge (4,3) exists precisely because node 4 inherits from
+	// node 1 and node 3 is node 1's ST-order successor. Dropping it must
+	// violate constraint 5a.
+	g := figure3()
+	delete(g.edges, [2]int{3, 2})
+	g.succ = nil
+	if err := g.CheckConstraints(); err == nil {
+		t.Error("missing forced edge not detected")
+	} else if !strings.Contains(err.Error(), "5a") {
+		t.Errorf("wrong violation: %v", err)
+	}
+}
+
+func TestAddEdgeAccumulatesKinds(t *testing.T) {
+	g := New(trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 1, 2)})
+	g.AddEdge(0, 1, ProgramOrder)
+	g.AddEdge(0, 1, StoreOrder)
+	k, ok := g.EdgeKindBetween(0, 1)
+	if !ok || k != ProgramOrder|StoreOrder {
+		t.Errorf("edge kind = %v, ok=%v", k, ok)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(trace.Trace{trace.ST(1, 1, 1)}).AddEdge(0, 1, ProgramOrder)
+}
+
+func TestTopologicalOrderDeterministic(t *testing.T) {
+	g := New(trace.Trace{trace.ST(1, 1, 1), trace.ST(2, 1, 2), trace.ST(3, 1, 3)})
+	g.AddEdge(2, 0, 0)
+	o1, ok1 := g.TopologicalOrder()
+	o2, ok2 := g.TopologicalOrder()
+	if !ok1 || !ok2 {
+		t.Fatal("acyclic graph reported cyclic")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("topological order not deterministic")
+		}
+	}
+	// Smallest-first tie break: 1 before 2, and 2 before 0 (edge 2→0).
+	if o1[0] != 1 || o1[1] != 2 || o1[2] != 0 {
+		t.Errorf("order = %v", o1)
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	g := New(trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 1, 2), trace.ST(1, 1, 3)})
+	if g.FindCycle() != nil {
+		t.Error("cycle found in edgeless graph")
+	}
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("3-cycle not found")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Errorf("cycle %v does not close", cyc)
+	}
+	if len(cyc) != 4 {
+		t.Errorf("cycle length = %d, want 4 (3 nodes + repeat)", len(cyc))
+	}
+	if g.IsAcyclic() {
+		t.Error("cyclic graph reported acyclic")
+	}
+}
+
+func TestFindCycleSelfLoop(t *testing.T) {
+	g := New(trace.Trace{trace.ST(1, 1, 1)})
+	g.AddEdge(0, 0, 0)
+	if cyc := g.FindCycle(); cyc == nil {
+		t.Error("self-loop not found")
+	}
+}
+
+func TestBandwidthEmptyAndSingleton(t *testing.T) {
+	if bw := New(nil).Bandwidth(); bw != 0 {
+		t.Errorf("empty bandwidth = %d", bw)
+	}
+	if bw := New(trace.Trace{trace.ST(1, 1, 1)}).Bandwidth(); bw != 0 {
+		t.Errorf("singleton bandwidth = %d", bw)
+	}
+}
+
+func TestBandwidthChain(t *testing.T) {
+	// A chain 0→1→2→3 has bandwidth 1: only the newest node crosses a cut.
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 1, 2), trace.ST(1, 1, 3), trace.ST(1, 1, 4)}
+	g := New(tr)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i+1, StoreOrder)
+	}
+	if bw := g.Bandwidth(); bw != 1 {
+		t.Errorf("chain bandwidth = %d, want 1", bw)
+	}
+}
+
+func TestBandwidthStar(t *testing.T) {
+	// Node 0 points to every later node: every prefix keeps node 0 live but
+	// nothing else, so bandwidth is still small; the cut after node i has
+	// node 0 live plus nothing else = 1.
+	tr := trace.Trace{trace.ST(1, 1, 1), trace.ST(1, 1, 2), trace.ST(1, 1, 3), trace.ST(1, 1, 4)}
+	g := New(tr)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 2, 0)
+	g.AddEdge(0, 3, 0)
+	if bw := g.Bandwidth(); bw != 1 {
+		t.Errorf("star bandwidth = %d, want 1", bw)
+	}
+	// All-pairs edges among 4 nodes: cut after node 2 has 3 live nodes.
+	g2 := New(tr)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g2.AddEdge(i, j, 0)
+		}
+	}
+	if bw := g2.Bandwidth(); bw != 3 {
+		t.Errorf("clique bandwidth = %d, want 3", bw)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := figure3()
+	edges := g.Edges()
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1].From > edges[i].From ||
+			(edges[i-1].From == edges[i].From && edges[i-1].To >= edges[i].To) {
+			t.Fatalf("edges not sorted: %v", edges)
+		}
+	}
+	if len(edges) != 7 {
+		t.Errorf("Figure 3 has %d edges, want 7", len(edges))
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	s := figure3().String()
+	for _, want := range []string{"1:ST(P1,B1,1)", "(1,3):po-STo", "(4,3):forced"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package litmus provides the classic shared-memory litmus tests (store
+// buffering, message passing, load buffering, IRIW, coherence) as
+// programs, together with a runner that enumerates which outcomes a
+// concrete protocol can actually produce. Comparing a protocol's outcome
+// set with the sequentially consistent outcome set of the same program is
+// the architectural view of what the paper's checker decides trace by
+// trace: an SC protocol's outcomes are exactly a subset of the SC set,
+// while the store buffer exhibits the forbidden outcomes.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+
+	"scverify/internal/memmodel"
+	"scverify/internal/protocol"
+)
+
+// Test is a named litmus test with its expected classification under SC.
+type Test struct {
+	Name string
+	Prog memmodel.Program
+	// ForbiddenSC lists canonical outcomes sequential consistency excludes
+	// (the interesting ones relaxed models admit).
+	ForbiddenSC []string
+}
+
+// Suite returns the classic tests. Blocks: x=1, y=2. All values stored
+// are 1; registers are named per test convention.
+func Suite() []Test {
+	st := memmodel.St
+	ld := memmodel.Ld
+	return []Test{
+		{
+			// SB: both processors buffer their stores and read the other's
+			// stale ⊥. Allowed by TSO, forbidden by SC.
+			Name: "SB",
+			Prog: memmodel.Program{Threads: [][]memmodel.Stmt{
+				{st(1, 1), ld(2, "r1")},
+				{st(2, 1), ld(1, "r2")},
+			}},
+			ForbiddenSC: []string{"r1=0 r2=0"},
+		},
+		{
+			// MP: if the flag (y) is seen, the data (x) must be too.
+			Name: "MP",
+			Prog: memmodel.Program{Threads: [][]memmodel.Stmt{
+				{st(1, 1), st(2, 1)},
+				{ld(2, "r1"), ld(1, "r2")},
+			}},
+			ForbiddenSC: []string{"r1=1 r2=0"},
+		},
+		{
+			// LB: neither load may observe the other thread's later store.
+			Name: "LB",
+			Prog: memmodel.Program{Threads: [][]memmodel.Stmt{
+				{ld(1, "r1"), st(2, 1)},
+				{ld(2, "r2"), st(1, 1)},
+			}},
+			ForbiddenSC: []string{"r1=1 r2=1"},
+		},
+		{
+			// CoRR: two reads of the same block by one processor may not
+			// observe a store and then its absence.
+			Name: "CoRR",
+			Prog: memmodel.Program{Threads: [][]memmodel.Stmt{
+				{st(1, 1)},
+				{ld(1, "r1"), ld(1, "r2")},
+			}},
+			ForbiddenSC: []string{"r1=1 r2=0"},
+		},
+		{
+			// IRIW: independent readers must agree on the order of
+			// independent writes.
+			Name: "IRIW",
+			Prog: memmodel.Program{Threads: [][]memmodel.Stmt{
+				{st(1, 1)},
+				{st(2, 1)},
+				{ld(1, "r1"), ld(2, "r2")},
+				{ld(2, "r3"), ld(1, "r4")},
+			}},
+			ForbiddenSC: []string{"r1=1 r2=0 r3=1 r4=0"},
+		},
+	}
+}
+
+// VerifySuiteAgainstSC checks that the enumerated SC outcome set of each
+// test excludes exactly its forbidden outcomes. It is a self-test of the
+// suite's classifications.
+func VerifySuiteAgainstSC() error {
+	for _, t := range Suite() {
+		sc := map[string]bool{}
+		for _, o := range memmodel.OutcomeStrings(t.Prog.SCOutcomes()) {
+			sc[o] = true
+		}
+		for _, f := range t.ForbiddenSC {
+			if sc[f] {
+				return fmt.Errorf("litmus: %s: outcome %q is SC-reachable but classified forbidden", t.Name, f)
+			}
+		}
+	}
+	return nil
+}
+
+// runnerState is a node of the protocol-level outcome exploration.
+type runnerState struct {
+	pstate protocol.State
+	next   []int // statement index per thread
+	out    memmodel.Outcome
+}
+
+func (s runnerState) key() string {
+	k := s.pstate.Key() + "|"
+	for _, n := range s.next {
+		k += fmt.Sprintf("%d,", n)
+	}
+	return k + "|" + s.out.String()
+}
+
+// Outcomes enumerates every final register assignment the protocol can
+// produce for the program: each thread executes its statements in program
+// order on its processor (thread i is processor i+1), memory operations
+// must match the next pending statement, and internal protocol actions
+// interleave freely. Exploration is bounded by maxStates to keep broken
+// or highly concurrent protocols from exploding; hitting the bound
+// returns an error.
+func Outcomes(p protocol.Protocol, prog memmodel.Program, maxStates int) ([]memmodel.Outcome, error) {
+	if len(prog.Threads) > p.Params().Procs {
+		return nil, fmt.Errorf("litmus: program needs %d processors, protocol has %d",
+			len(prog.Threads), p.Params().Procs)
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	start := runnerState{
+		pstate: p.Initial(),
+		next:   make([]int, len(prog.Threads)),
+		out:    memmodel.Outcome{},
+	}
+	seen := map[string]bool{start.key(): true}
+	queue := []runnerState{start}
+	final := map[string]memmodel.Outcome{}
+
+	for len(queue) > 0 {
+		if len(seen) > maxStates {
+			return nil, fmt.Errorf("litmus: exploration exceeded %d states", maxStates)
+		}
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		done := true
+		for th := range prog.Threads {
+			if cur.next[th] < len(prog.Threads[th]) {
+				done = false
+			}
+		}
+		if done {
+			final[cur.out.String()] = cloneOutcome(cur.out)
+			// Internal actions after completion cannot change registers.
+			continue
+		}
+
+		for _, tr := range p.Transitions(cur.pstate) {
+			ns, ok := advance(prog, cur, tr)
+			if !ok {
+				continue
+			}
+			k := ns.key()
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(final))
+	for k := range final {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	outs := make([]memmodel.Outcome, len(keys))
+	for i, k := range keys {
+		outs[i] = final[k]
+	}
+	return outs, nil
+}
+
+// advance applies one protocol transition to the runner state if it is
+// consistent with the program: internal actions always apply; memory
+// operations must be the issuing processor's next statement (with
+// matching kind, block, and for stores the stored value).
+func advance(prog memmodel.Program, cur runnerState, tr protocol.Transition) (runnerState, bool) {
+	if !tr.Action.IsMem() {
+		return runnerState{pstate: tr.Next, next: cur.next, out: cur.out}, true
+	}
+	op := *tr.Action.Op
+	th := int(op.Proc) - 1
+	if th < 0 || th >= len(prog.Threads) {
+		return runnerState{}, false // processors beyond the program stay idle
+	}
+	if cur.next[th] >= len(prog.Threads[th]) {
+		return runnerState{}, false
+	}
+	stmt := prog.Threads[th][cur.next[th]]
+	if stmt.IsStore != op.IsStore() || stmt.Block != op.Block {
+		return runnerState{}, false
+	}
+	if stmt.IsStore && stmt.Value != op.Value {
+		return runnerState{}, false
+	}
+	next := append([]int(nil), cur.next...)
+	next[th]++
+	out := cloneOutcome(cur.out)
+	if !stmt.IsStore {
+		out[stmt.Reg] = op.Value
+	}
+	return runnerState{pstate: tr.Next, next: next, out: out}, true
+}
+
+func cloneOutcome(o memmodel.Outcome) memmodel.Outcome {
+	c := memmodel.Outcome{}
+	for k, v := range o {
+		c[k] = v
+	}
+	return c
+}
+
+// Classify compares a protocol's outcome set for a test against the SC
+// set: Extra lists protocol outcomes SC forbids (evidence of non-SC);
+// Missing lists SC outcomes the protocol cannot produce (incompleteness
+// of the implementation, legal but informative).
+type Classification struct {
+	Test     string
+	Outcomes []string
+	Extra    []string
+	Missing  []string
+}
+
+// ClassifyProtocol runs one test on the protocol and classifies the
+// result.
+func ClassifyProtocol(p protocol.Protocol, t Test, maxStates int) (Classification, error) {
+	got, err := Outcomes(p, t.Prog, maxStates)
+	if err != nil {
+		return Classification{}, fmt.Errorf("litmus %s on %s: %w", t.Name, p.Name(), err)
+	}
+	gotSet := map[string]bool{}
+	c := Classification{Test: t.Name}
+	for _, o := range memmodel.OutcomeStrings(got) {
+		gotSet[o] = true
+		c.Outcomes = append(c.Outcomes, o)
+	}
+	scSet := map[string]bool{}
+	for _, o := range memmodel.OutcomeStrings(t.Prog.SCOutcomes()) {
+		scSet[o] = true
+		if !gotSet[o] {
+			c.Missing = append(c.Missing, o)
+		}
+	}
+	for o := range gotSet {
+		if !scSet[o] {
+			c.Extra = append(c.Extra, o)
+		}
+	}
+	sort.Strings(c.Extra)
+	sort.Strings(c.Missing)
+	return c, nil
+}

@@ -1,0 +1,156 @@
+package litmus_test
+
+import (
+	"reflect"
+	"testing"
+
+	"scverify/internal/litmus"
+	"scverify/internal/memmodel"
+	"scverify/internal/protocols/msibus"
+	"scverify/internal/protocols/serial"
+	"scverify/internal/protocols/storebuffer"
+	"scverify/internal/protocols/writethrough"
+	"scverify/internal/trace"
+)
+
+func TestSuiteClassificationsAgainstSC(t *testing.T) {
+	if err := litmus.VerifySuiteAgainstSC(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteHasClassicTests(t *testing.T) {
+	names := map[string]bool{}
+	for _, tc := range litmus.Suite() {
+		names[tc.Name] = true
+	}
+	for _, want := range []string{"SB", "MP", "LB", "CoRR", "IRIW"} {
+		if !names[want] {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+}
+
+func params(procs int) trace.Params {
+	return trace.Params{Procs: procs, Blocks: 2, Values: 1}
+}
+
+func TestSerialMemoryMatchesSCOnAllTests(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		p := serial.New(params(len(tc.Prog.Threads)))
+		c, err := litmus.ClassifyProtocol(p, tc, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Extra) != 0 {
+			t.Errorf("%s: serial memory produced non-SC outcomes %v", tc.Name, c.Extra)
+		}
+		if len(c.Missing) != 0 {
+			t.Errorf("%s: serial memory missing SC outcomes %v", tc.Name, c.Missing)
+		}
+	}
+}
+
+func TestMSIMatchesSCOnAllTests(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		if tc.Name == "IRIW" {
+			continue // 4 processors: state space too large for a unit test
+		}
+		p := msibus.New(params(len(tc.Prog.Threads)))
+		c, err := litmus.ClassifyProtocol(p, tc, 1<<19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Extra) != 0 {
+			t.Errorf("%s: MSI produced non-SC outcomes %v", tc.Name, c.Extra)
+		}
+		if len(c.Missing) != 0 {
+			t.Errorf("%s: MSI missing SC outcomes %v", tc.Name, c.Missing)
+		}
+	}
+}
+
+func TestStoreBufferExhibitsSBButNotLB(t *testing.T) {
+	suite := map[string]litmus.Test{}
+	for _, tc := range litmus.Suite() {
+		suite[tc.Name] = tc
+	}
+	p := storebuffer.New(params(2), 1)
+
+	sb, err := litmus.ClassifyProtocol(p, suite["SB"], 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sb.Extra, []string{"r1=0 r2=0"}) {
+		t.Errorf("SB extra outcomes = %v, want the store-buffering outcome", sb.Extra)
+	}
+
+	// TSO never reorders loads with later stores: LB stays SC-clean.
+	lb, err := litmus.ClassifyProtocol(p, suite["LB"], 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb.Extra) != 0 {
+		t.Errorf("LB extra outcomes = %v, want none under TSO", lb.Extra)
+	}
+
+	// MP also stays clean under TSO (stores drain in order).
+	mp, err := litmus.ClassifyProtocol(p, suite["MP"], 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Extra) != 0 {
+		t.Errorf("MP extra outcomes = %v, want none under TSO", mp.Extra)
+	}
+}
+
+func TestFencedStoreBufferCleanOnSB(t *testing.T) {
+	suite := map[string]litmus.Test{}
+	for _, tc := range litmus.Suite() {
+		suite[tc.Name] = tc
+	}
+	p := storebuffer.NewFenced(params(2), 1)
+	sb, err := litmus.ClassifyProtocol(p, suite["SB"], 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Extra) != 0 {
+		t.Errorf("fenced SB extra outcomes = %v, want none", sb.Extra)
+	}
+}
+
+func TestBuggyWriteThroughExhibitsMP(t *testing.T) {
+	suite := map[string]litmus.Test{}
+	for _, tc := range litmus.Suite() {
+		suite[tc.Name] = tc
+	}
+	p := writethrough.NewBuggy(params(2))
+	mp, err := litmus.ClassifyProtocol(p, suite["MP"], 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range mp.Extra {
+		if o == "r1=1 r2=0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no-invalidate write-through did not exhibit the MP violation: extra=%v outcomes=%v",
+			mp.Extra, mp.Outcomes)
+	}
+}
+
+func TestOutcomesErrors(t *testing.T) {
+	p := serial.New(trace.Params{Procs: 1, Blocks: 2, Values: 1})
+	prog := memmodel.Program{Threads: [][]memmodel.Stmt{
+		{memmodel.St(1, 1)}, {memmodel.Ld(1, "r1")},
+	}}
+	if _, err := litmus.Outcomes(p, prog, 0); err == nil {
+		t.Error("program wider than protocol accepted")
+	}
+	p2 := serial.New(trace.Params{Procs: 2, Blocks: 2, Values: 1})
+	if _, err := litmus.Outcomes(p2, prog, 3); err == nil {
+		t.Error("state bound not enforced")
+	}
+}

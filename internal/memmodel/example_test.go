@@ -1,0 +1,20 @@
+package memmodel_test
+
+import (
+	"fmt"
+
+	"scverify/internal/memmodel"
+)
+
+// The Figure 1 message-passing program: SC forbids seeing the flag but
+// not the data.
+func ExampleProgram_sCOutcomes() {
+	p := memmodel.Figure1()
+	for _, o := range p.SCOutcomes() {
+		fmt.Println(o)
+	}
+	// Output:
+	// r1=0 r2=0
+	// r1=1 r2=0
+	// r1=1 r2=2
+}

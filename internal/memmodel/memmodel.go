@@ -1,0 +1,349 @@
+// Package memmodel enumerates the outcomes of small multi-threaded
+// programs under the three memory models contrasted in Figure 1 of Condon
+// & Hu: serial memory (operations execute atomically in a given real-time
+// schedule), sequential consistency (any interleaving respecting program
+// order), and a TSO-style relaxed model with store buffers (the "more
+// relaxed models" of the figure, which permit the outcome SC forbids).
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scverify/internal/trace"
+)
+
+// Stmt is one statement of a litmus-test thread: a store of a constant to
+// a block, or a load of a block into a named register.
+type Stmt struct {
+	IsStore bool
+	Block   trace.BlockID
+	Value   trace.Value // stores only
+	Reg     string      // loads only
+}
+
+// St builds a store statement.
+func St(b trace.BlockID, v trace.Value) Stmt { return Stmt{IsStore: true, Block: b, Value: v} }
+
+// Ld builds a load statement into register reg.
+func Ld(b trace.BlockID, reg string) Stmt { return Stmt{Block: b, Reg: reg} }
+
+// Program is a litmus test: one statement list per thread.
+type Program struct {
+	Threads [][]Stmt
+}
+
+// Outcome maps register names to loaded values, rendered canonically.
+type Outcome map[string]trace.Value
+
+// String renders the outcome deterministically, e.g. "r1=0 r2=2" with ⊥
+// shown as 0.
+func (o Outcome) String() string {
+	regs := make([]string, 0, len(o))
+	for r := range o {
+		regs = append(regs, r)
+	}
+	sort.Strings(regs)
+	parts := make([]string, len(regs))
+	for i, r := range regs {
+		parts[i] = fmt.Sprintf("%s=%d", r, o[r])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Figure1 is the message-passing program of the paper's Figure 1: x is
+// block 1, y is block 2; P1 stores x←1 then y←2, P2 loads y into r2 then
+// x into r1. Under serial memory (schedule 0,0,1,1) the outcome is
+// r1=1,r2=2; SC additionally allows r1=0,r2=0 and r1=1,r2=0; relaxed
+// models also allow r1=0,r2=2.
+func Figure1() Program {
+	return Program{Threads: [][]Stmt{
+		{St(1, 1), St(2, 2)},
+		{Ld(2, "r2"), Ld(1, "r1")},
+	}}
+}
+
+// SerialOutcome executes the program atomically under the given real-time
+// schedule: schedule[i] names the thread (0-based) whose next statement
+// runs at step i. The outcome is unique. An error is returned if the
+// schedule does not enumerate every statement exactly once.
+func (p Program) SerialOutcome(schedule []int) (Outcome, error) {
+	total := 0
+	for _, th := range p.Threads {
+		total += len(th)
+	}
+	if len(schedule) != total {
+		return nil, fmt.Errorf("memmodel: schedule length %d, want %d", len(schedule), total)
+	}
+	mem := map[trace.BlockID]trace.Value{}
+	next := make([]int, len(p.Threads))
+	out := Outcome{}
+	for i, th := range schedule {
+		if th < 0 || th >= len(p.Threads) || next[th] >= len(p.Threads[th]) {
+			return nil, fmt.Errorf("memmodel: schedule step %d names exhausted thread %d", i, th)
+		}
+		s := p.Threads[th][next[th]]
+		next[th]++
+		if s.IsStore {
+			mem[s.Block] = s.Value
+		} else {
+			out[s.Reg] = mem[s.Block]
+		}
+	}
+	return out, nil
+}
+
+// SCOutcomes enumerates every outcome reachable under sequential
+// consistency: all interleavings preserving each thread's program order,
+// deduplicated and sorted by canonical string.
+func (p Program) SCOutcomes() []Outcome {
+	seen := map[string]Outcome{}
+	next := make([]int, len(p.Threads))
+	mem := map[trace.BlockID]trace.Value{}
+	out := Outcome{}
+	var rec func()
+	rec = func() {
+		done := true
+		for th := range p.Threads {
+			if next[th] >= len(p.Threads[th]) {
+				continue
+			}
+			done = false
+			s := p.Threads[th][next[th]]
+			next[th]++
+			if s.IsStore {
+				old, had := mem[s.Block]
+				mem[s.Block] = s.Value
+				rec()
+				if had {
+					mem[s.Block] = old
+				} else {
+					delete(mem, s.Block)
+				}
+			} else {
+				old, had := out[s.Reg]
+				out[s.Reg] = mem[s.Block]
+				rec()
+				if had {
+					out[s.Reg] = old
+				} else {
+					delete(out, s.Reg)
+				}
+			}
+			next[th]--
+		}
+		if done {
+			key := out.String()
+			if _, ok := seen[key]; !ok {
+				cp := Outcome{}
+				for k, v := range out {
+					cp[k] = v
+				}
+				seen[key] = cp
+			}
+		}
+	}
+	rec()
+	return sortedOutcomes(seen)
+}
+
+// tsoState is an exploration state of the store-buffer machine.
+type tsoState struct {
+	next []int
+	bufs [][]Stmt // buffered stores per thread
+	mem  map[trace.BlockID]trace.Value
+	out  Outcome
+}
+
+func (s tsoState) clone() tsoState {
+	n := tsoState{
+		next: append([]int(nil), s.next...),
+		bufs: make([][]Stmt, len(s.bufs)),
+		mem:  map[trace.BlockID]trace.Value{},
+		out:  Outcome{},
+	}
+	for i, b := range s.bufs {
+		n.bufs[i] = append([]Stmt(nil), b...)
+	}
+	for k, v := range s.mem {
+		n.mem[k] = v
+	}
+	for k, v := range s.out {
+		n.out[k] = v
+	}
+	return n
+}
+
+// TSOOutcomes enumerates every outcome reachable with per-thread FIFO
+// store buffers and load forwarding — the relaxed model of Figure 1's
+// caption, under which the loads effectively execute out of order.
+func (p Program) TSOOutcomes() []Outcome {
+	seen := map[string]Outcome{}
+	var explore func(s tsoState)
+	explore = func(s tsoState) {
+		progressed := false
+		for th := range p.Threads {
+			// Drain one buffered store to memory.
+			if len(s.bufs[th]) > 0 {
+				progressed = true
+				n := s.clone()
+				head := n.bufs[th][0]
+				n.bufs[th] = n.bufs[th][1:]
+				n.mem[head.Block] = head.Value
+				explore(n)
+			}
+			// Execute the thread's next statement.
+			if s.next[th] < len(p.Threads[th]) {
+				progressed = true
+				stmt := p.Threads[th][s.next[th]]
+				n := s.clone()
+				n.next[th]++
+				if stmt.IsStore {
+					n.bufs[th] = append(n.bufs[th], stmt)
+				} else {
+					v, fwd := trace.Value(0), false
+					for i := len(n.bufs[th]) - 1; i >= 0; i-- {
+						if n.bufs[th][i].Block == stmt.Block {
+							v, fwd = n.bufs[th][i].Value, true
+							break
+						}
+					}
+					if !fwd {
+						v = n.mem[stmt.Block]
+					}
+					n.out[stmt.Reg] = v
+				}
+				explore(n)
+			}
+		}
+		if !progressed {
+			key := s.out.String()
+			if _, ok := seen[key]; !ok {
+				seen[key] = s.out
+			}
+		}
+	}
+	init := tsoState{
+		next: make([]int, len(p.Threads)),
+		bufs: make([][]Stmt, len(p.Threads)),
+		mem:  map[trace.BlockID]trace.Value{},
+		out:  Outcome{},
+	}
+	explore(init)
+	return sortedOutcomes(seen)
+}
+
+// RelaxedOutcomes enumerates outcomes when each thread may execute its
+// statements fully out of order (no program-order enforcement at all, but
+// each statement still executes atomically on memory). This is the "more
+// relaxed models" of Figure 1's caption, which "permit ignoring program
+// order in certain circumstances, allowing the two loads to execute
+// out-of-order" — TSO alone keeps loads in order and cannot produce the
+// figure's fourth outcome.
+func (p Program) RelaxedOutcomes() []Outcome {
+	seen := map[string]Outcome{}
+	executed := make([][]bool, len(p.Threads))
+	for i, th := range p.Threads {
+		executed[i] = make([]bool, len(th))
+	}
+	mem := map[trace.BlockID]trace.Value{}
+	out := Outcome{}
+	remaining := 0
+	for _, th := range p.Threads {
+		remaining += len(th)
+	}
+	var rec func()
+	rec = func() {
+		if remaining == 0 {
+			key := out.String()
+			if _, ok := seen[key]; !ok {
+				cp := Outcome{}
+				for k, v := range out {
+					cp[k] = v
+				}
+				seen[key] = cp
+			}
+			return
+		}
+		for th := range p.Threads {
+			for i, s := range p.Threads[th] {
+				if executed[th][i] {
+					continue
+				}
+				executed[th][i] = true
+				remaining--
+				if s.IsStore {
+					old, had := mem[s.Block]
+					mem[s.Block] = s.Value
+					rec()
+					if had {
+						mem[s.Block] = old
+					} else {
+						delete(mem, s.Block)
+					}
+				} else {
+					old, had := out[s.Reg]
+					out[s.Reg] = mem[s.Block]
+					rec()
+					if had {
+						out[s.Reg] = old
+					} else {
+						delete(out, s.Reg)
+					}
+				}
+				remaining++
+				executed[th][i] = false
+			}
+		}
+	}
+	rec()
+	return sortedOutcomes(seen)
+}
+
+func sortedOutcomes(seen map[string]Outcome) []Outcome {
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Outcome, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// OutcomeStrings renders a list of outcomes canonically.
+func OutcomeStrings(os []Outcome) []string {
+	out := make([]string, len(os))
+	for i, o := range os {
+		out[i] = o.String()
+	}
+	return out
+}
+
+// Trace converts a complete interleaving of the program (thread index per
+// step) into a memory-operation trace, with loads returning the values a
+// serial execution of that interleaving yields. It bridges litmus
+// programs to the trace-level SC decision procedure.
+func (p Program) Trace(schedule []int) (trace.Trace, error) {
+	mem := map[trace.BlockID]trace.Value{}
+	next := make([]int, len(p.Threads))
+	var tr trace.Trace
+	for i, th := range schedule {
+		if th < 0 || th >= len(p.Threads) || next[th] >= len(p.Threads[th]) {
+			return nil, fmt.Errorf("memmodel: schedule step %d names exhausted thread %d", i, th)
+		}
+		s := p.Threads[th][next[th]]
+		next[th]++
+		proc := trace.ProcID(th + 1)
+		if s.IsStore {
+			mem[s.Block] = s.Value
+			tr = append(tr, trace.ST(proc, s.Block, s.Value))
+		} else {
+			tr = append(tr, trace.LD(proc, s.Block, mem[s.Block]))
+		}
+	}
+	return tr, nil
+}

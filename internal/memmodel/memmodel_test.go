@@ -1,0 +1,160 @@
+package memmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"scverify/internal/trace"
+)
+
+func TestFigure1SerialOutcome(t *testing.T) {
+	// Figure 1's real-time order: P1, P1, P2, P2 → r1=1, r2=2.
+	out, err := Figure1().SerialOutcome([]int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "r1=1 r2=2" {
+		t.Errorf("serial outcome = %s, want r1=1 r2=2", out)
+	}
+}
+
+func TestFigure1SCOutcomes(t *testing.T) {
+	// Figure 1: SC allows r1=1,r2=2; r1=0,r2=0; r1=1,r2=0 — but not
+	// r1=0,r2=2.
+	got := OutcomeStrings(Figure1().SCOutcomes())
+	want := []string{"r1=0 r2=0", "r1=1 r2=0", "r1=1 r2=2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SC outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestFigure1RelaxedOutcomes(t *testing.T) {
+	// The relaxed model (loads out of order) additionally allows r1=0,
+	// r2=2 per the caption.
+	got := OutcomeStrings(Figure1().RelaxedOutcomes())
+	found := false
+	for _, o := range got {
+		if o == "r1=0 r2=2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("relaxed outcomes %v missing r1=0 r2=2", got)
+	}
+	relaxed := map[string]bool{}
+	for _, o := range got {
+		relaxed[o] = true
+	}
+	for _, o := range OutcomeStrings(Figure1().SCOutcomes()) {
+		if !relaxed[o] {
+			t.Errorf("SC outcome %q missing from relaxed set", o)
+		}
+	}
+}
+
+func TestFigure1TSOKeepsLoadsInOrder(t *testing.T) {
+	// TSO (store buffers only) cannot produce the message-passing
+	// violation: loads stay in program order.
+	sc := map[string]bool{}
+	for _, o := range OutcomeStrings(Figure1().SCOutcomes()) {
+		sc[o] = true
+	}
+	for _, o := range OutcomeStrings(Figure1().TSOOutcomes()) {
+		if !sc[o] {
+			t.Errorf("TSO produced non-SC outcome %q on message passing", o)
+		}
+	}
+}
+
+func TestStoreBufferingLitmus(t *testing.T) {
+	// SB: P1: x←1; r1=y. P2: y←1; r2=x. SC forbids r1=0 ∧ r2=0; TSO
+	// allows it.
+	sb := Program{Threads: [][]Stmt{
+		{St(1, 1), Ld(2, "r1")},
+		{St(2, 1), Ld(1, "r2")},
+	}}
+	for _, o := range OutcomeStrings(sb.SCOutcomes()) {
+		if o == "r1=0 r2=0" {
+			t.Error("SC allowed the store-buffering outcome")
+		}
+	}
+	found := false
+	for _, o := range OutcomeStrings(sb.TSOOutcomes()) {
+		if o == "r1=0 r2=0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("TSO did not produce the store-buffering outcome")
+	}
+}
+
+func TestSerialOutcomeErrors(t *testing.T) {
+	p := Figure1()
+	if _, err := p.SerialOutcome([]int{0, 0}); err == nil {
+		t.Error("short schedule accepted")
+	}
+	if _, err := p.SerialOutcome([]int{0, 0, 0, 1}); err == nil {
+		t.Error("exhausted-thread schedule accepted")
+	}
+}
+
+func TestTraceBridge(t *testing.T) {
+	// Every SC interleaving's trace must have a serial reordering (itself).
+	p := Figure1()
+	tr, err := p.Trace([]int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 4 {
+		t.Fatalf("trace length = %d", len(tr))
+	}
+	if !trace.HasSerialReordering(tr) {
+		t.Errorf("interleaving trace not SC: %s", tr)
+	}
+	if _, err := p.Trace([]int{0, 0, 0, 0}); err == nil {
+		t.Error("bad schedule accepted")
+	}
+}
+
+func TestSCOutcomesAgreeWithTraceDecision(t *testing.T) {
+	// Cross-validation: an outcome is SC-reachable iff some complete
+	// interleaving produces it; and every serial interleaving trace is SC
+	// by the trace-level decision procedure. Enumerate all interleavings
+	// of Figure 1 and compare outcome sets.
+	p := Figure1()
+	want := map[string]bool{}
+	var rec func(sched []int, used []int)
+	total := 4
+	rec = func(sched, used []int) {
+		if len(sched) == total {
+			out, err := p.SerialOutcome(sched)
+			if err == nil {
+				want[out.String()] = true
+			}
+			return
+		}
+		for th := 0; th < 2; th++ {
+			if used[th] < len(p.Threads[th]) {
+				used[th]++
+				rec(append(sched, th), used)
+				used[th]--
+			}
+		}
+	}
+	rec(nil, []int{0, 0})
+	got := map[string]bool{}
+	for _, o := range OutcomeStrings(p.SCOutcomes()) {
+		got[o] = true
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SCOutcomes = %v, interleaving enumeration = %v", got, want)
+	}
+}
+
+func TestOutcomeStringDeterministic(t *testing.T) {
+	o := Outcome{"r2": 2, "r1": 1}
+	if o.String() != "r1=1 r2=2" {
+		t.Errorf("outcome string = %q", o.String())
+	}
+}

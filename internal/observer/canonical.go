@@ -1,0 +1,124 @@
+package observer
+
+import (
+	"sort"
+
+	"scverify/internal/trace"
+)
+
+// RoleGenerator is implemented by ST-order generators that hold node
+// handles in their state; visiting them in a fixed role order lets the
+// observer compute a history-independent canonical ID renaming.
+type RoleGenerator interface {
+	Roles(visit func(NodeHandle))
+}
+
+// Roles visits the RealTime generator's per-block last stores in block
+// order.
+func (g *RealTime) Roles(visit func(NodeHandle)) {
+	blocks := make([]int, 0, len(g.last))
+	for b := range g.last {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		visit(g.last[trace.BlockID(b)])
+	}
+}
+
+// CanonicalRename computes a permutation of descriptor IDs that depends
+// only on the observer's abstract state, not on the history of pool
+// allocations: live nodes are numbered by a fixed traversal of the
+// observer's roles (locations, program-order tails, first stores, pending
+// ⊥-loads, generator roles, then successors and pending loads of already-
+// numbered nodes), and free IDs are numbered by their pop order. The
+// returned slice maps raw ID → canonical ID for 1..poolSize, with the
+// reserved release ID mapped to itself. Renaming the observer's and
+// checker's state keys through this permutation makes runs that differ
+// only in allocation history collide in the model checker's visited set.
+func (o *Observer) CanonicalRename() []int {
+	pi := make([]int, o.poolSize+2)
+	next := 1
+	queue := make([]*onode, 0, len(o.nodes))
+	name := func(n *onode) {
+		if n == nil || pi[n.id] != 0 {
+			return
+		}
+		pi[n.id] = next
+		next++
+		queue = append(queue, n)
+	}
+
+	for _, n := range o.locToNode[1:] {
+		name(n)
+	}
+	procs := make([]int, 0, len(o.lastOp))
+	for p := range o.lastOp {
+		procs = append(procs, int(p))
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		name(o.lastOp[trace.ProcID(p)])
+	}
+	blocks := make([]int, 0, len(o.firstSt))
+	for b := range o.firstSt {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		name(o.firstSt[trace.BlockID(b)])
+	}
+	bkeys := make([][2]int, 0, len(o.bottoms))
+	for k := range o.bottoms {
+		bkeys = append(bkeys, k)
+	}
+	sort.Slice(bkeys, func(i, j int) bool {
+		if bkeys[i][0] != bkeys[j][0] {
+			return bkeys[i][0] < bkeys[j][0]
+		}
+		return bkeys[i][1] < bkeys[j][1]
+	})
+	for _, k := range bkeys {
+		name(o.bottoms[k])
+	}
+	if rg, ok := o.gen.(RoleGenerator); ok {
+		rg.Roles(func(h NodeHandle) {
+			if n, ok := o.nodes[h]; ok {
+				name(n)
+			}
+		})
+	}
+	// Breadth-first closure over structural references.
+	for i := 0; i < len(queue); i++ {
+		n := queue[i]
+		name(n.stSucc)
+		if n.pending != nil {
+			ps := make([]int, 0, len(n.pending))
+			for p := range n.pending {
+				ps = append(ps, int(p))
+			}
+			sort.Ints(ps)
+			for _, p := range ps {
+				name(n.pending[trace.ProcID(p)])
+			}
+		}
+	}
+	// Free IDs in pop order (top of stack allocates first).
+	for i := len(o.freeIDs) - 1; i >= 0; i-- {
+		id := o.freeIDs[i]
+		if pi[id] == 0 {
+			pi[id] = next
+			next++
+		}
+	}
+	// Defensive: any remaining raw IDs (should not occur — every live node
+	// is reachable from a role, every dead ID is in the free pool).
+	for id := 1; id <= o.poolSize; id++ {
+		if pi[id] == 0 {
+			pi[id] = next
+			next++
+		}
+	}
+	pi[o.poolSize+1] = o.poolSize + 1
+	return pi
+}

@@ -1,0 +1,88 @@
+package observer
+
+import (
+	"scverify/internal/descriptor"
+	"scverify/internal/trace"
+)
+
+// CloneableGenerator is an STOrderGenerator that supports deep copying;
+// required when the observer itself is cloned (as the model checker does
+// at every branch point).
+type CloneableGenerator interface {
+	STOrderGenerator
+	Clone() STOrderGenerator
+}
+
+// Clone returns a deep copy of the RealTime generator.
+func (g *RealTime) Clone() STOrderGenerator {
+	out := NewRealTime()
+	for b, h := range g.last {
+		out.last[b] = h
+	}
+	return out
+}
+
+// Clone returns a deep copy of the observer whose emitted symbols go to
+// the given sink. The generator must implement CloneableGenerator.
+func (o *Observer) Clone(emit func(descriptor.Symbol) error) *Observer {
+	cg, ok := o.gen.(CloneableGenerator)
+	if !ok {
+		panic("observer: generator does not support Clone")
+	}
+	out := &Observer{
+		proto:      o.proto,
+		gen:        cg.Clone(),
+		emit:       emit,
+		poolSize:   o.poolSize,
+		freeIDs:    append([]int(nil), o.freeIDs...),
+		nodes:      make(map[NodeHandle]*onode, len(o.nodes)),
+		nextHandle: o.nextHandle,
+		locToNode:  make([]*onode, len(o.locToNode)),
+		lastOp:     make(map[trace.ProcID]*onode, len(o.lastOp)),
+		firstSt:    make(map[trace.BlockID]*onode, len(o.firstSt)),
+		bottoms:    make(map[[2]int]*onode, len(o.bottoms)),
+		traceLen:   o.traceLen,
+		stats:      o.stats,
+		err:        o.err,
+	}
+	nodeMap := make(map[*onode]*onode, len(o.nodes))
+	var copyNode func(n *onode) *onode
+	copyNode = func(n *onode) *onode {
+		if n == nil {
+			return nil
+		}
+		if cp, ok := nodeMap[n]; ok {
+			return cp
+		}
+		cp := &onode{
+			h: n.h, op: n.op, id: n.id,
+			locRefs: n.locRefs, pins: n.pins,
+			stIn: n.stIn, succPinned: n.succPinned,
+		}
+		nodeMap[n] = cp
+		cp.stSucc = copyNode(n.stSucc)
+		if n.pending != nil {
+			cp.pending = make(map[trace.ProcID]*onode, len(n.pending))
+			for p, l := range n.pending {
+				cp.pending[p] = copyNode(l)
+			}
+		}
+		return cp
+	}
+	for h, n := range o.nodes {
+		out.nodes[h] = copyNode(n)
+	}
+	for i, n := range o.locToNode {
+		out.locToNode[i] = copyNode(n)
+	}
+	for p, n := range o.lastOp {
+		out.lastOp[p] = copyNode(n)
+	}
+	for b, n := range o.firstSt {
+		out.firstSt[b] = copyNode(n)
+	}
+	for k, n := range o.bottoms {
+		out.bottoms[k] = copyNode(n)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package observer
+
+import (
+	"fmt"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/protocol"
+)
+
+// InheritanceObserver is the literal generator of Lemma 4.1: it emits a
+// descriptor of the *inheritance graph* of a run, using the protocol's
+// storage-location numbers directly as node IDs — a store with tracking
+// label l becomes a node with ID l; a copy from location c to location l
+// becomes add-ID(c,l); a load with tracking label l becomes a node with ID
+// L+1 and an inheritance edge (l, L+1). The full witness observer
+// (Observer) supersedes this construction; this one exists to reproduce
+// the paper's Section 4.1 example (Figure 4) and to test the add-ID
+// semantics end to end.
+//
+// ID L+2 is reserved and never bound; add-ID(L+2, l) therefore releases
+// location l's ID, modelling invalidation.
+type InheritanceObserver struct {
+	L    int
+	emit func(descriptor.Symbol) error
+	err  error
+}
+
+// NewInheritanceObserver returns a Lemma 4.1 generator over L locations.
+func NewInheritanceObserver(locations int, emit func(descriptor.Symbol) error) *InheritanceObserver {
+	return &InheritanceObserver{L: locations, emit: emit}
+}
+
+// K returns the bandwidth bound of the emitted descriptors: IDs range over
+// 1..L+2, so k = L+1.
+func (g *InheritanceObserver) K() int { return g.L + 1 }
+
+func (g *InheritanceObserver) send(sym descriptor.Symbol) error {
+	if g.err != nil {
+		return g.err
+	}
+	if err := g.emit(sym); err != nil {
+		g.err = err
+	}
+	return g.err
+}
+
+// Step observes one executed transition, per the three bullets of the
+// Lemma 4.1 proof.
+func (g *InheritanceObserver) Step(t protocol.Transition) error {
+	if g.err != nil {
+		return g.err
+	}
+	switch {
+	case !t.Action.IsMem():
+		for _, cp := range t.Copies {
+			if cp.Dst == cp.Src {
+				continue
+			}
+			src := cp.Src
+			if src == 0 {
+				src = g.L + 2 // reserved unbound ID: releases Dst
+			}
+			if err := g.send(descriptor.AddID{Existing: src, New: cp.Dst}); err != nil {
+				return err
+			}
+		}
+		return nil
+	case t.Action.Op.IsStore():
+		if t.Loc < 1 || t.Loc > g.L {
+			g.err = fmt.Errorf("observer: store tracking label %d outside 1..%d", t.Loc, g.L)
+			return g.err
+		}
+		op := *t.Action.Op
+		return g.send(descriptor.Node{ID: t.Loc, Op: &op})
+	default:
+		if t.Loc < 1 || t.Loc > g.L {
+			g.err = fmt.Errorf("observer: load tracking label %d outside 1..%d", t.Loc, g.L)
+			return g.err
+		}
+		op := *t.Action.Op
+		if err := g.send(descriptor.Node{ID: g.L + 1, Op: &op}); err != nil {
+			return err
+		}
+		return g.send(descriptor.Edge{From: t.Loc, To: g.L + 1, Label: descriptor.Inh})
+	}
+}
+
+// ObserveInheritance replays a run through a fresh Lemma 4.1 generator and
+// returns the inheritance-graph descriptor.
+func ObserveInheritance(run *protocol.Run) (descriptor.Stream, error) {
+	var stream descriptor.Stream
+	g := NewInheritanceObserver(run.Protocol.Locations(), func(sym descriptor.Symbol) error {
+		stream = append(stream, sym)
+		return nil
+	})
+	for _, step := range run.Steps {
+		if err := g.Step(step.Transition); err != nil {
+			return stream, err
+		}
+	}
+	return stream, nil
+}

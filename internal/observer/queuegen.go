@@ -1,0 +1,155 @@
+package observer
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// QueueGenerator is the reusable form of the Section 4.2 non-trivial
+// ST-order generator: it serves any protocol whose stores enter a
+// per-processor FIFO at ST time and serialize later, when a named internal
+// event (lazy caching's "memory-write", the store buffer's "Drain") pops
+// the processor's oldest pending store. Stores still queued at the end of
+// the run are serialized by a deterministic completion — legal because a
+// queued store can have no inheritors yet.
+type QueueGenerator struct {
+	event   string
+	procs   int
+	pending map[trace.ProcID][]NodeHandle
+	last    map[trace.BlockID]NodeHandle
+	blocks  map[NodeHandle]trace.BlockID
+}
+
+// NewQueueGenerator returns a generator that serializes stores on the
+// named internal event, whose first argument must be the issuing
+// processor.
+func NewQueueGenerator(event string, procs int) *QueueGenerator {
+	return &QueueGenerator{
+		event:   event,
+		procs:   procs,
+		pending: make(map[trace.ProcID][]NodeHandle),
+		last:    make(map[trace.BlockID]NodeHandle),
+		blocks:  make(map[NodeHandle]trace.BlockID),
+	}
+}
+
+// OnStore queues the store for later serialization.
+func (g *QueueGenerator) OnStore(h NodeHandle, op trace.Op) Update {
+	g.pending[op.Proc] = append(g.pending[op.Proc], h)
+	g.blocks[h] = op.Block
+	return Update{}
+}
+
+// OnInternal serializes the issuing processor's oldest pending store when
+// the configured event fires.
+func (g *QueueGenerator) OnInternal(a protocol.Action) Update {
+	if a.Name != g.event || len(a.Args) < 1 {
+		return Update{}
+	}
+	return g.serializeHead(trace.ProcID(a.Args[0]))
+}
+
+func (g *QueueGenerator) serializeHead(p trace.ProcID) Update {
+	q := g.pending[p]
+	if len(q) == 0 {
+		return Update{}
+	}
+	h := q[0]
+	g.pending[p] = q[1:]
+	b := g.blocks[h]
+	delete(g.blocks, h)
+	var u Update
+	if prev, ok := g.last[b]; ok {
+		u.Edges = append(u.Edges, STEdge{From: prev, To: h})
+	} else {
+		u.Firsts = append(u.Firsts, FirstStore{Block: b, Node: h})
+	}
+	g.last[b] = h
+	return u
+}
+
+// Finish serializes all still-pending stores, processors in index order.
+func (g *QueueGenerator) Finish() Update {
+	var u Update
+	for p := trace.ProcID(1); int(p) <= g.procs; p++ {
+		for len(g.pending[p]) > 0 {
+			step := g.serializeHead(p)
+			u.Edges = append(u.Edges, step.Edges...)
+			u.Firsts = append(u.Firsts, step.Firsts...)
+		}
+	}
+	return u
+}
+
+// Idle implements IdleGenerator.
+func (g *QueueGenerator) Idle() bool {
+	for _, q := range g.pending {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone implements CloneableGenerator.
+func (g *QueueGenerator) Clone() STOrderGenerator {
+	out := NewQueueGenerator(g.event, g.procs)
+	for p, q := range g.pending {
+		out.pending[p] = append([]NodeHandle(nil), q...)
+	}
+	for b, h := range g.last {
+		out.last[b] = h
+	}
+	for h, b := range g.blocks {
+		out.blocks[h] = b
+	}
+	return out
+}
+
+// StateKey encodes the generator state with raw handles.
+func (g *QueueGenerator) StateKey() []byte {
+	return g.StateKeyResolved(func(h NodeHandle) int { return int(h) })
+}
+
+// StateKeyResolved implements ResolvableGenerator.
+func (g *QueueGenerator) StateKeyResolved(resolve func(NodeHandle) int) []byte {
+	var key []byte
+	for p := trace.ProcID(1); int(p) <= g.procs; p++ {
+		q := g.pending[p]
+		key = binary.AppendUvarint(key, uint64(len(q)))
+		for _, h := range q {
+			key = binary.AppendUvarint(key, uint64(resolve(h)))
+			key = binary.AppendUvarint(key, uint64(g.blocks[h]))
+		}
+	}
+	blocks := make([]int, 0, len(g.last))
+	for b := range g.last {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		key = binary.AppendUvarint(key, uint64(b))
+		key = binary.AppendUvarint(key, uint64(resolve(g.last[trace.BlockID(b)])))
+	}
+	return key
+}
+
+// Roles implements RoleGenerator.
+func (g *QueueGenerator) Roles(visit func(NodeHandle)) {
+	for p := trace.ProcID(1); int(p) <= g.procs; p++ {
+		for _, h := range g.pending[p] {
+			visit(h)
+		}
+	}
+	blocks := make([]int, 0, len(g.last))
+	for b := range g.last {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		visit(g.last[trace.BlockID(b)])
+	}
+}

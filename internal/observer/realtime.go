@@ -1,0 +1,82 @@
+package observer
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// RealTime is the trivial ST-order generator of Section 4.2 for protocols
+// with the real-time ST reordering property: for every block, the ST order
+// is exactly the order in which the stores appear in the run. All
+// published hardware protocols satisfy this; only designs like Lazy
+// Caching need more. The generator's state is one node handle per block.
+type RealTime struct {
+	last map[trace.BlockID]NodeHandle
+}
+
+// NewRealTime returns a real-time ST-order generator.
+func NewRealTime() *RealTime {
+	return &RealTime{last: make(map[trace.BlockID]NodeHandle)}
+}
+
+// OnStore orders the new store immediately after the previous store to the
+// same block; the first store of a block is known to be first right away.
+func (g *RealTime) OnStore(h NodeHandle, op trace.Op) Update {
+	var u Update
+	if prev, ok := g.last[op.Block]; ok {
+		u.Edges = append(u.Edges, STEdge{From: prev, To: h})
+	} else {
+		u.Firsts = append(u.Firsts, FirstStore{Block: op.Block, Node: h})
+	}
+	g.last[op.Block] = h
+	return u
+}
+
+// OnInternal is a no-op: real-time ordering needs no internal events.
+func (g *RealTime) OnInternal(protocol.Action) Update { return Update{} }
+
+// Finish is a no-op: every store was ordered as it appeared.
+func (g *RealTime) Finish() Update { return Update{} }
+
+// StateKey encodes the per-block last-store handles via the resolver
+// installed by the observer (see Observer.StateKey), falling back to raw
+// handles when used stand-alone.
+func (g *RealTime) StateKey() []byte {
+	return g.StateKeyResolved(func(h NodeHandle) int { return int(h) })
+}
+
+// StateKeyResolved implements ResolvableGenerator.
+func (g *RealTime) StateKeyResolved(resolve func(NodeHandle) int) []byte {
+	blocks := make([]int, 0, len(g.last))
+	for b := range g.last {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	var key []byte
+	for _, b := range blocks {
+		key = binary.AppendUvarint(key, uint64(b))
+		key = binary.AppendUvarint(key, uint64(resolve(g.last[trace.BlockID(b)])))
+	}
+	return key
+}
+
+// ResolvableGenerator is implemented by generators whose state keys should
+// name nodes by their stable descriptor IDs rather than raw handles; the
+// observer passes a resolver mapping handles to canonical IDs.
+type ResolvableGenerator interface {
+	StateKeyResolved(resolve func(NodeHandle) int) []byte
+}
+
+// IdleGenerator is implemented by generators that can report whether a
+// Finish call would be a no-op (no pending serialization decisions). The
+// model checker uses it to run end-of-run checks without cloning.
+type IdleGenerator interface {
+	Idle() bool
+}
+
+// Idle implements IdleGenerator: the real-time generator serializes every
+// store the moment it appears, so Finish never has work to do.
+func (g *RealTime) Idle() bool { return true }

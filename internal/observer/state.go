@@ -1,0 +1,154 @@
+package observer
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"scverify/internal/trace"
+)
+
+// StateKey returns a canonical encoding of the observer's state. Nodes are
+// named by their descriptor IDs, which are stable for a node's lifetime
+// and drawn from a bounded pool, so the key space is finite — the property
+// Theorem 4.1 needs for the observer to be a finite-state protocol, and
+// the property the model checker needs to close the product state space.
+func (o *Observer) StateKey() []byte {
+	return o.keyWithRename(nil)
+}
+
+// CanonicalKey returns the observer state key under the canonical ID
+// renaming of CanonicalRename, so that states differing only in ID
+// allocation history collide. The paired checker key must be renamed with
+// the same permutation (see checker.Checker.StateKeyRenamed).
+func (o *Observer) CanonicalKey(rename []int) []byte {
+	return o.keyWithRename(rename)
+}
+
+func (o *Observer) keyWithRename(rename []int) []byte {
+	if o.err != nil {
+		return []byte{0xff}
+	}
+	mapID := func(id int) int {
+		if rename == nil {
+			return id
+		}
+		return rename[id]
+	}
+	var key []byte
+	put := func(vs ...uint64) {
+		for _, v := range vs {
+			key = binary.AppendUvarint(key, v)
+		}
+	}
+	idOf := func(n *onode) uint64 {
+		if n == nil {
+			return 0
+		}
+		return uint64(mapID(n.id))
+	}
+
+	// Location map.
+	for _, n := range o.locToNode[1:] {
+		put(idOf(n))
+	}
+
+	// Live nodes sorted by (renamed) ID.
+	live := make([]*onode, 0, len(o.nodes))
+	for _, n := range o.nodes {
+		live = append(live, n)
+	}
+	sort.Slice(live, func(i, j int) bool { return mapID(live[i].id) < mapID(live[j].id) })
+	put(uint64(len(live)))
+	for _, n := range live {
+		flags := uint64(0)
+		if n.stIn {
+			flags |= 1
+		}
+		if n.succPinned {
+			flags |= 2
+		}
+		put(uint64(mapID(n.id)), uint64(n.op.Kind), uint64(n.op.Proc), uint64(n.op.Block), uint64(n.op.Value), flags)
+		put(uint64(n.locRefs), uint64(n.pins))
+		// A store's successor pointer only influences future emissions while
+		// the store is inh-active (succPinned); after that only the fact
+		// that the store has been ordered matters, so a stale pointer to a
+		// released successor must not leak into the key.
+		ordered := uint64(0)
+		succ := uint64(0)
+		if n.stSucc != nil {
+			ordered = 1
+			if n.succPinned {
+				succ = idOf(n.stSucc)
+			}
+		}
+		put(ordered, succ)
+		if n.pending != nil {
+			procs := make([]int, 0, len(n.pending))
+			for p := range n.pending {
+				procs = append(procs, int(p))
+			}
+			sort.Ints(procs)
+			put(uint64(len(procs)))
+			for _, p := range procs {
+				put(uint64(p), idOf(n.pending[trace.ProcID(p)]))
+			}
+		} else {
+			put(0)
+		}
+	}
+
+	// Program-order tails.
+	procs := make([]int, 0, len(o.lastOp))
+	for p := range o.lastOp {
+		procs = append(procs, int(p))
+	}
+	sort.Ints(procs)
+	put(uint64(len(procs)))
+	for _, p := range procs {
+		put(uint64(p), idOf(o.lastOp[trace.ProcID(p)]))
+	}
+
+	// First stores.
+	blocks := make([]int, 0, len(o.firstSt))
+	for b := range o.firstSt {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	put(uint64(len(blocks)))
+	for _, b := range blocks {
+		put(uint64(b), idOf(o.firstSt[trace.BlockID(b)]))
+	}
+
+	// Pending ⊥-loads.
+	bkeys := make([][2]int, 0, len(o.bottoms))
+	for k := range o.bottoms {
+		bkeys = append(bkeys, k)
+	}
+	sort.Slice(bkeys, func(i, j int) bool {
+		if bkeys[i][0] != bkeys[j][0] {
+			return bkeys[i][0] < bkeys[j][0]
+		}
+		return bkeys[i][1] < bkeys[j][1]
+	})
+	put(uint64(len(bkeys)))
+	for _, k := range bkeys {
+		put(uint64(k[0]), uint64(k[1]), idOf(o.bottoms[k]))
+	}
+
+	// Generator state, with handles resolved to descriptor IDs when the
+	// generator supports it.
+	var genKey []byte
+	if rg, ok := o.gen.(ResolvableGenerator); ok {
+		genKey = rg.StateKeyResolved(func(h NodeHandle) int {
+			if n, ok := o.nodes[h]; ok {
+				return mapID(n.id)
+			}
+			return 0
+		})
+	} else {
+		genKey = o.gen.StateKey()
+	}
+	key = append(key, 0xfe)
+	key = append(key, genKey...)
+	return key
+}

@@ -1,0 +1,119 @@
+// Package protocol defines the protocol model of Sections 2.1 and 4.1 of
+// Condon & Hu: a finite-state machine augmented with a finite number of
+// storage locations and tracking labels. LD/ST transitions carry a
+// location identifier l ∈ [1,L] (the tracking function f); internal
+// transitions carry copy tracking labels c_l describing how values move
+// between locations. From these labels alone, the ST-index of every
+// location — which store operation conferred its current value — can be
+// maintained in finite state (Figure 4), which is what makes automatic
+// observer generation possible.
+package protocol
+
+import (
+	"fmt"
+	"strings"
+
+	"scverify/internal/trace"
+)
+
+// Action is one protocol action: either a memory operation (Op non-nil) or
+// an internal action identified by Name and protocol-specific integer
+// arguments (for example, lazy caching's memory-write carries the writing
+// processor and block).
+type Action struct {
+	Op   *trace.Op
+	Name string
+	Args []int
+}
+
+// MemOp constructs a memory-operation action.
+func MemOp(op trace.Op) Action { return Action{Op: &op} }
+
+// Internal constructs an internal action.
+func Internal(name string, args ...int) Action { return Action{Name: name, Args: args} }
+
+// IsMem reports whether the action is a LD or ST operation.
+func (a Action) IsMem() bool { return a.Op != nil }
+
+// String renders the action; internal actions show their arguments.
+func (a Action) String() string {
+	if a.Op != nil {
+		return a.Op.String()
+	}
+	if len(a.Args) == 0 {
+		return a.Name
+	}
+	parts := make([]string, len(a.Args))
+	for i, v := range a.Args {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("%s(%s)", a.Name, strings.Join(parts, ","))
+}
+
+// Copy is a copy tracking label for an internal transition: the value in
+// location Src is copied to location Dst. A Src of 0 means Dst is
+// invalidated (assigned the predefined invalid value), resetting its
+// ST-index. Locations not mentioned keep their values (c_l = l).
+type Copy struct {
+	Dst, Src int
+}
+
+// State is an immutable protocol state. Key must be a canonical encoding:
+// two states with equal keys are the same state.
+type State interface {
+	Key() string
+}
+
+// Transition is one enabled step from a state: the action taken, the
+// successor state, and the transition's tracking labels. For memory
+// operations, Loc is the location the value is read from or written to;
+// for internal actions, Copies lists the location copies.
+type Transition struct {
+	Action Action
+	Next   State
+	Loc    int
+	Copies []Copy
+}
+
+// Protocol is a finite-state protocol with storage locations and tracking
+// labels. Implementations must return transitions in a deterministic order
+// so runs are reproducible and model checking is stable.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Params returns the protocol constants (p, b, v).
+	Params() trace.Params
+	// Locations returns L, the number of storage locations.
+	Locations() int
+	// Initial returns the initial state.
+	Initial() State
+	// Transitions enumerates the transitions enabled in the state.
+	Transitions(s State) []Transition
+}
+
+// Validate performs structural sanity checks on a protocol's transitions
+// from the given state: location labels in range, memory operations within
+// parameters. It is a development aid used by tests and the model checker.
+func Validate(p Protocol, s State) error {
+	params := p.Params()
+	for _, t := range p.Transitions(s) {
+		if t.Action.IsMem() {
+			if !params.Contains(*t.Action.Op) {
+				return fmt.Errorf("protocol %s: operation %s outside %s", p.Name(), t.Action.Op, params)
+			}
+			if t.Loc < 1 || t.Loc > p.Locations() {
+				return fmt.Errorf("protocol %s: %s has tracking label %d outside 1..%d", p.Name(), t.Action.Op, t.Loc, p.Locations())
+			}
+		} else {
+			for _, cp := range t.Copies {
+				if cp.Dst < 1 || cp.Dst > p.Locations() {
+					return fmt.Errorf("protocol %s: copy destination %d outside 1..%d", p.Name(), cp.Dst, p.Locations())
+				}
+				if cp.Src < 0 || cp.Src > p.Locations() {
+					return fmt.Errorf("protocol %s: copy source %d outside 0..%d", p.Name(), cp.Src, p.Locations())
+				}
+			}
+		}
+	}
+	return nil
+}

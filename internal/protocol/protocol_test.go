@@ -1,0 +1,196 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"scverify/internal/trace"
+)
+
+// Figure4Script reproduces the run of the paper's Figure 4: a 2-processor,
+// 3-block protocol with 4 storage locations (P1 owns 1 and 2, P2 owns 3
+// and 4). The run is
+//
+//	ST(P1,B1,1)  [label 1], ST(P2,B2,2) [label 4],
+//	Get-Shared(P2,B1) [c3=1], ST(P1,B3,3) [label 1]
+func Figure4Script() *Scripted {
+	return &Scripted{
+		ProtoName: "figure4",
+		P:         2, B: 3, V: 3, L: 4,
+		Steps: []ScriptStep{
+			{Action: MemOp(trace.ST(1, 1, 1)), Loc: 1},
+			{Action: MemOp(trace.ST(2, 2, 2)), Loc: 4},
+			{Action: Internal("Get-Shared", 2, 1), Copies: []Copy{{Dst: 3, Src: 1}}},
+			{Action: MemOp(trace.ST(1, 3, 3)), Loc: 1},
+		},
+	}
+}
+
+func TestFigure4STIndexes(t *testing.T) {
+	p := Figure4Script()
+	r := NewRunner(p)
+	st := NewSTIndexTracker(p.Locations())
+	for {
+		en := r.Enabled()
+		if len(en) == 0 {
+			break
+		}
+		r.Take(en[0])
+		last := r.Run().Steps[len(r.Run().Steps)-1]
+		st.Apply(last.Transition, last.TraceIndex)
+	}
+	// Figure 4(c): ST-index(R,1)=3, (R,2)=0, (R,3)=1, (R,4)=2.
+	want := []int{0, 3, 0, 1, 2}
+	got := st.Snapshot()
+	for l := 1; l <= 4; l++ {
+		if got[l] != want[l] {
+			t.Errorf("ST-index(R,%d) = %d, want %d", l, got[l], want[l])
+		}
+	}
+}
+
+func TestFigure4Trace(t *testing.T) {
+	run := RandomRun(Figure4Script(), 10, 1)
+	want := trace.Trace{trace.ST(1, 1, 1), trace.ST(2, 2, 2), trace.ST(1, 3, 3)}
+	if len(run.Trace) != len(want) {
+		t.Fatalf("trace = %s", run.Trace)
+	}
+	for i := range want {
+		if run.Trace[i] != want[i] {
+			t.Errorf("trace[%d] = %s, want %s", i, run.Trace[i], want[i])
+		}
+	}
+	if len(run.Steps) != 4 {
+		t.Errorf("steps = %d, want 4", len(run.Steps))
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if got := MemOp(trace.ST(1, 2, 3)).String(); got != "ST(P1,B2,3)" {
+		t.Errorf("mem action = %q", got)
+	}
+	if got := Internal("memory-write", 2, 1).String(); got != "memory-write(2,1)" {
+		t.Errorf("internal action = %q", got)
+	}
+	if got := Internal("tick").String(); got != "tick" {
+		t.Errorf("argless internal action = %q", got)
+	}
+	if !MemOp(trace.LD(1, 1, 1)).IsMem() || Internal("x").IsMem() {
+		t.Error("IsMem wrong")
+	}
+}
+
+func TestSTIndexInvalidation(t *testing.T) {
+	st := NewSTIndexTracker(2)
+	st.OnStore(1, 5)
+	st.OnInternal([]Copy{{Dst: 2, Src: 1}})
+	if st.Index(2) != 5 {
+		t.Errorf("copied index = %d", st.Index(2))
+	}
+	st.OnInternal([]Copy{{Dst: 1, Src: 0}}) // invalidate
+	if st.Index(1) != 0 {
+		t.Errorf("invalidated index = %d", st.Index(1))
+	}
+	if st.Index(2) != 5 {
+		t.Errorf("untouched index = %d", st.Index(2))
+	}
+}
+
+func TestSTIndexSimultaneousCopies(t *testing.T) {
+	// A swap: both copies must read pre-transition values.
+	st := NewSTIndexTracker(2)
+	st.OnStore(1, 1)
+	st.OnStore(2, 2)
+	st.OnInternal([]Copy{{Dst: 1, Src: 2}, {Dst: 2, Src: 1}})
+	if st.Index(1) != 2 || st.Index(2) != 1 {
+		t.Errorf("swap gave (%d,%d), want (2,1)", st.Index(1), st.Index(2))
+	}
+}
+
+func TestSTIndexLoadChangesNothing(t *testing.T) {
+	st := NewSTIndexTracker(1)
+	st.OnStore(1, 7)
+	ld := Transition{Action: MemOp(trace.LD(1, 1, 1)), Loc: 1}
+	st.Apply(ld, 9)
+	if st.Index(1) != 7 {
+		t.Errorf("load changed ST-index to %d", st.Index(1))
+	}
+}
+
+func TestRunnerTakeIndexErrors(t *testing.T) {
+	r := NewRunner(Figure4Script())
+	if err := r.TakeIndex(5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := r.TakeIndex(0); err != nil {
+		t.Errorf("valid index rejected: %v", err)
+	}
+}
+
+func TestReplayIndices(t *testing.T) {
+	run, err := ReplayIndices(Figure4Script(), []int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Steps) != 4 {
+		t.Errorf("replayed %d steps", len(run.Steps))
+	}
+	if _, err := ReplayIndices(Figure4Script(), []int{0, 0, 0, 0, 0}); err == nil {
+		t.Error("replay past deadlock accepted")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	run := RandomRun(Figure4Script(), 10, 1)
+	s := run.String()
+	for _, frag := range []string{"ST(P1,B1,1)", "Get-Shared(2,1)", "ST(P1,B3,3)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("run string missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestValidateCatchesBadLabels(t *testing.T) {
+	bad := &Scripted{
+		ProtoName: "bad", P: 1, B: 1, V: 1, L: 1,
+		Steps: []ScriptStep{{Action: MemOp(trace.ST(1, 1, 1)), Loc: 9}},
+	}
+	if err := Validate(bad, bad.Initial()); err == nil {
+		t.Error("bad tracking label accepted")
+	}
+	bad2 := &Scripted{
+		ProtoName: "bad2", P: 1, B: 1, V: 1, L: 1,
+		Steps: []ScriptStep{{Action: MemOp(trace.ST(2, 1, 1)), Loc: 1}},
+	}
+	if err := Validate(bad2, bad2.Initial()); err == nil {
+		t.Error("out-of-params op accepted")
+	}
+	bad3 := &Scripted{
+		ProtoName: "bad3", P: 1, B: 1, V: 1, L: 1,
+		Steps: []ScriptStep{{Action: Internal("x"), Copies: []Copy{{Dst: 2, Src: 1}}}},
+	}
+	if err := Validate(bad3, bad3.Initial()); err == nil {
+		t.Error("bad copy destination accepted")
+	}
+	good := Figure4Script()
+	if err := Validate(good, good.Initial()); err != nil {
+		t.Errorf("good protocol rejected: %v", err)
+	}
+}
+
+func TestScriptedStateKey(t *testing.T) {
+	p := Figure4Script()
+	s0 := p.Initial()
+	s1 := p.Transitions(s0)[0].Next
+	if s0.Key() == s1.Key() {
+		t.Error("distinct positions share a key")
+	}
+}
+
+func TestRandomRunDeterministic(t *testing.T) {
+	a := RandomRun(Figure4Script(), 10, 42)
+	b := RandomRun(Figure4Script(), 10, 42)
+	if a.String() != b.String() {
+		t.Error("RandomRun not deterministic for equal seeds")
+	}
+}

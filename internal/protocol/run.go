@@ -1,0 +1,108 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scverify/internal/trace"
+)
+
+// Step is one executed transition of a run, together with the state it led
+// to and, for memory operations, the operation's 1-based trace index.
+type Step struct {
+	Transition
+	TraceIndex int // 1-based index among memory operations; 0 for internal
+}
+
+// Run is a finite execution of a protocol: the executed steps plus the
+// resulting trace (the LD/ST subsequence).
+type Run struct {
+	Protocol Protocol
+	Steps    []Step
+	Trace    trace.Trace
+}
+
+// String renders the run's action sequence.
+func (r *Run) String() string {
+	out := ""
+	for i, s := range r.Steps {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.Action.String()
+	}
+	return out
+}
+
+// Runner executes a protocol step by step, tracking the current state and
+// trace. It is the execution substrate shared by the random tester, the
+// observer, and the examples.
+type Runner struct {
+	p     Protocol
+	state State
+	run   Run
+}
+
+// NewRunner returns a runner positioned at the protocol's initial state.
+func NewRunner(p Protocol) *Runner {
+	return &Runner{p: p, state: p.Initial(), run: Run{Protocol: p}}
+}
+
+// State returns the current protocol state.
+func (r *Runner) State() State { return r.state }
+
+// Run returns the run so far. The returned value shares underlying slices
+// with the runner; callers must not mutate it while stepping continues.
+func (r *Runner) Run() *Run { return &r.run }
+
+// Enabled lists the transitions enabled in the current state.
+func (r *Runner) Enabled() []Transition { return r.p.Transitions(r.state) }
+
+// Take executes the given transition (which must come from Enabled).
+func (r *Runner) Take(t Transition) {
+	step := Step{Transition: t}
+	if t.Action.IsMem() {
+		r.run.Trace = append(r.run.Trace, *t.Action.Op)
+		step.TraceIndex = len(r.run.Trace)
+	}
+	r.run.Steps = append(r.run.Steps, step)
+	r.state = t.Next
+}
+
+// TakeIndex executes the i-th enabled transition.
+func (r *Runner) TakeIndex(i int) error {
+	en := r.Enabled()
+	if i < 0 || i >= len(en) {
+		return fmt.Errorf("protocol: transition index %d out of %d enabled", i, len(en))
+	}
+	r.Take(en[i])
+	return nil
+}
+
+// RandomRun executes up to maxSteps uniformly random enabled transitions,
+// stopping early if the protocol deadlocks. Deterministic given the seed.
+func RandomRun(p Protocol, maxSteps int, seed int64) *Run {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRunner(p)
+	for i := 0; i < maxSteps; i++ {
+		en := r.Enabled()
+		if len(en) == 0 {
+			break
+		}
+		r.Take(en[rng.Intn(len(en))])
+	}
+	return r.Run()
+}
+
+// ReplayIndices executes the transitions selected by the given indices
+// into each state's enabled list; it is how counterexample runs found by
+// the model checker are re-executed.
+func ReplayIndices(p Protocol, indices []int) (*Run, error) {
+	r := NewRunner(p)
+	for step, i := range indices {
+		if err := r.TakeIndex(i); err != nil {
+			return nil, fmt.Errorf("protocol: replay step %d: %w", step, err)
+		}
+	}
+	return r.Run(), nil
+}

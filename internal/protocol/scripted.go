@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"fmt"
+
+	"scverify/internal/trace"
+)
+
+// ScriptStep is one step of a scripted protocol: the action plus its
+// tracking labels.
+type ScriptStep struct {
+	Action Action
+	Loc    int
+	Copies []Copy
+}
+
+// Scripted is a deterministic protocol that executes a fixed sequence of
+// steps — a single run. It exists to express worked examples from the
+// paper (such as the Figure 4 run) and hand-written regression cases as
+// first-class protocols that the observer and checkers can consume.
+type Scripted struct {
+	ProtoName string
+	P         int // processors
+	B         int // blocks
+	V         int // values
+	L         int // locations
+	Steps     []ScriptStep
+}
+
+type scriptedState int
+
+// Key encodes the script position.
+func (s scriptedState) Key() string { return fmt.Sprintf("@%d", int(s)) }
+
+// Name implements Protocol.
+func (s *Scripted) Name() string { return s.ProtoName }
+
+// Params implements Protocol.
+func (s *Scripted) Params() trace.Params {
+	return trace.Params{Procs: s.P, Blocks: s.B, Values: s.V}
+}
+
+// Locations implements Protocol.
+func (s *Scripted) Locations() int { return s.L }
+
+// Initial implements Protocol.
+func (s *Scripted) Initial() State { return scriptedState(0) }
+
+// Transitions implements Protocol: exactly one transition per position
+// until the script is exhausted.
+func (s *Scripted) Transitions(st State) []Transition {
+	pos := int(st.(scriptedState))
+	if pos >= len(s.Steps) {
+		return nil
+	}
+	step := s.Steps[pos]
+	return []Transition{{
+		Action: step.Action,
+		Next:   scriptedState(pos + 1),
+		Loc:    step.Loc,
+		Copies: step.Copies,
+	}}
+}

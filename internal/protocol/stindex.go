@@ -1,0 +1,65 @@
+package protocol
+
+// STIndexTracker maintains ST-index(R, l) for every location l while a run
+// R unfolds, exactly as defined inductively in Section 4.1: a location's
+// ST-index is 0 initially; a ST transition with tracking label l stamps l
+// with the store's trace index; an internal transition updates every
+// location according to its copy labels (reading pre-transition values);
+// and LD transitions change nothing.
+type STIndexTracker struct {
+	idx []int // 1-based by location; idx[0] unused
+}
+
+// NewSTIndexTracker returns a tracker for L locations, all with ST-index 0.
+func NewSTIndexTracker(locations int) *STIndexTracker {
+	return &STIndexTracker{idx: make([]int, locations+1)}
+}
+
+// Index returns ST-index of the location (0 if it holds no store's value).
+func (t *STIndexTracker) Index(loc int) int { return t.idx[loc] }
+
+// Snapshot returns a copy of all ST-indexes, 1-based; index 0 is unused.
+func (t *STIndexTracker) Snapshot() []int {
+	out := make([]int, len(t.idx))
+	copy(out, t.idx)
+	return out
+}
+
+// OnStore records that the store with the given trace index (1-based, per
+// the paper) wrote its value to location loc.
+func (t *STIndexTracker) OnStore(loc, traceIndex int) {
+	t.idx[loc] = traceIndex
+}
+
+// OnInternal applies an internal transition's copy labels. All copies read
+// the pre-transition state, so a chain of copies within one transition
+// does not cascade.
+func (t *STIndexTracker) OnInternal(copies []Copy) {
+	if len(copies) == 0 {
+		return
+	}
+	old := make([]int, len(t.idx))
+	copy(old, t.idx)
+	for _, cp := range copies {
+		if cp.Src == 0 {
+			t.idx[cp.Dst] = 0
+		} else {
+			t.idx[cp.Dst] = old[cp.Src]
+		}
+	}
+}
+
+// Apply advances the tracker by one executed transition, where traceIndex
+// is the 1-based index the operation would have in the trace (ignored for
+// internal actions and loads). Copies attached to a store are applied
+// after the store itself, so a write-through store's copy from its own
+// freshly written location propagates the new index.
+func (t *STIndexTracker) Apply(tr Transition, traceIndex int) {
+	switch {
+	case tr.Action.IsMem() && tr.Action.Op.IsStore():
+		t.OnStore(tr.Loc, traceIndex)
+		t.OnInternal(tr.Copies)
+	case !tr.Action.IsMem():
+		t.OnInternal(tr.Copies)
+	}
+}

@@ -1,0 +1,571 @@
+// Package directory implements a directory-based invalidation
+// cache-coherence protocol in the style verified by Plakal, Sorin, Condon
+// & Hill ("Lamport Clocks", SPAA 1998): a home node per block holds
+// memory and a directory entry (Uncached / Shared with a sharer set /
+// Exclusive with an owner), processors exchange explicit messages over an
+// unordered interconnect (GetS, GetX, Fetch, FetchInv, Inv, InvAck, Data,
+// DataEx, WBData), and writes are granted only after every sharer has
+// acknowledged invalidation. Transactions are non-atomic — requests,
+// invalidations, fetches and write-backs are all distinct network steps —
+// which is exactly the structural feature that makes directory protocols
+// the motivating verification target of the paper.
+//
+// The home is blocking per block: while a transaction is in flight for a
+// block, later requests for it wait in the network. Each processor has at
+// most one outstanding request.
+//
+// Location layout: memory 1..b; cache line of P for B: b + (P-1)·b + B;
+// response slot of P (data in flight to P): b + p·b + P; write-back slot
+// of P for B: b + p·b + p + (P-1)·b + B.
+package directory
+
+import (
+	"encoding/binary"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// LineState is a cache line's state, including transient request states.
+type LineState uint8
+
+const (
+	// Invalid lines hold no value.
+	Invalid LineState = iota
+	// SharedLn lines hold a readable copy.
+	SharedLn
+	// ModifiedLn lines hold the only valid, writable copy.
+	ModifiedLn
+	// WaitS marks a line awaiting a Data response (GetS issued).
+	WaitS
+	// WaitX marks a line awaiting a DataEx response (GetX issued).
+	WaitX
+)
+
+// String names the line state.
+func (s LineState) String() string {
+	return [...]string{"I", "S", "M", "IS_D", "IM_D"}[s]
+}
+
+// DirState is a directory entry's state.
+type DirState uint8
+
+const (
+	// Uncached: no cache holds the block; memory is current.
+	Uncached DirState = iota
+	// DirShared: the sharer set holds readable copies; memory is current.
+	DirShared
+	// DirExclusive: the owner holds the only (possibly dirty) copy.
+	DirExclusive
+	// BusyFetchS: awaiting the owner's write-back to satisfy a GetS.
+	BusyFetchS
+	// BusyInv: awaiting invalidation acks to satisfy a GetX.
+	BusyInv
+	// BusyFetchX: awaiting the owner's write-back to satisfy a GetX.
+	BusyFetchX
+)
+
+// String names the directory state.
+func (s DirState) String() string {
+	return [...]string{"U", "S", "E", "busyS", "busyInv", "busyX"}[s]
+}
+
+// Protocol is the directory protocol.
+type Protocol struct {
+	P trace.Params
+}
+
+// New returns a directory protocol.
+func New(p trace.Params) *Protocol { return &Protocol{P: p} }
+
+// Name implements protocol.Protocol.
+func (m *Protocol) Name() string { return "directory" }
+
+// Params implements protocol.Protocol.
+func (m *Protocol) Params() trace.Params { return m.P }
+
+// Locations implements protocol.Protocol.
+func (m *Protocol) Locations() int {
+	p, b := m.P.Procs, m.P.Blocks
+	return b + p*b + p + p*b
+}
+
+// MemLoc returns block b's memory location.
+func (m *Protocol) MemLoc(b trace.BlockID) int { return int(b) }
+
+// CacheLoc returns processor p's line location for block b.
+func (m *Protocol) CacheLoc(p trace.ProcID, b trace.BlockID) int {
+	return m.P.Blocks + (int(p)-1)*m.P.Blocks + int(b)
+}
+
+// RespLoc returns processor p's in-flight data-response location.
+func (m *Protocol) RespLoc(p trace.ProcID) int {
+	return m.P.Blocks + m.P.Procs*m.P.Blocks + int(p)
+}
+
+// WBLoc returns processor p's write-back location for block b.
+func (m *Protocol) WBLoc(p trace.ProcID, b trace.BlockID) int {
+	return m.P.Blocks + m.P.Procs*m.P.Blocks + m.P.Procs + (int(p)-1)*m.P.Blocks + int(b)
+}
+
+// line is a cache line.
+type line struct {
+	state LineState
+	val   trace.Value
+}
+
+// dirEntry is a per-block directory entry.
+type dirEntry struct {
+	state     DirState
+	sharers   uint32 // bitmask, bit p-1
+	owner     trace.ProcID
+	requester trace.ProcID
+	acks      int8
+}
+
+// msgSet is the in-flight message state for one block: booleans per
+// message kind and endpoint. The interconnect is unordered: any pending
+// message may be consumed next.
+type msgSet struct {
+	getS, getX   uint32 // requests pending at home, bit per requester
+	fetch        uint32 // Fetch(q) pending at owner q
+	fetchInv     uint32
+	inv          uint32 // Inv pending at sharer q
+	invAck       int8   // acks in flight to home
+	data, dataEx uint32 // responses in flight to requester
+	wbData       uint32 // write-back from q in flight to home
+}
+
+type state struct {
+	mem   []trace.Value
+	lines []line
+	dirs  []dirEntry
+	msgs  []msgSet
+	// outstanding request per processor (bitmask).
+	outstanding uint32
+	resp        []trace.Value // value in each processor's response slot
+	wb          []trace.Value // value in each (processor, block) write-back slot
+}
+
+func (s state) clone() state {
+	return state{
+		mem:         append([]trace.Value(nil), s.mem...),
+		lines:       append([]line(nil), s.lines...),
+		dirs:        append([]dirEntry(nil), s.dirs...),
+		msgs:        append([]msgSet(nil), s.msgs...),
+		outstanding: s.outstanding,
+		resp:        append([]trace.Value(nil), s.resp...),
+		wb:          append([]trace.Value(nil), s.wb...),
+	}
+}
+
+// Key implements protocol.State.
+func (s state) Key() string {
+	buf := make([]byte, 0, 256)
+	u := func(vs ...uint64) {
+		for _, v := range vs {
+			buf = binary.AppendUvarint(buf, v)
+		}
+	}
+	for _, v := range s.mem[1:] {
+		u(uint64(v))
+	}
+	for _, l := range s.lines {
+		u(uint64(l.state), uint64(l.val))
+	}
+	for _, d := range s.dirs[1:] {
+		u(uint64(d.state), uint64(d.sharers), uint64(d.owner), uint64(d.requester), uint64(d.acks))
+	}
+	for _, ms := range s.msgs[1:] {
+		u(uint64(ms.getS), uint64(ms.getX), uint64(ms.fetch), uint64(ms.fetchInv),
+			uint64(ms.inv), uint64(ms.invAck), uint64(ms.data), uint64(ms.dataEx), uint64(ms.wbData))
+	}
+	u(uint64(s.outstanding))
+	for _, v := range s.resp[1:] {
+		u(uint64(v))
+	}
+	for _, v := range s.wb {
+		u(uint64(v))
+	}
+	return string(buf)
+}
+
+func bit(p trace.ProcID) uint32 { return 1 << (uint(p) - 1) }
+
+func (m *Protocol) lineIdx(p trace.ProcID, b trace.BlockID) int {
+	return (int(p)-1)*m.P.Blocks + int(b) - 1
+}
+
+func (m *Protocol) wbIdx(p trace.ProcID, b trace.BlockID) int {
+	return (int(p)-1)*m.P.Blocks + int(b) - 1
+}
+
+// Initial implements protocol.Protocol.
+func (m *Protocol) Initial() protocol.State {
+	return state{
+		mem:   make([]trace.Value, m.P.Blocks+1),
+		lines: make([]line, m.P.Procs*m.P.Blocks),
+		dirs:  make([]dirEntry, m.P.Blocks+1),
+		msgs:  make([]msgSet, m.P.Blocks+1),
+		resp:  make([]trace.Value, m.P.Procs+1),
+		wb:    make([]trace.Value, m.P.Procs*m.P.Blocks),
+	}
+}
+
+// act is shorthand for building internal actions.
+func act(name string, args ...int) protocol.Action { return protocol.Internal(name, args...) }
+
+// Transitions implements protocol.Protocol.
+func (m *Protocol) Transitions(ps protocol.State) []protocol.Transition {
+	s := ps.(state)
+	var out []protocol.Transition
+	for p := trace.ProcID(1); int(p) <= m.P.Procs; p++ {
+		for b := trace.BlockID(1); int(b) <= m.P.Blocks; b++ {
+			out = append(out, m.procTransitions(s, p, b)...)
+		}
+	}
+	for b := trace.BlockID(1); int(b) <= m.P.Blocks; b++ {
+		out = append(out, m.homeTransitions(s, b)...)
+	}
+	return out
+}
+
+// procTransitions are the processor-side moves for (p, b).
+func (m *Protocol) procTransitions(s state, p trace.ProcID, b trace.BlockID) []protocol.Transition {
+	var out []protocol.Transition
+	li := m.lineIdx(p, b)
+	ln := s.lines[li]
+	ms := s.msgs[b]
+
+	switch ln.state {
+	case SharedLn, ModifiedLn:
+		out = append(out, protocol.Transition{
+			Action: protocol.MemOp(trace.LD(p, b, ln.val)),
+			Next:   s,
+			Loc:    m.CacheLoc(p, b),
+		})
+	case Invalid:
+		if s.outstanding&bit(p) == 0 {
+			for _, req := range []struct {
+				kind string
+			}{{"GetS"}, {"GetX"}} {
+				next := s.clone()
+				next.outstanding |= bit(p)
+				if req.kind == "GetS" {
+					next.lines[li].state = WaitS
+					next.msgs[b].getS |= bit(p)
+				} else {
+					next.lines[li].state = WaitX
+					next.msgs[b].getX |= bit(p)
+				}
+				out = append(out, protocol.Transition{
+					Action: act(req.kind, int(p), int(b)),
+					Next:   next,
+				})
+			}
+		}
+	}
+	if ln.state == ModifiedLn {
+		for v := trace.Value(1); int(v) <= m.P.Values; v++ {
+			next := s.clone()
+			next.lines[li].val = v
+			out = append(out, protocol.Transition{
+				Action: protocol.MemOp(trace.ST(p, b, v)),
+				Next:   next,
+				Loc:    m.CacheLoc(p, b),
+			})
+		}
+	}
+	// Upgrade from Shared: issue GetX (home will not re-send data to the
+	// sharer's stale copy; the line waits for DataEx).
+	if ln.state == SharedLn && s.outstanding&bit(p) == 0 {
+		next := s.clone()
+		next.outstanding |= bit(p)
+		next.lines[li] = line{state: WaitX}
+		next.msgs[b].getX |= bit(p)
+		out = append(out, protocol.Transition{
+			Action: act("GetX", int(p), int(b)),
+			Next:   next,
+			Copies: []protocol.Copy{{Dst: m.CacheLoc(p, b), Src: 0}},
+		})
+	}
+	// Silent eviction of a Shared line.
+	if ln.state == SharedLn {
+		next := s.clone()
+		next.lines[li] = line{}
+		out = append(out, protocol.Transition{
+			Action: act("EvictS", int(p), int(b)),
+			Next:   next,
+			Copies: []protocol.Copy{{Dst: m.CacheLoc(p, b), Src: 0}},
+		})
+	}
+	// Eviction of a Modified line: write back (PutM), if the WB slot for
+	// (p,b) is free.
+	if ln.state == ModifiedLn && ms.wbData&bit(p) == 0 {
+		next := s.clone()
+		next.lines[li] = line{}
+		next.msgs[b].wbData |= bit(p)
+		next.wb[m.wbIdx(p, b)] = ln.val
+		out = append(out, protocol.Transition{
+			Action: act("PutM", int(p), int(b)),
+			Next:   next,
+			Copies: []protocol.Copy{
+				{Dst: m.WBLoc(p, b), Src: m.CacheLoc(p, b)},
+				{Dst: m.CacheLoc(p, b), Src: 0},
+			},
+		})
+	}
+	// Consume Inv: invalidate (possibly already evicted) and ack.
+	if ms.inv&bit(p) != 0 {
+		next := s.clone()
+		next.msgs[b].inv &^= bit(p)
+		next.msgs[b].invAck++
+		copies := []protocol.Copy{}
+		if ln.state == SharedLn {
+			next.lines[li] = line{}
+			copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: 0})
+		}
+		out = append(out, protocol.Transition{
+			Action: act("RecvInv", int(p), int(b)),
+			Next:   next,
+			Copies: copies,
+		})
+	}
+	// Consume Fetch: downgrade M to S, write data back; a stale Fetch
+	// (line no longer Modified) is dropped — the matching write-back is
+	// already in flight from PutM.
+	if ms.fetch&bit(p) != 0 {
+		next := s.clone()
+		next.msgs[b].fetch &^= bit(p)
+		var copies []protocol.Copy
+		if ln.state == ModifiedLn && ms.wbData&bit(p) == 0 {
+			next.lines[li].state = SharedLn
+			next.msgs[b].wbData |= bit(p)
+			next.wb[m.wbIdx(p, b)] = ln.val
+			copies = append(copies, protocol.Copy{Dst: m.WBLoc(p, b), Src: m.CacheLoc(p, b)})
+		}
+		out = append(out, protocol.Transition{
+			Action: act("RecvFetch", int(p), int(b)),
+			Next:   next,
+			Copies: copies,
+		})
+	}
+	// Consume FetchInv: invalidate M, write data back.
+	if ms.fetchInv&bit(p) != 0 {
+		next := s.clone()
+		next.msgs[b].fetchInv &^= bit(p)
+		var copies []protocol.Copy
+		if ln.state == ModifiedLn && ms.wbData&bit(p) == 0 {
+			next.msgs[b].wbData |= bit(p)
+			next.wb[m.wbIdx(p, b)] = ln.val
+			copies = append(copies, protocol.Copy{Dst: m.WBLoc(p, b), Src: m.CacheLoc(p, b)})
+			next.lines[li] = line{}
+			copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: 0})
+		}
+		out = append(out, protocol.Transition{
+			Action: act("RecvFetchInv", int(p), int(b)),
+			Next:   next,
+			Copies: copies,
+		})
+	}
+	// Consume Data: fill the line Shared.
+	if ms.data&bit(p) != 0 {
+		next := s.clone()
+		next.msgs[b].data &^= bit(p)
+		next.outstanding &^= bit(p)
+		next.lines[li] = line{state: SharedLn, val: s.resp[p]}
+		next.resp[p] = 0
+		out = append(out, protocol.Transition{
+			Action: act("RecvData", int(p), int(b)),
+			Next:   next,
+			Copies: []protocol.Copy{
+				{Dst: m.CacheLoc(p, b), Src: m.RespLoc(p)},
+				{Dst: m.RespLoc(p), Src: 0},
+			},
+		})
+	}
+	// Consume DataEx: fill the line Modified.
+	if ms.dataEx&bit(p) != 0 {
+		next := s.clone()
+		next.msgs[b].dataEx &^= bit(p)
+		next.outstanding &^= bit(p)
+		next.lines[li] = line{state: ModifiedLn, val: s.resp[p]}
+		next.resp[p] = 0
+		out = append(out, protocol.Transition{
+			Action: act("RecvDataEx", int(p), int(b)),
+			Next:   next,
+			Copies: []protocol.Copy{
+				{Dst: m.CacheLoc(p, b), Src: m.RespLoc(p)},
+				{Dst: m.RespLoc(p), Src: 0},
+			},
+		})
+	}
+	return out
+}
+
+// homeTransitions are the home-node moves for block b.
+func (m *Protocol) homeTransitions(s state, b trace.BlockID) []protocol.Transition {
+	var out []protocol.Transition
+	d := s.dirs[b]
+	ms := s.msgs[b]
+
+	// Process a PutM write-back when not busy: memory absorbs the data.
+	if (d.state == DirExclusive || d.state == Uncached || d.state == DirShared) && ms.wbData != 0 {
+		for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+			if ms.wbData&bit(q) == 0 {
+				continue
+			}
+			next := s.clone()
+			next.msgs[b].wbData &^= bit(q)
+			next.mem[b] = s.wb[m.wbIdx(q, b)]
+			next.wb[m.wbIdx(q, b)] = 0
+			if d.state == DirExclusive && d.owner == q {
+				next.dirs[b] = dirEntry{state: Uncached}
+			}
+			out = append(out, protocol.Transition{
+				Action: act("HomeWB", int(q), int(b)),
+				Next:   next,
+				Copies: []protocol.Copy{
+					{Dst: m.MemLoc(b), Src: m.WBLoc(q, b)},
+					{Dst: m.WBLoc(q, b), Src: 0},
+				},
+			})
+		}
+	}
+
+	// Process requests when the directory is not busy.
+	if d.state == Uncached || d.state == DirShared || d.state == DirExclusive {
+		for p := trace.ProcID(1); int(p) <= m.P.Procs; p++ {
+			if ms.getS&bit(p) != 0 {
+				out = append(out, m.homeGetS(s, p, b))
+			}
+			if ms.getX&bit(p) != 0 {
+				out = append(out, m.homeGetX(s, p, b))
+			}
+		}
+	}
+
+	// Collect invalidation acks.
+	if d.state == BusyInv && ms.invAck > 0 {
+		next := s.clone()
+		next.msgs[b].invAck--
+		next.dirs[b].acks--
+		var copies []protocol.Copy
+		if next.dirs[b].acks == 0 {
+			// All sharers gone: grant exclusive data from memory.
+			next.msgs[b].dataEx |= bit(d.requester)
+			next.resp[d.requester] = s.mem[b]
+			next.dirs[b] = dirEntry{state: DirExclusive, owner: d.requester}
+			copies = append(copies, protocol.Copy{Dst: m.RespLoc(d.requester), Src: m.MemLoc(b)})
+		}
+		out = append(out, protocol.Transition{
+			Action: act("HomeInvAck", int(b)),
+			Next:   next,
+			Copies: copies,
+		})
+	}
+
+	// Absorb the owner's write-back while busy, completing the pending
+	// request.
+	if (d.state == BusyFetchS || d.state == BusyFetchX) && ms.wbData != 0 {
+		for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+			if ms.wbData&bit(q) == 0 {
+				continue
+			}
+			next := s.clone()
+			next.msgs[b].wbData &^= bit(q)
+			next.mem[b] = s.wb[m.wbIdx(q, b)]
+			next.wb[m.wbIdx(q, b)] = 0
+			copies := []protocol.Copy{
+				{Dst: m.MemLoc(b), Src: m.WBLoc(q, b)},
+				{Dst: m.RespLoc(d.requester), Src: m.WBLoc(q, b)},
+				{Dst: m.WBLoc(q, b), Src: 0},
+			}
+			next.resp[d.requester] = next.mem[b]
+			if d.state == BusyFetchS {
+				next.msgs[b].data |= bit(d.requester)
+				sharers := bit(d.requester)
+				// The previous owner kept a Shared copy unless it had
+				// already evicted (PutM): its line state tells which.
+				if s.lines[m.lineIdx(q, b)].state == SharedLn {
+					sharers |= bit(q)
+				}
+				next.dirs[b] = dirEntry{state: DirShared, sharers: sharers}
+			} else {
+				next.msgs[b].dataEx |= bit(d.requester)
+				next.dirs[b] = dirEntry{state: DirExclusive, owner: d.requester}
+			}
+			out = append(out, protocol.Transition{
+				Action: act("HomeFetchWB", int(q), int(b)),
+				Next:   next,
+				Copies: copies,
+			})
+		}
+	}
+
+	return out
+}
+
+// homeGetS processes a GetS(p,b) at a non-busy home.
+func (m *Protocol) homeGetS(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	d := s.dirs[b]
+	next := s.clone()
+	next.msgs[b].getS &^= bit(p)
+	var copies []protocol.Copy
+	switch d.state {
+	case Uncached, DirShared:
+		next.msgs[b].data |= bit(p)
+		next.resp[p] = s.mem[b]
+		next.dirs[b].state = DirShared
+		next.dirs[b].sharers |= bit(p)
+		copies = append(copies, protocol.Copy{Dst: m.RespLoc(p), Src: m.MemLoc(b)})
+	case DirExclusive:
+		next.dirs[b] = dirEntry{state: BusyFetchS, owner: d.owner, requester: p}
+		next.msgs[b].fetch |= bit(d.owner)
+	}
+	return protocol.Transition{
+		Action: act("HomeGetS", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// homeGetX processes a GetX(p,b) at a non-busy home.
+func (m *Protocol) homeGetX(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	d := s.dirs[b]
+	next := s.clone()
+	next.msgs[b].getX &^= bit(p)
+	var copies []protocol.Copy
+	switch d.state {
+	case Uncached:
+		next.msgs[b].dataEx |= bit(p)
+		next.resp[p] = s.mem[b]
+		next.dirs[b] = dirEntry{state: DirExclusive, owner: p}
+		copies = append(copies, protocol.Copy{Dst: m.RespLoc(p), Src: m.MemLoc(b)})
+	case DirShared:
+		others := d.sharers &^ bit(p)
+		if others == 0 {
+			next.msgs[b].dataEx |= bit(p)
+			next.resp[p] = s.mem[b]
+			next.dirs[b] = dirEntry{state: DirExclusive, owner: p}
+			copies = append(copies, protocol.Copy{Dst: m.RespLoc(p), Src: m.MemLoc(b)})
+		} else {
+			acks := int8(0)
+			for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+				if others&bit(q) != 0 {
+					next.msgs[b].inv |= bit(q)
+					acks++
+				}
+			}
+			next.dirs[b] = dirEntry{state: BusyInv, requester: p, acks: acks}
+		}
+	case DirExclusive:
+		next.dirs[b] = dirEntry{state: BusyFetchX, owner: d.owner, requester: p}
+		next.msgs[b].fetchInv |= bit(d.owner)
+	}
+	return protocol.Transition{
+		Action: act("HomeGetX", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}

@@ -1,0 +1,258 @@
+// Package dragonbus implements a Dragon-style update-based snooping-bus
+// protocol: instead of invalidating other caches, a store broadcasts the
+// new value and every sharer updates its copy in place. This is the only
+// protocol family in the suite whose stores write MULTIPLE storage
+// locations in one transition (the writer's line plus every sharer's),
+// exercising the post-operation copy tracking labels end to end. Like
+// MOESI, memory stays stale while a modified owner exists.
+//
+// Line states: I (invalid), Sc (shared clean), Sm (shared modified —
+// owner among sharers), E (exclusive clean), M (modified exclusive).
+// Invariants: at most one Sm/M line per block; if two or more valid
+// copies exist they all hold the same value; memory is current iff no
+// Sm/M line exists.
+//
+// Location layout matches the other bus protocols: memory 1..b;
+// processor P's line for block B is b + (P-1)·b + B.
+package dragonbus
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// LineState is a cache line's Dragon state.
+type LineState uint8
+
+const (
+	// Invalid lines hold no value.
+	Invalid LineState = iota
+	// SharedClean lines hold a copy that matches the coherent value.
+	SharedClean
+	// SharedModified lines own dirty data that other caches share.
+	SharedModified
+	// Exclusive lines hold the only cached copy, clean w.r.t. memory.
+	Exclusive
+	// Modified lines hold the only cached copy, dirty w.r.t. memory.
+	Modified
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case SharedClean:
+		return "Sc"
+	case SharedModified:
+		return "Sm"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// Protocol is the Dragon bus protocol.
+type Protocol struct {
+	P trace.Params
+}
+
+// New returns a Dragon protocol.
+func New(p trace.Params) *Protocol { return &Protocol{P: p} }
+
+// Name implements protocol.Protocol.
+func (m *Protocol) Name() string { return "dragon-bus" }
+
+// Params implements protocol.Protocol.
+func (m *Protocol) Params() trace.Params { return m.P }
+
+// Locations implements protocol.Protocol.
+func (m *Protocol) Locations() int { return m.P.Blocks * (1 + m.P.Procs) }
+
+// MemLoc returns block b's memory location.
+func (m *Protocol) MemLoc(b trace.BlockID) int { return int(b) }
+
+// CacheLoc returns processor p's line location for block b.
+func (m *Protocol) CacheLoc(p trace.ProcID, b trace.BlockID) int {
+	return m.P.Blocks + (int(p)-1)*m.P.Blocks + int(b)
+}
+
+type line struct {
+	state LineState
+	val   trace.Value
+}
+
+type state struct {
+	mem   []trace.Value
+	lines []line
+}
+
+func (s state) clone() state {
+	n := state{mem: make([]trace.Value, len(s.mem)), lines: make([]line, len(s.lines))}
+	copy(n.mem, s.mem)
+	copy(n.lines, s.lines)
+	return n
+}
+
+// Key implements protocol.State.
+func (s state) Key() string {
+	buf := make([]byte, 0, len(s.mem)+3*len(s.lines))
+	for _, v := range s.mem[1:] {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, l := range s.lines {
+		buf = append(buf, byte(l.state))
+		buf = binary.AppendUvarint(buf, uint64(l.val))
+	}
+	return string(buf)
+}
+
+func (m *Protocol) lineIdx(p trace.ProcID, b trace.BlockID) int {
+	return (int(p)-1)*m.P.Blocks + int(b) - 1
+}
+
+// Initial implements protocol.Protocol.
+func (m *Protocol) Initial() protocol.State {
+	return state{
+		mem:   make([]trace.Value, m.P.Blocks+1),
+		lines: make([]line, m.P.Procs*m.P.Blocks),
+	}
+}
+
+// owner finds the Sm/M holder for block b, excluding p.
+func (m *Protocol) owner(s state, b trace.BlockID, exclude trace.ProcID) (trace.ProcID, bool) {
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q == exclude {
+			continue
+		}
+		st := s.lines[m.lineIdx(q, b)].state
+		if st == Modified || st == SharedModified {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// sharers lists processors with valid lines for b, excluding p.
+func (m *Protocol) sharers(s state, b trace.BlockID, exclude trace.ProcID) []trace.ProcID {
+	var out []trace.ProcID
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q != exclude && s.lines[m.lineIdx(q, b)].state != Invalid {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Transitions implements protocol.Protocol.
+func (m *Protocol) Transitions(ps protocol.State) []protocol.Transition {
+	s := ps.(state)
+	var out []protocol.Transition
+	for p := trace.ProcID(1); int(p) <= m.P.Procs; p++ {
+		for b := trace.BlockID(1); int(b) <= m.P.Blocks; b++ {
+			ln := s.lines[m.lineIdx(p, b)]
+			if ln.state != Invalid {
+				// Hit load.
+				out = append(out, protocol.Transition{
+					Action: protocol.MemOp(trace.LD(p, b, ln.val)),
+					Next:   s,
+					Loc:    m.CacheLoc(p, b),
+				})
+				// Updating store: broadcast the new value to every sharer.
+				out = append(out, m.stores(s, p, b)...)
+				out = append(out, m.evict(s, p, b))
+			} else {
+				out = append(out, m.busRd(s, p, b))
+			}
+		}
+	}
+	return out
+}
+
+// stores produces the update-broadcast store transitions for a valid line.
+func (m *Protocol) stores(s state, p trace.ProcID, b trace.BlockID) []protocol.Transition {
+	others := m.sharers(s, b, p)
+	var out []protocol.Transition
+	for v := trace.Value(1); int(v) <= m.P.Values; v++ {
+		next := s.clone()
+		li := m.lineIdx(p, b)
+		var copies []protocol.Copy
+		if len(others) == 0 {
+			next.lines[li] = line{state: Modified, val: v}
+		} else {
+			next.lines[li] = line{state: SharedModified, val: v}
+			for _, q := range others {
+				qi := m.lineIdx(q, b)
+				// Every sharer takes the broadcast update in place and is
+				// demoted to shared-clean (the writer owns the dirty data).
+				next.lines[qi] = line{state: SharedClean, val: v}
+				copies = append(copies, protocol.Copy{Dst: m.CacheLoc(q, b), Src: m.CacheLoc(p, b)})
+			}
+		}
+		out = append(out, protocol.Transition{
+			Action: protocol.MemOp(trace.ST(p, b, v)),
+			Next:   next,
+			Loc:    m.CacheLoc(p, b),
+			Copies: copies, // post-op copies: they read the freshly stored value
+		})
+	}
+	return out
+}
+
+// busRd fills an invalid line: the Sm/M owner supplies data cache-to-cache
+// (demoting M to Sm), otherwise memory supplies; the incoming line is
+// Exclusive only when no other cache holds the block.
+func (m *Protocol) busRd(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	li := m.lineIdx(p, b)
+	var copies []protocol.Copy
+	if q, ok := m.owner(s, b, p); ok {
+		qi := m.lineIdx(q, b)
+		next.lines[qi].state = SharedModified
+		next.lines[li] = line{state: SharedClean, val: s.lines[qi].val}
+		copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: m.CacheLoc(q, b)})
+	} else {
+		others := m.sharers(s, b, p)
+		st := Exclusive
+		if len(others) > 0 {
+			st = SharedClean
+			for _, q := range others {
+				// An Exclusive holder is demoted to shared-clean.
+				next.lines[m.lineIdx(q, b)].state = SharedClean
+			}
+		}
+		next.lines[li] = line{state: st, val: s.mem[b]}
+		copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: m.MemLoc(b)})
+	}
+	return protocol.Transition{
+		Action: protocol.Internal("BusRd", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// evict drops a line; Sm and M lines write their dirty data back first.
+// When the Sm owner leaves, remaining shared-clean copies stay valid and
+// memory becomes current again.
+func (m *Protocol) evict(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	li := m.lineIdx(p, b)
+	var copies []protocol.Copy
+	if st := s.lines[li].state; st == Modified || st == SharedModified {
+		next.mem[b] = s.lines[li].val
+		copies = append(copies, protocol.Copy{Dst: m.MemLoc(b), Src: m.CacheLoc(p, b)})
+	}
+	next.lines[li] = line{}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: 0})
+	return protocol.Transition{
+		Action: protocol.Internal("Evict", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}

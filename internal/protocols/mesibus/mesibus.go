@@ -1,0 +1,252 @@
+// Package mesibus implements a MESI snooping-bus cache-coherence protocol:
+// MSI extended with an Exclusive state that a cache enters when a BusRd
+// finds no other sharer, allowing the first subsequent store to proceed
+// silently (no bus transaction). The silent E→M upgrade is the
+// interesting wrinkle for verification: the store still serializes in
+// real time, so the trivial ST-order generator remains sufficient, but
+// the data path differs from MSI.
+//
+// Location layout matches msibus: locations 1..b are memory; processor
+// P's line for block B is b + (P-1)·b + B.
+package mesibus
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// LineState is a cache line's MESI state.
+type LineState uint8
+
+const (
+	// Invalid lines hold no value.
+	Invalid LineState = iota
+	// Shared lines hold a clean copy that other caches may also hold.
+	Shared
+	// Exclusive lines hold the only cached copy, clean w.r.t. memory.
+	Exclusive
+	// Modified lines hold the only valid copy, possibly newer than memory.
+	Modified
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// Protocol is the MESI bus protocol.
+type Protocol struct {
+	P trace.Params
+}
+
+// New returns a MESI protocol.
+func New(p trace.Params) *Protocol { return &Protocol{P: p} }
+
+// Name implements protocol.Protocol.
+func (m *Protocol) Name() string { return "mesi-bus" }
+
+// Params implements protocol.Protocol.
+func (m *Protocol) Params() trace.Params { return m.P }
+
+// Locations implements protocol.Protocol.
+func (m *Protocol) Locations() int { return m.P.Blocks * (1 + m.P.Procs) }
+
+// MemLoc returns block b's memory location.
+func (m *Protocol) MemLoc(b trace.BlockID) int { return int(b) }
+
+// CacheLoc returns processor p's line location for block b.
+func (m *Protocol) CacheLoc(p trace.ProcID, b trace.BlockID) int {
+	return m.P.Blocks + (int(p)-1)*m.P.Blocks + int(b)
+}
+
+type line struct {
+	state LineState
+	val   trace.Value
+}
+
+type state struct {
+	mem   []trace.Value
+	lines []line
+}
+
+func (s state) clone() state {
+	n := state{mem: make([]trace.Value, len(s.mem)), lines: make([]line, len(s.lines))}
+	copy(n.mem, s.mem)
+	copy(n.lines, s.lines)
+	return n
+}
+
+// Key implements protocol.State.
+func (s state) Key() string {
+	buf := make([]byte, 0, len(s.mem)+3*len(s.lines))
+	for _, v := range s.mem[1:] {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, l := range s.lines {
+		buf = append(buf, byte(l.state))
+		buf = binary.AppendUvarint(buf, uint64(l.val))
+	}
+	return string(buf)
+}
+
+func (m *Protocol) lineIdx(p trace.ProcID, b trace.BlockID) int {
+	return (int(p)-1)*m.P.Blocks + int(b) - 1
+}
+
+// Initial implements protocol.Protocol.
+func (m *Protocol) Initial() protocol.State {
+	return state{
+		mem:   make([]trace.Value, m.P.Blocks+1),
+		lines: make([]line, m.P.Procs*m.P.Blocks),
+	}
+}
+
+// Transitions implements protocol.Protocol.
+func (m *Protocol) Transitions(ps protocol.State) []protocol.Transition {
+	s := ps.(state)
+	var out []protocol.Transition
+	for p := trace.ProcID(1); int(p) <= m.P.Procs; p++ {
+		for b := trace.BlockID(1); int(b) <= m.P.Blocks; b++ {
+			ln := s.lines[m.lineIdx(p, b)]
+			if ln.state != Invalid {
+				// Cache hit load from S, E or M.
+				out = append(out, protocol.Transition{
+					Action: protocol.MemOp(trace.LD(p, b, ln.val)),
+					Next:   s,
+					Loc:    m.CacheLoc(p, b),
+				})
+				out = append(out, m.evict(s, p, b))
+			}
+			if ln.state == Invalid {
+				out = append(out, m.busRd(s, p, b))
+				out = append(out, m.busRdX(s, p, b))
+			}
+			if ln.state == Shared {
+				out = append(out, m.busRdX(s, p, b))
+			}
+			if ln.state == Exclusive || ln.state == Modified {
+				// Store hit: E upgrades to M silently.
+				for v := trace.Value(1); int(v) <= m.P.Values; v++ {
+					next := s.clone()
+					next.lines[m.lineIdx(p, b)] = line{state: Modified, val: v}
+					out = append(out, protocol.Transition{
+						Action: protocol.MemOp(trace.ST(p, b, v)),
+						Next:   next,
+						Loc:    m.CacheLoc(p, b),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// busRd obtains a copy: Exclusive when no other cache holds the line,
+// Shared otherwise. A Modified owner supplies data and writes back.
+func (m *Protocol) busRd(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	var copies []protocol.Copy
+	src := m.MemLoc(b)
+	anyOther := false
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q == p {
+			continue
+		}
+		qi := m.lineIdx(q, b)
+		switch s.lines[qi].state {
+		case Modified:
+			anyOther = true
+			src = m.CacheLoc(q, b)
+			next.mem[b] = s.lines[qi].val
+			next.lines[qi].state = Shared
+			copies = append(copies, protocol.Copy{Dst: m.MemLoc(b), Src: m.CacheLoc(q, b)})
+		case Exclusive:
+			anyOther = true
+			next.lines[qi].state = Shared
+		case Shared:
+			anyOther = true
+		}
+	}
+	li := m.lineIdx(p, b)
+	if anyOther {
+		next.lines[li].state = Shared
+	} else {
+		next.lines[li].state = Exclusive
+	}
+	if src == m.MemLoc(b) {
+		next.lines[li].val = s.mem[b]
+	} else {
+		next.lines[li].val = s.lines[src-m.P.Blocks-1].val
+	}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: src})
+	return protocol.Transition{
+		Action: protocol.Internal("BusRd", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// busRdX obtains exclusive ownership, invalidating all other copies.
+func (m *Protocol) busRdX(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	var copies []protocol.Copy
+	src := m.MemLoc(b)
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q == p {
+			continue
+		}
+		qi := m.lineIdx(q, b)
+		if s.lines[qi].state == Modified {
+			src = m.CacheLoc(q, b)
+		}
+		if s.lines[qi].state != Invalid {
+			next.lines[qi] = line{}
+			copies = append(copies, protocol.Copy{Dst: m.CacheLoc(q, b), Src: 0})
+		}
+	}
+	li := m.lineIdx(p, b)
+	next.lines[li].state = Modified
+	if src == m.MemLoc(b) {
+		next.lines[li].val = s.mem[b]
+	} else {
+		next.lines[li].val = s.lines[src-m.P.Blocks-1].val
+	}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: src})
+	return protocol.Transition{
+		Action: protocol.Internal("BusRdX", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// evict drops a line, writing Modified data back first.
+func (m *Protocol) evict(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	li := m.lineIdx(p, b)
+	var copies []protocol.Copy
+	if s.lines[li].state == Modified {
+		next.mem[b] = s.lines[li].val
+		copies = append(copies, protocol.Copy{Dst: m.MemLoc(b), Src: m.CacheLoc(p, b)})
+	}
+	next.lines[li] = line{}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: 0})
+	return protocol.Transition{
+		Action: protocol.Internal("Evict", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}

@@ -1,0 +1,270 @@
+// Package moesibus implements a MOESI snooping-bus cache-coherence
+// protocol: MESI extended with an Owned state, entered when a Modified
+// line is snooped by a reader. The owner keeps supplying dirty data
+// cache-to-cache — memory stays stale until the owned line is evicted —
+// which exercises a data path none of the other bus protocols has: values
+// can circulate between caches for arbitrarily long without ever passing
+// through memory, so inheritance edges must be derived purely from the
+// copy tracking labels.
+//
+// Location layout matches msibus/mesibus: locations 1..b are memory;
+// processor P's line for block B is b + (P-1)·b + B.
+package moesibus
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// LineState is a cache line's MOESI state.
+type LineState uint8
+
+const (
+	// Invalid lines hold no value.
+	Invalid LineState = iota
+	// Shared lines hold a copy that may be stale w.r.t. an Owned line
+	// elsewhere but is the current coherent value.
+	Shared
+	// Exclusive lines hold the only cached copy, clean w.r.t. memory.
+	Exclusive
+	// Owned lines hold dirty data being shared: this cache must supply
+	// readers and write back on eviction.
+	Owned
+	// Modified lines hold the only valid copy, dirty w.r.t. memory.
+	Modified
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// Protocol is the MOESI bus protocol.
+type Protocol struct {
+	P trace.Params
+}
+
+// New returns a MOESI protocol.
+func New(p trace.Params) *Protocol { return &Protocol{P: p} }
+
+// Name implements protocol.Protocol.
+func (m *Protocol) Name() string { return "moesi-bus" }
+
+// Params implements protocol.Protocol.
+func (m *Protocol) Params() trace.Params { return m.P }
+
+// Locations implements protocol.Protocol.
+func (m *Protocol) Locations() int { return m.P.Blocks * (1 + m.P.Procs) }
+
+// MemLoc returns block b's memory location.
+func (m *Protocol) MemLoc(b trace.BlockID) int { return int(b) }
+
+// CacheLoc returns processor p's line location for block b.
+func (m *Protocol) CacheLoc(p trace.ProcID, b trace.BlockID) int {
+	return m.P.Blocks + (int(p)-1)*m.P.Blocks + int(b)
+}
+
+type line struct {
+	state LineState
+	val   trace.Value
+}
+
+type state struct {
+	mem   []trace.Value
+	lines []line
+}
+
+func (s state) clone() state {
+	n := state{mem: make([]trace.Value, len(s.mem)), lines: make([]line, len(s.lines))}
+	copy(n.mem, s.mem)
+	copy(n.lines, s.lines)
+	return n
+}
+
+// Key implements protocol.State.
+func (s state) Key() string {
+	buf := make([]byte, 0, len(s.mem)+3*len(s.lines))
+	for _, v := range s.mem[1:] {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, l := range s.lines {
+		buf = append(buf, byte(l.state))
+		buf = binary.AppendUvarint(buf, uint64(l.val))
+	}
+	return string(buf)
+}
+
+func (m *Protocol) lineIdx(p trace.ProcID, b trace.BlockID) int {
+	return (int(p)-1)*m.P.Blocks + int(b) - 1
+}
+
+// Initial implements protocol.Protocol.
+func (m *Protocol) Initial() protocol.State {
+	return state{
+		mem:   make([]trace.Value, m.P.Blocks+1),
+		lines: make([]line, m.P.Procs*m.P.Blocks),
+	}
+}
+
+// supplier finds the cache (if any) that must source data for block b:
+// the Modified or Owned line.
+func (m *Protocol) supplier(s state, b trace.BlockID, exclude trace.ProcID) (trace.ProcID, bool) {
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q == exclude {
+			continue
+		}
+		st := s.lines[m.lineIdx(q, b)].state
+		if st == Modified || st == Owned {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// Transitions implements protocol.Protocol.
+func (m *Protocol) Transitions(ps protocol.State) []protocol.Transition {
+	s := ps.(state)
+	var out []protocol.Transition
+	for p := trace.ProcID(1); int(p) <= m.P.Procs; p++ {
+		for b := trace.BlockID(1); int(b) <= m.P.Blocks; b++ {
+			ln := s.lines[m.lineIdx(p, b)]
+			if ln.state != Invalid {
+				out = append(out, protocol.Transition{
+					Action: protocol.MemOp(trace.LD(p, b, ln.val)),
+					Next:   s,
+					Loc:    m.CacheLoc(p, b),
+				})
+				out = append(out, m.evict(s, p, b))
+			}
+			if ln.state == Invalid {
+				out = append(out, m.busRd(s, p, b))
+				out = append(out, m.busRdX(s, p, b))
+			}
+			if ln.state == Shared || ln.state == Owned {
+				// Upgrade: invalidate other copies, then write.
+				out = append(out, m.busRdX(s, p, b))
+			}
+			if ln.state == Exclusive || ln.state == Modified {
+				for v := trace.Value(1); int(v) <= m.P.Values; v++ {
+					next := s.clone()
+					next.lines[m.lineIdx(p, b)] = line{state: Modified, val: v}
+					out = append(out, protocol.Transition{
+						Action: protocol.MemOp(trace.ST(p, b, v)),
+						Next:   next,
+						Loc:    m.CacheLoc(p, b),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// busRd obtains a readable copy. A Modified or Owned line elsewhere
+// supplies the data cache-to-cache WITHOUT a memory writeback — the
+// supplier transitions to (or stays in) Owned. Otherwise memory supplies,
+// Exclusive if no other cache holds the line.
+func (m *Protocol) busRd(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	var copies []protocol.Copy
+	li := m.lineIdx(p, b)
+
+	if q, ok := m.supplier(s, b, p); ok {
+		qi := m.lineIdx(q, b)
+		next.lines[qi].state = Owned
+		next.lines[li] = line{state: Shared, val: s.lines[qi].val}
+		copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: m.CacheLoc(q, b)})
+	} else {
+		anyOther := false
+		for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+			if q != p && s.lines[m.lineIdx(q, b)].state != Invalid {
+				anyOther = true
+				next.lines[m.lineIdx(q, b)].state = Shared
+			}
+		}
+		st := Exclusive
+		if anyOther {
+			st = Shared
+		}
+		next.lines[li] = line{state: st, val: s.mem[b]}
+		copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: m.MemLoc(b)})
+	}
+	return protocol.Transition{
+		Action: protocol.Internal("BusRd", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// busRdX obtains exclusive ownership: the dirty holder (if any) supplies
+// data cache-to-cache, everyone else is invalidated, no memory traffic.
+func (m *Protocol) busRdX(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	var copies []protocol.Copy
+	li := m.lineIdx(p, b)
+
+	src := m.MemLoc(b)
+	val := s.mem[b]
+	if q, ok := m.supplier(s, b, p); ok {
+		src = m.CacheLoc(q, b)
+		val = s.lines[m.lineIdx(q, b)].val
+	} else if s.lines[li].state == Owned {
+		// Upgrading our own Owned line: we already have the dirty data.
+		src = m.CacheLoc(p, b)
+		val = s.lines[li].val
+	}
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q == p {
+			continue
+		}
+		qi := m.lineIdx(q, b)
+		if s.lines[qi].state != Invalid {
+			next.lines[qi] = line{}
+			copies = append(copies, protocol.Copy{Dst: m.CacheLoc(q, b), Src: 0})
+		}
+	}
+	next.lines[li] = line{state: Modified, val: val}
+	if src != m.CacheLoc(p, b) {
+		copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: src})
+	}
+	return protocol.Transition{
+		Action: protocol.Internal("BusRdX", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// evict drops a line; Owned and Modified lines write their dirty data
+// back to memory first.
+func (m *Protocol) evict(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	li := m.lineIdx(p, b)
+	var copies []protocol.Copy
+	if st := s.lines[li].state; st == Modified || st == Owned {
+		next.mem[b] = s.lines[li].val
+		copies = append(copies, protocol.Copy{Dst: m.MemLoc(b), Src: m.CacheLoc(p, b)})
+	}
+	next.lines[li] = line{}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: 0})
+	return protocol.Transition{
+		Action: protocol.Internal("Evict", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}

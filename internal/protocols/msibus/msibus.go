@@ -1,0 +1,289 @@
+// Package msibus implements an MSI snooping-bus cache-coherence protocol:
+// every processor has a private cache with one line per block in state
+// Modified, Shared or Invalid, and bus transactions (BusRd, BusRdX,
+// eviction, writeback) are atomic global steps. This is the classic
+// textbook protocol family the paper's Section 4 arguments target: values
+// live in explicit storage locations (memory plus cache lines), all data
+// movement is copies between locations, and stores serialize in real time
+// — so the trivial ST-order generator suffices.
+//
+// Location layout: locations 1..b are memory; location of processor P's
+// line for block B is b + (P-1)·b + B.
+package msibus
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// LineState is a cache line's MSI state.
+type LineState uint8
+
+const (
+	// Invalid lines hold no value.
+	Invalid LineState = iota
+	// Shared lines hold a clean copy that other caches may share.
+	Shared
+	// Modified lines hold the only valid copy, possibly newer than memory.
+	Modified
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// Bug selects an injected coherence defect for the negative experiments.
+type Bug uint8
+
+const (
+	// NoBug is the correct protocol.
+	NoBug Bug = iota
+	// BugLostWriteback drops Modified lines on eviction without writing
+	// them back, losing stores.
+	BugLostWriteback
+	// BugNoInvalidate lets BusRdX skip invalidating other caches' Shared
+	// copies, allowing stale reads.
+	BugNoInvalidate
+)
+
+// String names the bug for protocol naming.
+func (b Bug) String() string {
+	switch b {
+	case NoBug:
+		return ""
+	case BugLostWriteback:
+		return "lost-writeback"
+	case BugNoInvalidate:
+		return "no-invalidate"
+	default:
+		return fmt.Sprintf("bug-%d", uint8(b))
+	}
+}
+
+// Protocol is the MSI bus protocol, optionally with an injected bug.
+type Protocol struct {
+	P   trace.Params
+	Bug Bug
+}
+
+// New returns a correct MSI protocol.
+func New(p trace.Params) *Protocol { return &Protocol{P: p} }
+
+// NewBuggy returns an MSI protocol with the given defect injected.
+func NewBuggy(p trace.Params, bug Bug) *Protocol { return &Protocol{P: p, Bug: bug} }
+
+// Name implements protocol.Protocol.
+func (m *Protocol) Name() string {
+	if m.Bug == NoBug {
+		return "msi-bus"
+	}
+	return "msi-bus-" + m.Bug.String()
+}
+
+// Params implements protocol.Protocol.
+func (m *Protocol) Params() trace.Params { return m.P }
+
+// Locations implements protocol.Protocol: memory plus one line per
+// (processor, block).
+func (m *Protocol) Locations() int { return m.P.Blocks * (1 + m.P.Procs) }
+
+// MemLoc returns the storage location of block b's memory cell.
+func (m *Protocol) MemLoc(b trace.BlockID) int { return int(b) }
+
+// CacheLoc returns the storage location of processor p's line for block b.
+func (m *Protocol) CacheLoc(p trace.ProcID, b trace.BlockID) int {
+	return m.P.Blocks + (int(p)-1)*m.P.Blocks + int(b)
+}
+
+// line is one cache line's state and value.
+type line struct {
+	state LineState
+	val   trace.Value
+}
+
+// state is the protocol's global state: memory plus all cache lines.
+type state struct {
+	mem   []trace.Value // by block, 1-based
+	lines []line        // by (proc-1)*blocks + (block-1)
+}
+
+func (s state) clone() state {
+	n := state{mem: make([]trace.Value, len(s.mem)), lines: make([]line, len(s.lines))}
+	copy(n.mem, s.mem)
+	copy(n.lines, s.lines)
+	return n
+}
+
+// Key implements protocol.State.
+func (s state) Key() string {
+	buf := make([]byte, 0, len(s.mem)+3*len(s.lines))
+	for _, v := range s.mem[1:] {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, l := range s.lines {
+		buf = append(buf, byte(l.state))
+		buf = binary.AppendUvarint(buf, uint64(l.val))
+	}
+	return string(buf)
+}
+
+func (m *Protocol) lineIdx(p trace.ProcID, b trace.BlockID) int {
+	return (int(p)-1)*m.P.Blocks + int(b) - 1
+}
+
+// Initial implements protocol.Protocol.
+func (m *Protocol) Initial() protocol.State {
+	return state{
+		mem:   make([]trace.Value, m.P.Blocks+1),
+		lines: make([]line, m.P.Procs*m.P.Blocks),
+	}
+}
+
+// Transitions implements protocol.Protocol.
+func (m *Protocol) Transitions(ps protocol.State) []protocol.Transition {
+	s := ps.(state)
+	var out []protocol.Transition
+	for p := trace.ProcID(1); int(p) <= m.P.Procs; p++ {
+		for b := trace.BlockID(1); int(b) <= m.P.Blocks; b++ {
+			ln := s.lines[m.lineIdx(p, b)]
+			switch ln.state {
+			case Shared, Modified:
+				// Cache hit load.
+				out = append(out, protocol.Transition{
+					Action: protocol.MemOp(trace.LD(p, b, ln.val)),
+					Next:   s,
+					Loc:    m.CacheLoc(p, b),
+				})
+			case Invalid:
+				// BusRd: obtain a Shared copy. If another cache holds the
+				// line Modified, it supplies the data and writes back.
+				out = append(out, m.busRd(s, p, b))
+				// BusRdX: obtain exclusive ownership for a store.
+				out = append(out, m.busRdX(s, p, b))
+			}
+			if ln.state == Modified {
+				// Store hit: write the cache line in place.
+				for v := trace.Value(1); int(v) <= m.P.Values; v++ {
+					next := s.clone()
+					next.lines[m.lineIdx(p, b)].val = v
+					out = append(out, protocol.Transition{
+						Action: protocol.MemOp(trace.ST(p, b, v)),
+						Next:   next,
+						Loc:    m.CacheLoc(p, b),
+					})
+				}
+			}
+			if ln.state == Shared {
+				// Upgrade to Modified (BusRdX from Shared).
+				out = append(out, m.busRdX(s, p, b))
+			}
+			if ln.state != Invalid {
+				// Eviction.
+				out = append(out, m.evict(s, p, b))
+			}
+		}
+	}
+	return out
+}
+
+// busRd is the shared-read bus transaction for (p, b).
+func (m *Protocol) busRd(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	var copies []protocol.Copy
+	src := m.MemLoc(b)
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q == p {
+			continue
+		}
+		if s.lines[m.lineIdx(q, b)].state == Modified {
+			// Owner supplies data and writes back; it downgrades to Shared.
+			src = m.CacheLoc(q, b)
+			next.mem[b] = s.lines[m.lineIdx(q, b)].val
+			next.lines[m.lineIdx(q, b)].state = Shared
+			copies = append(copies, protocol.Copy{Dst: m.MemLoc(b), Src: m.CacheLoc(q, b)})
+		}
+	}
+	li := m.lineIdx(p, b)
+	next.lines[li].state = Shared
+	if src == m.MemLoc(b) {
+		next.lines[li].val = s.mem[b]
+	} else {
+		next.lines[li].val = s.lines[src-m.P.Blocks-1].val
+	}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: src})
+	return protocol.Transition{
+		Action: protocol.Internal("BusRd", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// busRdX is the exclusive-read bus transaction for (p, b).
+func (m *Protocol) busRdX(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	var copies []protocol.Copy
+	src := m.MemLoc(b)
+	for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+		if q == p {
+			continue
+		}
+		qi := m.lineIdx(q, b)
+		switch s.lines[qi].state {
+		case Modified:
+			// Owner supplies data; its copy is invalidated.
+			src = m.CacheLoc(q, b)
+			next.lines[qi] = line{}
+			copies = append(copies, protocol.Copy{Dst: m.CacheLoc(q, b), Src: 0})
+		case Shared:
+			if m.Bug != BugNoInvalidate {
+				next.lines[qi] = line{}
+				copies = append(copies, protocol.Copy{Dst: m.CacheLoc(q, b), Src: 0})
+			}
+		}
+	}
+	li := m.lineIdx(p, b)
+	next.lines[li].state = Modified
+	if src == m.MemLoc(b) {
+		next.lines[li].val = s.mem[b]
+	} else {
+		next.lines[li].val = s.lines[src-m.P.Blocks-1].val
+	}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: src})
+	return protocol.Transition{
+		Action: protocol.Internal("BusRdX", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}
+
+// evict drops a line, writing back Modified data unless the lost-writeback
+// bug is injected.
+func (m *Protocol) evict(s state, p trace.ProcID, b trace.BlockID) protocol.Transition {
+	next := s.clone()
+	li := m.lineIdx(p, b)
+	var copies []protocol.Copy
+	if s.lines[li].state == Modified && m.Bug != BugLostWriteback {
+		next.mem[b] = s.lines[li].val
+		copies = append(copies, protocol.Copy{Dst: m.MemLoc(b), Src: m.CacheLoc(p, b)})
+	}
+	next.lines[li] = line{}
+	copies = append(copies, protocol.Copy{Dst: m.CacheLoc(p, b), Src: 0})
+	return protocol.Transition{
+		Action: protocol.Internal("Evict", int(p), int(b)),
+		Next:   next,
+		Copies: copies,
+	}
+}

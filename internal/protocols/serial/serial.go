@@ -1,0 +1,78 @@
+// Package serial implements the "serial memory" reference protocol: every
+// memory operation acts instantaneously and atomically on a single shared
+// memory array. It is the simplest member of the class Γ — each block's
+// storage location is the block itself, every store is serialized in real
+// time, and every load reads the current memory value — and serves as the
+// base case for the verification experiments.
+package serial
+
+import (
+	"encoding/binary"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// Memory is the serial-memory protocol. Location l holds block l's value,
+// so L = b.
+type Memory struct {
+	P trace.Params
+}
+
+// New returns a serial memory with the given parameters.
+func New(p trace.Params) *Memory { return &Memory{P: p} }
+
+// Name implements protocol.Protocol.
+func (m *Memory) Name() string { return "serial" }
+
+// Params implements protocol.Protocol.
+func (m *Memory) Params() trace.Params { return m.P }
+
+// Locations implements protocol.Protocol: one location per block.
+func (m *Memory) Locations() int { return m.P.Blocks }
+
+type state struct {
+	mem []trace.Value // by block, 1-based; index 0 unused
+}
+
+// Key implements protocol.State.
+func (s state) Key() string {
+	buf := make([]byte, 0, len(s.mem)*2)
+	for _, v := range s.mem[1:] {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return string(buf)
+}
+
+// Initial implements protocol.Protocol.
+func (m *Memory) Initial() protocol.State {
+	return state{mem: make([]trace.Value, m.P.Blocks+1)}
+}
+
+// Transitions implements protocol.Protocol: every store of every value and
+// the (unique) current-value load of each block, for every processor.
+func (m *Memory) Transitions(s protocol.State) []protocol.Transition {
+	st := s.(state)
+	var out []protocol.Transition
+	for p := 1; p <= m.P.Procs; p++ {
+		for b := 1; b <= m.P.Blocks; b++ {
+			// Load returns the current memory value (possibly Bottom).
+			out = append(out, protocol.Transition{
+				Action: protocol.MemOp(trace.LD(trace.ProcID(p), trace.BlockID(b), st.mem[b])),
+				Next:   st,
+				Loc:    b,
+			})
+			for v := 1; v <= m.P.Values; v++ {
+				next := state{mem: make([]trace.Value, len(st.mem))}
+				copy(next.mem, st.mem)
+				next.mem[b] = trace.Value(v)
+				out = append(out, protocol.Transition{
+					Action: protocol.MemOp(trace.ST(trace.ProcID(p), trace.BlockID(b), trace.Value(v))),
+					Next:   next,
+					Loc:    b,
+				})
+			}
+		}
+	}
+	return out
+}

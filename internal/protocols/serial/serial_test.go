@@ -1,0 +1,78 @@
+package serial
+
+import (
+	"testing"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+func TestBasics(t *testing.T) {
+	m := New(trace.Params{Procs: 2, Blocks: 3, Values: 2})
+	if m.Name() != "serial" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if m.Locations() != 3 {
+		t.Errorf("Locations = %d, want one per block", m.Locations())
+	}
+	if err := protocol.Validate(m, m.Initial()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryTraceIsSerial(t *testing.T) {
+	// Serial memory's defining property: the identity order is always a
+	// serial reordering.
+	m := New(trace.Params{Procs: 3, Blocks: 2, Values: 3})
+	for seed := int64(0); seed < 20; seed++ {
+		run := protocol.RandomRun(m, 40, seed)
+		if !run.Trace.IsSerial() {
+			t.Fatalf("seed %d: non-serial trace: %s", seed, run.Trace)
+		}
+	}
+}
+
+func TestLoadsReflectLatestStore(t *testing.T) {
+	m := New(trace.Params{Procs: 1, Blocks: 1, Values: 2})
+	r := protocol.NewRunner(m)
+	take := func(want string) {
+		t.Helper()
+		for _, tr := range r.Enabled() {
+			if tr.Action.String() == want {
+				r.Take(tr)
+				return
+			}
+		}
+		t.Fatalf("action %q not enabled", want)
+	}
+	take("LD(P1,B1,⊥)")
+	take("ST(P1,B1,2)")
+	take("LD(P1,B1,2)")
+	take("ST(P1,B1,1)")
+	take("LD(P1,B1,1)")
+}
+
+func TestTransitionCount(t *testing.T) {
+	// p·b loads plus p·b·v stores from every state.
+	m := New(trace.Params{Procs: 2, Blocks: 2, Values: 3})
+	got := len(m.Transitions(m.Initial()))
+	want := 2*2 + 2*2*3
+	if got != want {
+		t.Errorf("transitions = %d, want %d", got, want)
+	}
+}
+
+func TestStateKeyDistinguishesMemory(t *testing.T) {
+	m := New(trace.Params{Procs: 1, Blocks: 1, Values: 2})
+	s0 := m.Initial()
+	var s1 protocol.State
+	for _, tr := range m.Transitions(s0) {
+		if tr.Action.IsMem() && tr.Action.Op.IsStore() {
+			s1 = tr.Next
+			break
+		}
+	}
+	if s0.Key() == s1.Key() {
+		t.Error("store did not change the state key")
+	}
+}

@@ -1,0 +1,170 @@
+// Package writethrough implements a write-through, write-no-allocate
+// cache protocol with an atomic bus: every store updates memory and
+// invalidates all other cached copies in one bus transaction; loads fill
+// the local cache from memory on a miss. Because stores are globally
+// visible the instant they execute, the protocol is trivially in the
+// class Γ with real-time ST ordering, making it the simplest *cached* SC
+// protocol in the suite — one step up from serial memory, one step below
+// MSI. It also comes with an injectable bug (stores that skip the
+// invalidation broadcast) for the negative experiments.
+//
+// Location layout: memory 1..b; processor P's line for block B is
+// b + (P-1)·b + B.
+package writethrough
+
+import (
+	"encoding/binary"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// Protocol is the write-through bus protocol.
+type Protocol struct {
+	P trace.Params
+	// SkipInvalidate injects the coherence bug: stores update memory but
+	// leave other caches' stale copies valid.
+	SkipInvalidate bool
+}
+
+// New returns a correct write-through protocol.
+func New(p trace.Params) *Protocol { return &Protocol{P: p} }
+
+// NewBuggy returns the variant whose stores skip invalidation.
+func NewBuggy(p trace.Params) *Protocol { return &Protocol{P: p, SkipInvalidate: true} }
+
+// Name implements protocol.Protocol.
+func (m *Protocol) Name() string {
+	if m.SkipInvalidate {
+		return "write-through-no-invalidate"
+	}
+	return "write-through"
+}
+
+// Params implements protocol.Protocol.
+func (m *Protocol) Params() trace.Params { return m.P }
+
+// Locations implements protocol.Protocol.
+func (m *Protocol) Locations() int { return m.P.Blocks * (1 + m.P.Procs) }
+
+// MemLoc returns block b's memory location.
+func (m *Protocol) MemLoc(b trace.BlockID) int { return int(b) }
+
+// CacheLoc returns processor p's line location for block b.
+func (m *Protocol) CacheLoc(p trace.ProcID, b trace.BlockID) int {
+	return m.P.Blocks + (int(p)-1)*m.P.Blocks + int(b)
+}
+
+type line struct {
+	valid bool
+	val   trace.Value
+}
+
+type state struct {
+	mem   []trace.Value
+	lines []line
+}
+
+func (s state) clone() state {
+	n := state{mem: make([]trace.Value, len(s.mem)), lines: make([]line, len(s.lines))}
+	copy(n.mem, s.mem)
+	copy(n.lines, s.lines)
+	return n
+}
+
+// Key implements protocol.State.
+func (s state) Key() string {
+	buf := make([]byte, 0, len(s.mem)+2*len(s.lines))
+	for _, v := range s.mem[1:] {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, l := range s.lines {
+		b := byte(0)
+		if l.valid {
+			b = 1
+		}
+		buf = append(buf, b)
+		buf = binary.AppendUvarint(buf, uint64(l.val))
+	}
+	return string(buf)
+}
+
+func (m *Protocol) lineIdx(p trace.ProcID, b trace.BlockID) int {
+	return (int(p)-1)*m.P.Blocks + int(b) - 1
+}
+
+// Initial implements protocol.Protocol.
+func (m *Protocol) Initial() protocol.State {
+	return state{
+		mem:   make([]trace.Value, m.P.Blocks+1),
+		lines: make([]line, m.P.Procs*m.P.Blocks),
+	}
+}
+
+// Transitions implements protocol.Protocol.
+func (m *Protocol) Transitions(ps protocol.State) []protocol.Transition {
+	s := ps.(state)
+	var out []protocol.Transition
+	for p := trace.ProcID(1); int(p) <= m.P.Procs; p++ {
+		for b := trace.BlockID(1); int(b) <= m.P.Blocks; b++ {
+			ln := s.lines[m.lineIdx(p, b)]
+			if ln.valid {
+				// Cache hit load.
+				out = append(out, protocol.Transition{
+					Action: protocol.MemOp(trace.LD(p, b, ln.val)),
+					Next:   s,
+					Loc:    m.CacheLoc(p, b),
+				})
+				// Eviction (clean by construction).
+				next := s.clone()
+				next.lines[m.lineIdx(p, b)] = line{}
+				out = append(out, protocol.Transition{
+					Action: protocol.Internal("Evict", int(p), int(b)),
+					Next:   next,
+					Copies: []protocol.Copy{{Dst: m.CacheLoc(p, b), Src: 0}},
+				})
+			} else {
+				// Fill: copy memory into the cache.
+				next := s.clone()
+				next.lines[m.lineIdx(p, b)] = line{valid: true, val: s.mem[b]}
+				out = append(out, protocol.Transition{
+					Action: protocol.Internal("Fill", int(p), int(b)),
+					Next:   next,
+					Copies: []protocol.Copy{{Dst: m.CacheLoc(p, b), Src: m.MemLoc(b)}},
+				})
+			}
+			// Write-through store: memory and own line updated, everyone
+			// else invalidated (unless the bug is injected). Write-no-
+			// allocate: the store only updates the local line if valid.
+			for v := trace.Value(1); int(v) <= m.P.Values; v++ {
+				next := s.clone()
+				copies := []protocol.Copy{}
+				next.mem[b] = v
+				loc := m.MemLoc(b)
+				if ln.valid {
+					next.lines[m.lineIdx(p, b)].val = v
+					loc = m.CacheLoc(p, b)
+					copies = append(copies, protocol.Copy{Dst: m.MemLoc(b), Src: m.CacheLoc(p, b)})
+				}
+				if !m.SkipInvalidate {
+					for q := trace.ProcID(1); int(q) <= m.P.Procs; q++ {
+						if q == p {
+							continue
+						}
+						if s.lines[m.lineIdx(q, b)].valid {
+							next.lines[m.lineIdx(q, b)] = line{}
+							copies = append(copies, protocol.Copy{Dst: m.CacheLoc(q, b), Src: 0})
+						}
+					}
+				}
+				out = append(out, protocol.Transition{
+					Action: protocol.MemOp(trace.ST(p, b, v)),
+					Next:   next,
+					Loc:    loc,
+					Copies: copies,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package sctest
+
+import (
+	"strings"
+	"testing"
+
+	"scverify/internal/registry"
+	"scverify/internal/trace"
+)
+
+func build(t *testing.T, name string, p trace.Params) registry.Target {
+	t.Helper()
+	tgt, err := registry.Build(name, registry.Options{Params: p, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+func TestCampaignAcceptsSCProtocols(t *testing.T) {
+	params := trace.Params{Procs: 2, Blocks: 2, Values: 2}
+	for _, name := range []string{"serial", "msi", "mesi", "directory", "lazy"} {
+		tgt := build(t, name, params)
+		res := Campaign(tgt, Config{Runs: 20, Steps: 30, Seed: 1, Exact: true})
+		if res.Rejected != 0 {
+			t.Errorf("%s: %d rejections: first %v on %s", name, res.Rejected, res.FirstCause, res.FirstRejected)
+		}
+		if res.SoundnessBreaks != 0 {
+			t.Errorf("%s: soundness break!", name)
+		}
+	}
+}
+
+func TestCampaignCatchesStoreBuffer(t *testing.T) {
+	tgt := build(t, "storebuffer", trace.Params{Procs: 2, Blocks: 2, Values: 1})
+	res := Campaign(tgt, Config{Runs: 300, Steps: 12, Seed: 3, Exact: true})
+	if res.Rejected == 0 {
+		t.Fatal("no rejections on store buffer")
+	}
+	if res.NonSCConfirmed == 0 {
+		t.Error("no rejection confirmed non-SC by the exact search")
+	}
+	if res.SoundnessBreaks != 0 {
+		t.Error("soundness break")
+	}
+	if res.FirstRejected == nil || res.FirstCause == nil {
+		t.Error("first rejection not retained")
+	}
+}
+
+func TestCampaignClassifiesLazyRealtimeAsAnnotationInadequate(t *testing.T) {
+	// Lazy caching IS SC, but under the trivial real-time ST-order
+	// generator the witness graph can be cyclic: rejections should be
+	// classified as annotation-inadequate, not as violations.
+	tgt := build(t, "lazy-realtime", trace.Params{Procs: 2, Blocks: 1, Values: 2})
+	res := Campaign(tgt, Config{Runs: 400, Steps: 24, Seed: 5, Exact: true})
+	if res.Rejected == 0 {
+		t.Skip("no run hit the reordering window; extend the campaign")
+	}
+	if res.NonSCConfirmed != 0 {
+		t.Errorf("lazy caching 'violations' confirmed non-SC?! %s", res)
+	}
+	if res.RejectedButSC == 0 {
+		t.Errorf("rejections not classified as annotation-inadequate: %s", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Runs: 5, Accepted: 4, Rejected: 1, CrossChecked: 5, NonSCConfirmed: 1}
+	s := r.String()
+	for _, frag := range []string{"5 runs", "4 accepted", "1 rejected", "1 confirmed non-SC"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCampaignWorkerInvariance(t *testing.T) {
+	tgt := build(t, "msi-lost-writeback", trace.Params{Procs: 2, Blocks: 1, Values: 2})
+	base := Config{Runs: 120, Steps: 14, Seed: 21, Exact: true}
+	seq := Campaign(tgt, base)
+	par := base
+	par.Workers = 8
+	got := Campaign(tgt, par)
+	if seq.Accepted != got.Accepted || seq.Rejected != got.Rejected ||
+		seq.NonSCConfirmed != got.NonSCConfirmed || seq.RejectedButSC != got.RejectedButSC {
+		t.Fatalf("parallel campaign diverged:\n seq: %s\n par: %s", seq, got)
+	}
+	if seq.FirstRejected != nil && got.FirstRejected != nil &&
+		seq.FirstRejected.String() != got.FirstRejected.String() {
+		t.Error("first rejected run differs across worker counts")
+	}
+}

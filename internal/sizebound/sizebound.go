@@ -1,0 +1,127 @@
+// Package sizebound computes the observer state-size bound of Section 4.4
+// of Condon & Hu: for a protocol with L storage locations, p processors,
+// b blocks and v values (real-time ST ordering assumed), the observer
+// needs at most
+//
+//	(L + p·b)·(lg p + lg b + lg v + 1) + L·lg L
+//
+// bits of state beyond the protocol itself, where lg is the ceiling of
+// log₂. The package also provides the value-optimized variant mentioned
+// in the section (dropping lg v bits per node by checking values
+// separately) and helpers to compare the bound against measured observer
+// state counts.
+package sizebound
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Lg is the ceiling of log₂(n) for n ≥ 1; Lg(1) = 0.
+func Lg(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("sizebound: Lg(%d)", n))
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Inputs are the parameters of the bound.
+type Inputs struct {
+	Procs, Blocks, Values int // p, b, v
+	Locations             int // L
+}
+
+// Validate reports an error for non-positive parameters.
+func (in Inputs) Validate() error {
+	if in.Procs < 1 || in.Blocks < 1 || in.Values < 1 || in.Locations < 1 {
+		return fmt.Errorf("sizebound: invalid inputs %+v", in)
+	}
+	return nil
+}
+
+// Bandwidth returns the constraint-graph bandwidth bound L + p·b of
+// Section 4.4.
+func (in Inputs) Bandwidth() int {
+	return in.Locations + in.Procs*in.Blocks
+}
+
+// NodeBits returns the per-node label cost lg p + lg b + lg v + 1.
+func (in Inputs) NodeBits() int {
+	return Lg(in.Procs) + Lg(in.Blocks) + Lg(in.Values) + 1
+}
+
+// Bits returns the full Section 4.4 bound:
+// (L + p·b)·(lg p + lg b + lg v + 1) + L·lg L.
+func (in Inputs) Bits() int {
+	return in.Bandwidth()*in.NodeBits() + in.Locations*Lg(in.Locations)
+}
+
+// BitsValueOptimized returns the bound with the lg v per-node bits removed
+// — the optimization suggested at the end of Section 4.4 (value matching
+// checked separately from cycle checking).
+func (in Inputs) BitsValueOptimized() int {
+	perNode := Lg(in.Procs) + Lg(in.Blocks) + 1
+	return in.Bandwidth()*perNode + in.Locations*Lg(in.Locations)
+}
+
+// Row is one line of the size-bound table: the analytic bound next to an
+// observed measurement.
+type Row struct {
+	Inputs
+	BoundBits     int
+	OptimizedBits int
+	// MeasuredStates is the number of distinct observer states seen during
+	// exhaustive exploration (0 when not measured); MeasuredBits is its
+	// ceil-log₂.
+	MeasuredStates int
+	MeasuredBits   int
+}
+
+// NewRow evaluates the bound, attaching a measurement if provided.
+func NewRow(in Inputs, measuredStates int) Row {
+	r := Row{
+		Inputs:        in,
+		BoundBits:     in.Bits(),
+		OptimizedBits: in.BitsValueOptimized(),
+	}
+	if measuredStates > 0 {
+		r.MeasuredStates = measuredStates
+		r.MeasuredBits = Lg(measuredStates)
+	}
+	return r
+}
+
+// String renders the row.
+func (r Row) String() string {
+	s := fmt.Sprintf("p=%d b=%d v=%d L=%d: bound=%d bits (opt %d)",
+		r.Procs, r.Blocks, r.Values, r.Locations, r.BoundBits, r.OptimizedBits)
+	if r.MeasuredStates > 0 {
+		s += fmt.Sprintf(", measured %d states ≈ %d bits", r.MeasuredStates, r.MeasuredBits)
+	}
+	return s
+}
+
+// Sweep evaluates the bound over parameter grids, returning rows in
+// lexicographic parameter order. L is derived per entry by locs(p,b).
+func Sweep(procs, blocks, values []int, locs func(p, b int) int) []Row {
+	var rows []Row
+	for _, p := range procs {
+		for _, b := range blocks {
+			for _, v := range values {
+				in := Inputs{Procs: p, Blocks: b, Values: v, Locations: locs(p, b)}
+				rows = append(rows, NewRow(in, 0))
+			}
+		}
+	}
+	return rows
+}
+
+// StatesUpperBound converts a bit bound into a (possibly astronomically
+// loose) state-count ceiling 2^bits, saturating at MaxFloat64.
+func StatesUpperBound(bits int) float64 {
+	if bits >= 1024 {
+		return math.MaxFloat64
+	}
+	return math.Pow(2, float64(bits))
+}

@@ -1,0 +1,107 @@
+package sizebound
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLg(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Lg(n); got != want {
+			t.Errorf("Lg(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLgPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Lg(0)
+}
+
+func TestBitsFormula(t *testing.T) {
+	// Hand-computed: p=2 b=2 v=2 L=6:
+	// bandwidth = 6+4 = 10; per-node = 1+1+1+1 = 4; L·lgL = 6·3 = 18
+	// → 10·4 + 18 = 58.
+	in := Inputs{Procs: 2, Blocks: 2, Values: 2, Locations: 6}
+	if got := in.Bits(); got != 58 {
+		t.Errorf("Bits = %d, want 58", got)
+	}
+	if got := in.BitsValueOptimized(); got != 10*3+18 {
+		t.Errorf("optimized = %d, want 48", got)
+	}
+	if in.Bandwidth() != 10 || in.NodeBits() != 4 {
+		t.Errorf("components: bw=%d nb=%d", in.Bandwidth(), in.NodeBits())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Inputs{1, 1, 1, 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Inputs{0, 1, 1, 1}).Validate(); err == nil {
+		t.Error("invalid inputs accepted")
+	}
+}
+
+func TestOptimizedNeverLarger(t *testing.T) {
+	prop := func(p, b, v, l uint8) bool {
+		in := Inputs{
+			Procs:     1 + int(p)%8,
+			Blocks:    1 + int(b)%8,
+			Values:    1 + int(v)%8,
+			Locations: 1 + int(l)%64,
+		}
+		return in.BitsValueOptimized() <= in.Bits()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInEachParameter(t *testing.T) {
+	base := Inputs{Procs: 2, Blocks: 2, Values: 2, Locations: 8}
+	grow := []Inputs{
+		{4, 2, 2, 8}, {2, 4, 2, 8}, {2, 2, 4, 8}, {2, 2, 2, 16},
+	}
+	for _, g := range grow {
+		if g.Bits() <= base.Bits() {
+			t.Errorf("bound not monotone: %+v gives %d <= base %d", g, g.Bits(), base.Bits())
+		}
+	}
+}
+
+func TestRowAndSweep(t *testing.T) {
+	r := NewRow(Inputs{2, 2, 2, 6}, 1000)
+	if r.MeasuredBits != 10 {
+		t.Errorf("measured bits = %d", r.MeasuredBits)
+	}
+	if !strings.Contains(r.String(), "measured 1000 states") {
+		t.Errorf("row string = %q", r.String())
+	}
+	rows := Sweep([]int{2, 4}, []int{1, 2}, []int{2}, func(p, b int) int { return b * (1 + p) })
+	if len(rows) != 4 {
+		t.Fatalf("sweep rows = %d", len(rows))
+	}
+	if rows[0].Locations != 1*(1+2) {
+		t.Errorf("derived L = %d", rows[0].Locations)
+	}
+	unmeasured := NewRow(Inputs{2, 2, 2, 6}, 0)
+	if strings.Contains(unmeasured.String(), "measured") {
+		t.Error("unmeasured row mentions measurement")
+	}
+}
+
+func TestStatesUpperBound(t *testing.T) {
+	if StatesUpperBound(10) != 1024 {
+		t.Errorf("2^10 = %f", StatesUpperBound(10))
+	}
+	if StatesUpperBound(2000) <= 0 {
+		t.Error("saturated bound not positive")
+	}
+}

@@ -1,0 +1,35 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"scverify/internal/trace"
+)
+
+// A load of the initial value ⊥ after a store is legal under sequential
+// consistency as long as some reordering puts it first.
+func ExampleFindSerialReordering() {
+	tr := trace.Trace{
+		trace.ST(1, 1, 1),
+		trace.LD(2, 1, trace.Bottom),
+	}
+	r, ok := trace.FindSerialReordering(tr)
+	fmt.Println("sequentially consistent:", ok)
+	fmt.Println("witness order:", r)
+	fmt.Println("reordered trace:", r.Apply(tr))
+	// Output:
+	// sequentially consistent: true
+	// witness order: [1 0]
+	// reordered trace: LD(P2,B1,⊥), ST(P1,B1,1)
+}
+
+// The store-buffering litmus outcome has no serial reordering.
+func ExampleHasSerialReordering() {
+	tr := trace.Trace{
+		trace.ST(1, 1, 1), trace.LD(1, 2, trace.Bottom),
+		trace.ST(2, 2, 1), trace.LD(2, 1, trace.Bottom),
+	}
+	fmt.Println(trace.HasSerialReordering(tr))
+	// Output:
+	// false
+}

@@ -1,0 +1,92 @@
+package trace
+
+import "fmt"
+
+// IsSerial reports whether the trace is a serial trace per Section 2.2:
+// every load returns the value of the most recent preceding store to the
+// same block, or Bottom if there is no preceding store to that block.
+//
+// The check is linear in the trace length and allocates one cell per block
+// mentioned.
+func (t Trace) IsSerial() bool {
+	return t.SerialViolation() < 0
+}
+
+// SerialViolation returns the index of the first operation that violates
+// serial-trace semantics, or -1 if the trace is serial.
+func (t Trace) SerialViolation() int {
+	mem := make(map[BlockID]Value)
+	for i, op := range t {
+		switch op.Kind {
+		case Store:
+			mem[op.Block] = op.Value
+		case Load:
+			if cur, ok := mem[op.Block]; ok {
+				if op.Value != cur {
+					return i
+				}
+			} else if op.Value != Bottom {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Reordering is a permutation Π of trace positions: Reordering[j] = π(j+1)-1
+// is the (0-based) trace position of the j-th operation of the reordered
+// trace T' = t_{π(1)}, ..., t_{π(k)}.
+type Reordering []int
+
+// Apply returns the reordered trace T'. It panics if the reordering's
+// length does not match the trace, mirroring a programming error rather
+// than a verification failure.
+func (r Reordering) Apply(t Trace) Trace {
+	if len(r) != len(t) {
+		panic(fmt.Sprintf("trace: reordering length %d != trace length %d", len(r), len(t)))
+	}
+	out := make(Trace, len(t))
+	for j, pos := range r {
+		out[j] = t[pos]
+	}
+	return out
+}
+
+// IsPermutation reports whether the reordering is a valid permutation of
+// 0..len(r)-1.
+func (r Reordering) IsPermutation() bool {
+	seen := make([]bool, len(r))
+	for _, pos := range r {
+		if pos < 0 || pos >= len(r) || seen[pos] {
+			return false
+		}
+		seen[pos] = true
+	}
+	return true
+}
+
+// PreservesProgramOrder reports whether the reordering keeps each
+// processor's operations in their original relative order (the first
+// condition on a serial reordering in Section 2.2).
+func (r Reordering) PreservesProgramOrder(t Trace) bool {
+	if len(r) != len(t) {
+		return false
+	}
+	last := make(map[ProcID]int) // last trace position seen per processor
+	for _, pos := range r {
+		op := t[pos]
+		if prev, ok := last[op.Proc]; ok && prev > pos {
+			return false
+		}
+		last[op.Proc] = pos
+	}
+	return true
+}
+
+// IsSerialReordering reports whether r is a serial reordering of t: a
+// permutation that preserves per-processor program order and whose
+// application yields a serial trace.
+func (r Reordering) IsSerialReordering(t Trace) bool {
+	return len(r) == len(t) && r.IsPermutation() &&
+		r.PreservesProgramOrder(t) && r.Apply(t).IsSerial()
+}

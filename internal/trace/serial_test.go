@@ -1,0 +1,96 @@
+package trace
+
+import "testing"
+
+func TestIsSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   Trace
+		want bool
+	}{
+		{"empty", Trace{}, true},
+		{"single store", Trace{ST(1, 1, 1)}, true},
+		{"load of bottom first", Trace{LD(1, 1, Bottom)}, true},
+		{"load of value with no store", Trace{LD(1, 1, 1)}, false},
+		{"store then matching load", Trace{ST(1, 1, 1), LD(2, 1, 1)}, true},
+		{"store then stale load", Trace{ST(1, 1, 1), LD(2, 1, 2)}, false},
+		{"overwrite respected", Trace{ST(1, 1, 1), ST(1, 1, 2), LD(2, 1, 2)}, true},
+		{"overwrite violated", Trace{ST(1, 1, 1), ST(1, 1, 2), LD(2, 1, 1)}, false},
+		{"bottom after store", Trace{ST(1, 1, 1), LD(2, 1, Bottom)}, false},
+		{"different blocks independent", Trace{ST(1, 1, 1), LD(2, 2, Bottom), LD(2, 1, 1)}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.tr.IsSerial(); got != c.want {
+				t.Errorf("IsSerial(%s) = %v, want %v", c.tr, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSerialViolationIndex(t *testing.T) {
+	tr := Trace{ST(1, 1, 1), LD(2, 1, 1), LD(2, 1, 2)}
+	if got := tr.SerialViolation(); got != 2 {
+		t.Errorf("SerialViolation = %d, want 2", got)
+	}
+	if got := (Trace{ST(1, 1, 1)}).SerialViolation(); got != -1 {
+		t.Errorf("SerialViolation of serial trace = %d, want -1", got)
+	}
+}
+
+func TestReorderingApply(t *testing.T) {
+	tr := Trace{ST(1, 1, 1), LD(2, 1, 1)}
+	r := Reordering{1, 0}
+	got := r.Apply(tr)
+	if got[0] != tr[1] || got[1] != tr[0] {
+		t.Errorf("Apply = %v", got)
+	}
+}
+
+func TestReorderingApplyPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Reordering{0}.Apply(Trace{ST(1, 1, 1), LD(1, 1, 1)})
+}
+
+func TestReorderingIsPermutation(t *testing.T) {
+	if !(Reordering{2, 0, 1}).IsPermutation() {
+		t.Error("valid permutation rejected")
+	}
+	if (Reordering{0, 0, 1}).IsPermutation() {
+		t.Error("duplicate accepted")
+	}
+	if (Reordering{0, 3, 1}).IsPermutation() {
+		t.Error("out-of-range accepted")
+	}
+	if !(Reordering{}).IsPermutation() {
+		t.Error("empty permutation rejected")
+	}
+}
+
+func TestPreservesProgramOrder(t *testing.T) {
+	tr := Trace{ST(1, 1, 1), ST(1, 1, 2), LD(2, 1, 1)}
+	if !(Reordering{0, 2, 1}).PreservesProgramOrder(tr) {
+		t.Error("cross-processor swap should preserve program order")
+	}
+	if (Reordering{1, 0, 2}).PreservesProgramOrder(tr) {
+		t.Error("same-processor swap should violate program order")
+	}
+	if (Reordering{0, 1}).PreservesProgramOrder(tr) {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestIsSerialReordering(t *testing.T) {
+	// ST(P1,B1,1), LD(P2,B1,⊥): only serial order puts the load first.
+	tr := Trace{ST(1, 1, 1), LD(2, 1, Bottom)}
+	if (Reordering{0, 1}).IsSerialReordering(tr) {
+		t.Error("identity should not be serial here")
+	}
+	if !(Reordering{1, 0}).IsSerialReordering(tr) {
+		t.Error("swapped order should be a serial reordering")
+	}
+}

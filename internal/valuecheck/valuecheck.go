@@ -1,0 +1,89 @@
+// Package valuecheck is the independent value-matching automaton of the
+// Section 4.4 optimization in Condon & Hu: the main SC checker can run
+// value-blind (saving lg v bits per active node), because checking that
+// every load returns exactly the value of the store it inherits from
+// needs only this trivial machine — one operation label per live ID — run
+// alongside. Composing the value-blind checker with this one accepts
+// exactly the streams the full checker accepts.
+package valuecheck
+
+import (
+	"fmt"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/trace"
+)
+
+// Checker verifies the value side of constraint 4 over a descriptor
+// stream.
+type Checker struct {
+	k        int
+	ops      []*trace.Op // per ID, the label of the node it names
+	rejected error
+}
+
+// New returns a value checker for k-graph descriptors.
+func New(k int) *Checker {
+	return &Checker{k: k, ops: make([]*trace.Op, k+2)}
+}
+
+// Err returns the rejection error, if any.
+func (c *Checker) Err() error { return c.rejected }
+
+func (c *Checker) reject(format string, args ...any) error {
+	if c.rejected == nil {
+		c.rejected = fmt.Errorf("valuecheck: "+format, args...)
+	}
+	return c.rejected
+}
+
+// Step consumes one symbol; rejections are sticky.
+func (c *Checker) Step(sym descriptor.Symbol) error {
+	if c.rejected != nil {
+		return c.rejected
+	}
+	switch v := sym.(type) {
+	case descriptor.Node:
+		if v.ID < 1 || v.ID > c.k+1 {
+			return c.reject("node ID %d outside 1..%d", v.ID, c.k+1)
+		}
+		c.ops[v.ID] = v.Op
+	case descriptor.AddID:
+		if v.Existing < 1 || v.Existing > c.k+1 || v.New < 1 || v.New > c.k+1 {
+			return c.reject("add-ID(%d,%d) outside 1..%d", v.Existing, v.New, c.k+1)
+		}
+		if v.Existing == v.New {
+			return nil
+		}
+		c.ops[v.New] = c.ops[v.Existing]
+	case descriptor.Edge:
+		if v.Label != descriptor.Inh && v.Label != descriptor.POInh {
+			return nil
+		}
+		if v.From < 1 || v.From > c.k+1 || v.To < 1 || v.To > c.k+1 {
+			return c.reject("edge (%d,%d) outside 1..%d", v.From, v.To, c.k+1)
+		}
+		src, dst := c.ops[v.From], c.ops[v.To]
+		if src == nil || dst == nil {
+			return nil // unbound IDs denote no edge
+		}
+		if !src.IsStore() || !dst.IsLoad() {
+			return c.reject("inheritance edge %s→%s between wrong kinds", src, dst)
+		}
+		if src.Value != dst.Value {
+			return c.reject("load %s inherits from store %s with a different value", dst, src)
+		}
+	}
+	return nil
+}
+
+// Check runs a fresh value checker over the stream.
+func Check(s descriptor.Stream, k int) error {
+	c := New(k)
+	for _, sym := range s {
+		if err := c.Step(sym); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package valuecheck_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"scverify/internal/checker"
+	"scverify/internal/descriptor"
+	"scverify/internal/graph"
+	"scverify/internal/trace"
+	"scverify/internal/valuecheck"
+)
+
+func op(o trace.Op) *trace.Op { return &o }
+
+func TestAcceptsMatchingValues(t *testing.T) {
+	s := descriptor.Stream{
+		descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 2))},
+		descriptor.Node{ID: 2, Op: op(trace.LD(2, 1, 2))},
+		descriptor.Edge{From: 1, To: 2, Label: descriptor.Inh},
+	}
+	if err := valuecheck.Check(s, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsValueMismatch(t *testing.T) {
+	s := descriptor.Stream{
+		descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+		descriptor.Node{ID: 2, Op: op(trace.LD(2, 1, 2))},
+		descriptor.Edge{From: 1, To: 2, Label: descriptor.Inh},
+	}
+	if err := valuecheck.Check(s, 3); err == nil || !strings.Contains(err.Error(), "different value") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAliasCarriesValue(t *testing.T) {
+	s := descriptor.Stream{
+		descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+		descriptor.AddID{Existing: 1, New: 2},
+		descriptor.Node{ID: 3, Op: op(trace.LD(2, 1, 1))},
+		descriptor.Edge{From: 2, To: 3, Label: descriptor.Inh},
+	}
+	if err := valuecheck.Check(s, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	if err := valuecheck.Check(descriptor.Stream{descriptor.Node{ID: 9}}, 2); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := valuecheck.Check(descriptor.Stream{descriptor.AddID{Existing: 9, New: 1}}, 2); err == nil {
+		t.Error("out-of-range add-ID accepted")
+	}
+}
+
+// TestDecompositionEquivalence is the Section 4.4 property: the value-
+// blind checker composed with the value checker accepts exactly what the
+// full checker accepts, across canonical streams and random value
+// mutations.
+func TestDecompositionEquivalence(t *testing.T) {
+	gen := trace.NewGenerator(trace.Params{Procs: 3, Blocks: 2, Values: 3}, 51)
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 150; i++ {
+		tr := gen.SC(12)
+		r, ok := trace.FindSerialReordering(tr)
+		if !ok {
+			t.Fatal("trace not SC")
+		}
+		s, k := descriptor.EncodeAuto(graph.Canonical(tr, r))
+
+		// Half the time, corrupt one node label's value.
+		if rng.Intn(2) == 0 {
+			idx := rng.Intn(len(s))
+			if n, ok := s[idx].(descriptor.Node); ok && n.Op != nil {
+				cp := *n.Op
+				cp.Value = trace.Value(rng.Intn(4))
+				s[idx] = descriptor.Node{ID: n.ID, Op: &cp}
+			}
+		}
+
+		full := checker.Check(s, k) == nil
+
+		blind := checker.New(k)
+		blind.DisableValueCheck()
+		blindOK := true
+		for _, sym := range s {
+			if blind.Step(sym) != nil {
+				blindOK = false
+				break
+			}
+		}
+		if blindOK {
+			blindOK = blind.Finish() == nil
+		}
+		valsOK := valuecheck.Check(s, k) == nil
+
+		composed := blindOK && valsOK
+		if full != composed {
+			t.Fatalf("decomposition mismatch: full=%v blind=%v values=%v\nstream: %s",
+				full, blindOK, valsOK, s.Text())
+		}
+	}
+}
