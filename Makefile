@@ -1,0 +1,41 @@
+# Tier-1 verification: everything CI runs on every change. `make` or
+# `make tier1` must pass before merging.
+
+GO ?= go
+
+.PHONY: tier1 build vet test race scvet lint fuzz-burst clean
+
+tier1: build vet race scvet lint fuzz-burst
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# scvet: the repo's own soundness analyzers (map order in encodings,
+# clone completeness) applied to the repo itself.
+scvet:
+	$(GO) run ./cmd/scvet ./...
+
+# lint: Γ-membership linting of every registered protocol.
+lint:
+	$(GO) run ./cmd/sccheck lint -all
+
+# fuzz-burst: a short CI-budget run of each fuzz target; regressions in
+# the corpus replay in normal `go test`, this additionally explores.
+FUZZTIME ?= 5s
+
+fuzz-burst:
+	$(GO) test -run='^$$' -fuzz=FuzzCheckerAgainstOffline -fuzztime=$(FUZZTIME) ./internal/checker
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME) ./internal/descriptor
+	$(GO) test -run='^$$' -fuzz=FuzzTrackerAndDecode -fuzztime=$(FUZZTIME) ./internal/descriptor
+
+clean:
+	$(GO) clean ./...

@@ -11,7 +11,14 @@
 //	sccheck -k 12 -in run.desc                   # stream from a file
 //	sccheck -k 12 -in run.desc -text             # also print the stream
 //
-// Exit status: 0 accepted, 1 rejected, 2 usage/IO error.
+// The lint subcommand instead runs the Γ-membership linter (package
+// gammalint) over registered protocols:
+//
+//	sccheck lint msi lazy                        # lint named protocols
+//	sccheck lint -all                            # lint every registered one
+//	sccheck lint -all -p 2 -b 2 -v 2 -states 20000
+//
+// Exit status: 0 accepted/clean, 1 rejected/findings, 2 usage/IO error.
 package main
 
 import (
@@ -22,10 +29,15 @@ import (
 
 	"scverify/internal/checker"
 	"scverify/internal/descriptor"
+	"scverify/internal/gammalint"
+	"scverify/internal/registry"
 	"scverify/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(lintMain(os.Args[2:]))
+	}
 	var (
 		k      = flag.Int("k", 0, "bandwidth bound (required; IDs range over 1..k+1)")
 		in     = flag.String("in", "", "input file (default stdin)")
@@ -78,4 +90,64 @@ func main() {
 	}
 	fmt.Printf("accepted: %d symbols describe an acyclic constraint graph for trace of %d operations\n",
 		len(stream), len(stream.Trace()))
+}
+
+// lintMain implements `sccheck lint`: Γ-lint over registered protocols.
+func lintMain(args []string) int {
+	fs := flag.NewFlagSet("sccheck lint", flag.ExitOnError)
+	var (
+		all      = fs.Bool("all", false, "lint every registered protocol")
+		procs    = fs.Int("p", 2, "processors")
+		blocks   = fs.Int("b", 2, "blocks")
+		values   = fs.Int("v", 2, "values")
+		queueCap = fs.Int("q", 1, "queue capacity for buffered protocols")
+		states   = fs.Int("states", 20000, "max (state, shadow) pairs explored per protocol")
+		runs     = fs.Int("runs", 10, "bandwidth-pass runs per protocol (negative disables)")
+		steps    = fs.Int("steps", 60, "length of each bandwidth run")
+		seed     = fs.Int64("seed", 1, "seed offset for the bandwidth pass")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sccheck lint [-all] [flags] [protocol...]\nknown protocols: %v\n", registry.Names())
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	names := fs.Args()
+	if *all {
+		names = registry.Names()
+	}
+	if len(names) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	opts := registry.Options{
+		Params:   trace.Params{Procs: *procs, Blocks: *blocks, Values: *values},
+		QueueCap: *queueCap,
+	}
+	dirty := false
+	for _, name := range names {
+		t, err := registry.Build(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccheck lint: %v\n", err)
+			return 2
+		}
+		rep := gammalint.Lint(t.Protocol, gammalint.Options{
+			MaxStates:      *states,
+			PoolSize:       t.PoolSize,
+			Generator:      t.Generator,
+			BandwidthRuns:  *runs,
+			BandwidthSteps: *steps,
+			Seed:           *seed,
+		})
+		fmt.Println(rep)
+		for _, f := range rep.Findings {
+			fmt.Printf("  %s\n", f)
+			dirty = true
+		}
+	}
+	if dirty {
+		return 1
+	}
+	return 0
 }

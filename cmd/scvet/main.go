@@ -1,0 +1,54 @@
+// Command scvet runs the repository's soundness analyzers (package scvet)
+// over Go package directories.
+//
+// Usage:
+//
+//	scvet [-json] dir [dir...]
+//
+// Each argument is a package directory, or a "dir/..." pattern walked
+// recursively (testdata, vendor and hidden directories are skipped).
+// Exit status: 0 clean, 1 findings reported, 2 usage or parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"scverify/internal/scvet"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: scvet [-json] dir [dir/...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	findings, err := scvet.Run(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scvet: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "scvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

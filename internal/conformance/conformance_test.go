@@ -13,6 +13,7 @@ import (
 
 	"scverify/internal/checker"
 	"scverify/internal/descriptor"
+	"scverify/internal/gammalint"
 	"scverify/internal/mc"
 	"scverify/internal/observer"
 	"scverify/internal/protocol"
@@ -34,6 +35,27 @@ func allTargets(t testing.TB) map[string]registry.Target {
 		out[name] = tgt
 	}
 	return out
+}
+
+// TestRegistryGammaLintClean requires every registered protocol — the SC
+// ones and the deliberately broken ones alike — to pass Γ-lint with zero
+// findings. Coherence bugs break SC, not Γ-membership: their tracking
+// labels still describe what the broken machine actually does, so a
+// finding here means a protocol was added whose labels, keys, enumeration
+// or bandwidth declaration the method's soundness argument does not cover.
+func TestRegistryGammaLintClean(t *testing.T) {
+	for name, tgt := range allTargets(t) {
+		rep := gammalint.Lint(tgt.Protocol, gammalint.Options{
+			MaxStates:     4000,
+			PoolSize:      tgt.PoolSize,
+			Generator:     tgt.Generator,
+			BandwidthRuns: 5,
+		})
+		t.Log(rep)
+		for _, f := range rep.Findings {
+			t.Errorf("%s: %s", name, f)
+		}
+	}
 }
 
 // observe runs one random run through a fresh observer, returning the

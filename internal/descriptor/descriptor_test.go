@@ -224,6 +224,27 @@ func TestTrackerAddID(t *testing.T) {
 	}
 }
 
+func TestTrackerActiveSortedAscending(t *testing.T) {
+	tr := NewTracker()
+	for id := 1; id <= 9; id++ {
+		tr.Apply(Node{ID: id})
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	// Repeated calls must agree: the order is a documented guarantee, not
+	// whatever map iteration happened to produce.
+	for i := 0; i < 10; i++ {
+		got := tr.Active()
+		if len(got) != len(want) {
+			t.Fatalf("Active() = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Active() = %v, want ascending %v", got, want)
+			}
+		}
+	}
+}
+
 func TestTrackerAddIDSelf(t *testing.T) {
 	tr := NewTracker()
 	tr.Apply(Node{ID: 1})

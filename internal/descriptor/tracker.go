@@ -1,5 +1,7 @@
 package descriptor
 
+import "sort"
+
 // Tracker implements the ID-set semantics of Section 3.2: it maps each ID
 // to the node (by 0-based creation index) currently holding it, applying
 // the four ID-set update rules as symbols arrive. It is the shared
@@ -30,12 +32,16 @@ func (t *Tracker) Owner(id int) (node int, ok bool) {
 // owned by the tracker; callers must not mutate it.
 func (t *Tracker) IDSet(node int) []int { return t.ids[node] }
 
-// Active returns the indices of all nodes with non-empty ID-sets.
+// Active returns the indices of all nodes with non-empty ID-sets, in
+// ascending order. The order is guaranteed: callers feed the active set
+// into diagnostics and encodings, where map iteration order would leak
+// per-run randomness.
 func (t *Tracker) Active() []int {
 	out := make([]int, 0, len(t.ids))
 	for n := range t.ids {
 		out = append(out, n)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -1,0 +1,282 @@
+package gammalint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"scverify/internal/protocol"
+	"scverify/internal/trace"
+)
+
+// shadow is the lint's model of every storage location's contents as
+// implied by the tracking labels alone: the Section 4.1 ST-index
+// induction, carried out on values. If the labels are well-formed the
+// shadow mirrors the protocol's real location contents, so every load
+// must read exactly the shadow value of its labeled location.
+type shadow struct {
+	val   []trace.Value // by location, 1-based; index 0 unused
+	valid []bool        // false after a Src-0 (invalidation) copy
+}
+
+func newShadow(locations int) shadow {
+	sh := shadow{val: make([]trace.Value, locations+1), valid: make([]bool, locations+1)}
+	for l := 1; l <= locations; l++ {
+		sh.valid[l] = true // every location starts holding the initial value
+	}
+	return sh
+}
+
+func (sh shadow) clone() shadow {
+	out := shadow{val: make([]trace.Value, len(sh.val)), valid: make([]bool, len(sh.valid))}
+	copy(out.val, sh.val)
+	copy(out.valid, sh.valid)
+	return out
+}
+
+// applyCopies applies an internal transition's copy labels; all copies
+// read the pre-transition state (matching protocol.STIndexTracker).
+func (sh *shadow) applyCopies(copies []protocol.Copy) {
+	if len(copies) == 0 {
+		return
+	}
+	old := sh.clone()
+	for _, cp := range copies {
+		if cp.Dst < 1 || cp.Dst >= len(sh.val) {
+			continue // out-of-range labels are reported separately (GL003)
+		}
+		if cp.Src == 0 {
+			sh.valid[cp.Dst] = false
+			sh.val[cp.Dst] = 0
+		} else if cp.Src >= 1 && cp.Src < len(sh.val) {
+			sh.val[cp.Dst] = old.val[cp.Src]
+			sh.valid[cp.Dst] = old.valid[cp.Src]
+		}
+	}
+}
+
+// apply advances the shadow by one transition. Copies attached to a store
+// are applied after the store itself, so a write-through store's copy from
+// its freshly written location propagates the new value.
+func (sh *shadow) apply(tr protocol.Transition) {
+	switch {
+	case tr.Action.IsMem() && tr.Action.Op.IsStore():
+		if tr.Loc >= 1 && tr.Loc < len(sh.val) {
+			sh.val[tr.Loc] = tr.Action.Op.Value
+			sh.valid[tr.Loc] = true
+		}
+		sh.applyCopies(tr.Copies)
+	case !tr.Action.IsMem():
+		sh.applyCopies(tr.Copies)
+	}
+}
+
+func (sh shadow) key() string {
+	buf := make([]byte, 0, 2*len(sh.val))
+	for l := 1; l < len(sh.val); l++ {
+		b := byte(0)
+		if sh.valid[l] {
+			b = 1
+		}
+		buf = append(buf, b)
+		buf = binary.AppendUvarint(buf, uint64(sh.val[l]))
+	}
+	return string(buf)
+}
+
+// transitionSignature serializes one transition for the determinism and
+// key-injectivity checks.
+func transitionSignature(tr protocol.Transition) string {
+	s := tr.Action.String()
+	s += fmt.Sprintf("|%d|", tr.Loc)
+	for _, cp := range tr.Copies {
+		s += fmt.Sprintf("%d<-%d,", cp.Dst, cp.Src)
+	}
+	s += "|" + tr.Next.Key()
+	return s
+}
+
+// behaviorFingerprint hashes the full transition list of a state; two
+// states with equal keys must have equal fingerprints if Key is injective.
+func behaviorFingerprint(trs []protocol.Transition) uint64 {
+	h := fnv.New64a()
+	for _, tr := range trs {
+		_, _ = h.Write([]byte(transitionSignature(tr)))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// bfsEntry is one frontier element of the exploration.
+type bfsEntry struct {
+	state protocol.State
+	sh    shadow
+	path  []int
+}
+
+// lintStructure explores the protocol's reachable states breadth-first,
+// checking label well-formedness, load/shadow consistency, transition
+// determinism, Key injectivity and dead states.
+func lintStructure(p protocol.Protocol, opts Options, rep *Report) {
+	params := p.Params()
+	locations := p.Locations()
+	name := p.Name()
+
+	init := bfsEntry{state: p.Initial(), sh: newShadow(locations)}
+
+	visited := make(map[string]struct{})    // (state key, shadow key)
+	fingerprints := make(map[string]uint64) // state key -> behavior fingerprint
+	stateKeys := make(map[string]struct{})  // state keys seen (for reachability)
+	reported := make(map[string]struct{})   // rule+msg dedup
+	truncated := false
+
+	report := func(rule string, sev Severity, path []int, msg string) {
+		dk := rule + "|" + msg
+		if _, ok := reported[dk]; ok {
+			return
+		}
+		reported[dk] = struct{}{}
+		rep.add(opts, Finding{Rule: rule, Severity: sev, Protocol: name, Path: path, Msg: msg})
+	}
+
+	key := func(e bfsEntry) string { return e.state.Key() + "\x00" + e.sh.key() }
+
+	// fingerprintCheck runs the GL007 comparison for one encountered state
+	// instance. It must run on every encounter — not just on dequeued
+	// states — because two behaviorally distinct states sharing a key
+	// collapse to one visited entry and the second would otherwise never be
+	// examined. The instance's transition list is enumerated afresh.
+	fingerprintCheck := func(st protocol.State, path []int) {
+		sk := st.Key()
+		fp := behaviorFingerprint(p.Transitions(st))
+		if prev, ok := fingerprints[sk]; ok {
+			if prev != fp {
+				report(RuleKeyCollision, Error, path, fmt.Sprintf(
+					"State.Key is not injective: key %q names two states with different transitions", sk))
+			}
+		} else {
+			fingerprints[sk] = fp
+		}
+	}
+
+	visited[key(init)] = struct{}{}
+	stateKeys[init.state.Key()] = struct{}{}
+	fingerprintCheck(init.state, nil)
+	frontier := []bfsEntry{init}
+	depth := 0
+
+	for len(frontier) > 0 && !rep.full(opts) {
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			truncated = true
+			break
+		}
+		var next []bfsEntry
+		for _, e := range frontier {
+			if rep.full(opts) {
+				break
+			}
+			trs := p.Transitions(e.state)
+			rep.Transitions += len(trs)
+
+			// GL006: enumeration must be repeatable.
+			again := p.Transitions(e.state)
+			if !sameTransitions(trs, again) {
+				report(RuleNondet, Error, e.path, fmt.Sprintf(
+					"transition enumeration is nondeterministic: two queries of state %q differ", e.state.Key()))
+			}
+
+			// GL009: dead state.
+			if len(trs) == 0 {
+				report(RuleDeadState, Warning, e.path, fmt.Sprintf("state %q has no enabled transitions", e.state.Key()))
+			}
+
+			for i, tr := range trs {
+				path := append(append([]int(nil), e.path...), i)
+				lintTransition(params, locations, tr, e.sh, report, path)
+
+				fingerprintCheck(tr.Next, path)
+
+				nsh := e.sh.clone()
+				nsh.apply(tr)
+				ne := bfsEntry{state: tr.Next, sh: nsh, path: path}
+				nk := key(ne)
+				if _, ok := visited[nk]; ok {
+					continue
+				}
+				if len(visited) >= opts.MaxStates {
+					truncated = true
+					continue
+				}
+				visited[nk] = struct{}{}
+				stateKeys[ne.state.Key()] = struct{}{}
+				next = append(next, ne)
+			}
+		}
+		frontier = next
+		depth++
+	}
+	if len(frontier) > 0 {
+		truncated = true
+	}
+
+	rep.States = len(visited)
+	rep.Complete = !truncated && !rep.full(opts)
+
+	// GL010: declared states must be reachable — only meaningful when the
+	// exploration was exhaustive.
+	if decl, ok := p.(StateDeclarer); ok && rep.Complete {
+		for _, s := range decl.DeclaredStates() {
+			if _, seen := stateKeys[s.Key()]; !seen {
+				report(RuleUnreachable, Warning, nil, fmt.Sprintf("declared state %q is unreachable", s.Key()))
+			}
+		}
+	}
+}
+
+// lintTransition applies the per-transition label rules (GL001–GL005).
+func lintTransition(params trace.Params, locations int, tr protocol.Transition, sh shadow, report func(string, Severity, []int, string), path []int) {
+	if tr.Action.IsMem() {
+		op := *tr.Action.Op
+		if !params.Contains(op) {
+			report(RuleOpParams, Error, path, fmt.Sprintf("operation %s outside declared parameters %s", op, params))
+		}
+		if tr.Loc < 1 || tr.Loc > locations {
+			report(RuleMemLocRange, Error, path, fmt.Sprintf("%s carries tracking label %d outside 1..%d", op, tr.Loc, locations))
+			return
+		}
+		if !op.IsStore() {
+			// GL004/GL005: the load must read its labeled location's tracked
+			// contents — the operational meaning of a well-formed f.
+			if !sh.valid[tr.Loc] {
+				report(RuleLoadInvalid, Error, path, fmt.Sprintf(
+					"%s reads location %d whose tracked contents are invalid", op, tr.Loc))
+			} else if sh.val[tr.Loc] != op.Value {
+				report(RuleLoadValue, Error, path, fmt.Sprintf(
+					"%s disagrees with tracked contents of location %d (tracking says %d): wrong tracking label, or an ST did not update the location it names",
+					op, tr.Loc, sh.val[tr.Loc]))
+			}
+		}
+	}
+	for _, cp := range tr.Copies {
+		if cp.Dst < 1 || cp.Dst > locations {
+			report(RuleCopyRange, Error, path, fmt.Sprintf(
+				"copy destination %d outside 1..%d on %s", cp.Dst, locations, tr.Action))
+		}
+		if cp.Src < 0 || cp.Src > locations {
+			report(RuleCopyRange, Error, path, fmt.Sprintf(
+				"copy source %d outside 0..%d on %s", cp.Src, locations, tr.Action))
+		}
+	}
+}
+
+func sameTransitions(a, b []protocol.Transition) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if transitionSignature(a[i]) != transitionSignature(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,309 @@
+package gammalint_test
+
+import (
+	"fmt"
+	"testing"
+
+	"scverify/internal/gammalint"
+	"scverify/internal/protocol"
+	"scverify/internal/protocols/msibus"
+	"scverify/internal/protocols/serial"
+	"scverify/internal/trace"
+)
+
+// cellState is the one-cell fixture state: the cell's current value plus
+// whether the invalidation fixture has fired.
+type cellState struct {
+	val      trace.Value
+	inv      bool
+	hidden   int  // behavior-relevant but omittable from the key
+	hideFrom bool // when set, Key omits hidden (non-injectivity fixture)
+}
+
+func (s cellState) Key() string {
+	if s.hideFrom {
+		return fmt.Sprintf("c%d|%v", s.val, s.inv)
+	}
+	return fmt.Sprintf("c%d|%v|%d", s.val, s.inv, s.hidden)
+}
+
+// cellProto is a single-cell memory whose tracking labels are configurable
+// so each Γ-lint rule can be violated in isolation.
+type cellProto struct {
+	name       string
+	locations  int
+	stLoc      int // label carried by stores
+	ldLoc      int // label carried by loads
+	values     int // values stores may write (may exceed params.Values)
+	params     trace.Params
+	invalidate bool // add an Inv action invalidating location 1
+	badCopy    bool // add a Copy action with out-of-range labels
+	hideHidden bool // make Key non-injective via the hidden field
+	splitOnce  bool // add two internal actions diverging the hidden field
+}
+
+func (c *cellProto) Name() string         { return c.name }
+func (c *cellProto) Params() trace.Params { return c.params }
+func (c *cellProto) Locations() int       { return c.locations }
+func (c *cellProto) Initial() protocol.State {
+	return cellState{hideFrom: c.hideHidden}
+}
+
+func (c *cellProto) Transitions(ps protocol.State) []protocol.Transition {
+	s := ps.(cellState)
+	var out []protocol.Transition
+	for v := trace.Value(1); int(v) <= c.values; v++ {
+		next := s
+		next.val = v
+		next.inv = false
+		out = append(out, protocol.Transition{
+			Action: protocol.MemOp(trace.ST(1, 1, v)),
+			Next:   next,
+			Loc:    c.stLoc,
+		})
+	}
+	out = append(out, protocol.Transition{
+		Action: protocol.MemOp(trace.LD(1, 1, s.val)),
+		Next:   s,
+		Loc:    c.ldLoc,
+	})
+	if c.invalidate && !s.inv {
+		next := s
+		next.inv = true
+		out = append(out, protocol.Transition{
+			Action: protocol.Internal("Inv"),
+			Next:   next,
+			Copies: []protocol.Copy{{Dst: 1, Src: 0}},
+		})
+	}
+	if c.badCopy {
+		out = append(out, protocol.Transition{
+			Action: protocol.Internal("Copy"),
+			Next:   s,
+			Copies: []protocol.Copy{{Dst: c.locations + 4, Src: -1}},
+		})
+	}
+	if c.splitOnce && s.hidden == 0 {
+		for d := 1; d <= 2; d++ {
+			next := s
+			next.hidden = d
+			out = append(out, protocol.Transition{
+				Action: protocol.Internal("Split", d),
+				Next:   next,
+			})
+		}
+	}
+	if s.hidden != 0 {
+		// Behavior depends on hidden: distinct internal actions per value.
+		out = append(out, protocol.Transition{
+			Action: protocol.Internal("Mark", s.hidden),
+			Next:   s,
+		})
+	}
+	return out
+}
+
+func goodCell() *cellProto {
+	return &cellProto{
+		name:      "cell-ok",
+		locations: 1,
+		stLoc:     1,
+		ldLoc:     1,
+		values:    2,
+		params:    trace.Params{Procs: 1, Blocks: 1, Values: 2},
+	}
+}
+
+func lint(t *testing.T, p protocol.Protocol, opts gammalint.Options) *gammalint.Report {
+	t.Helper()
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 2000
+	}
+	rep := gammalint.Lint(p, opts)
+	t.Log(rep)
+	return rep
+}
+
+func wantRule(t *testing.T, rep *gammalint.Report, rule string) {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			return
+		}
+	}
+	t.Errorf("no %s finding; findings: %v", rule, rep.Findings)
+}
+
+func wantClean(t *testing.T, rep *gammalint.Report) {
+	t.Helper()
+	for _, f := range rep.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+func TestCleanFixtureProtocol(t *testing.T) {
+	rep := lint(t, goodCell(), gammalint.Options{})
+	wantClean(t, rep)
+	if !rep.Complete {
+		t.Error("exploration of the one-cell protocol should be complete")
+	}
+}
+
+func TestRegisteredProtocolsSpotCheck(t *testing.T) {
+	params := trace.Params{Procs: 2, Blocks: 2, Values: 2}
+	for _, p := range []protocol.Protocol{serial.New(params), msibus.New(params)} {
+		rep := lint(t, p, gammalint.Options{MaxStates: 5000, BandwidthRuns: 5})
+		wantClean(t, rep)
+	}
+}
+
+func TestBuggyProtocolsStayInGamma(t *testing.T) {
+	// Coherence bugs break SC, not Γ-membership: the labels still describe
+	// what the broken protocol actually does, so Γ-lint must stay silent.
+	params := trace.Params{Procs: 2, Blocks: 1, Values: 2}
+	for _, bug := range []msibus.Bug{msibus.BugLostWriteback, msibus.BugNoInvalidate} {
+		rep := lint(t, msibus.NewBuggy(params, bug), gammalint.Options{MaxStates: 5000, BandwidthRuns: 5})
+		wantClean(t, rep)
+	}
+}
+
+func TestOpOutsideParams(t *testing.T) {
+	p := goodCell()
+	p.name = "cell-bad-params"
+	p.values = 3 // params say 2
+	rep := lint(t, p, gammalint.Options{})
+	wantRule(t, rep, gammalint.RuleOpParams)
+}
+
+func TestMemLocOutOfRange(t *testing.T) {
+	p := goodCell()
+	p.name = "cell-bad-ldloc"
+	p.ldLoc = 7
+	rep := lint(t, p, gammalint.Options{})
+	wantRule(t, rep, gammalint.RuleMemLocRange)
+}
+
+func TestCopyLabelOutOfRange(t *testing.T) {
+	p := goodCell()
+	p.name = "cell-bad-copy"
+	p.badCopy = true
+	rep := lint(t, p, gammalint.Options{BandwidthRuns: -1})
+	wantRule(t, rep, gammalint.RuleCopyRange)
+}
+
+func TestBrokenTrackingLabelDetected(t *testing.T) {
+	// The store labels location 2 but the machine's loads read the cell
+	// tracked as location 1: the ST transition does not update the location
+	// it names, so a later load disagrees with the tracked contents.
+	p := goodCell()
+	p.name = "cell-bad-stloc"
+	p.locations = 2
+	p.stLoc = 2
+	rep := lint(t, p, gammalint.Options{BandwidthRuns: -1})
+	wantRule(t, rep, gammalint.RuleLoadValue)
+}
+
+func TestLoadFromInvalidatedLocation(t *testing.T) {
+	p := goodCell()
+	p.name = "cell-bad-inv"
+	p.invalidate = true
+	rep := lint(t, p, gammalint.Options{BandwidthRuns: -1})
+	wantRule(t, rep, gammalint.RuleLoadInvalid)
+}
+
+func TestNonInjectiveKeyDetected(t *testing.T) {
+	p := goodCell()
+	p.name = "cell-bad-key"
+	p.hideHidden = true
+	p.splitOnce = true
+	rep := lint(t, p, gammalint.Options{BandwidthRuns: -1})
+	wantRule(t, rep, gammalint.RuleKeyCollision)
+}
+
+// flipFlopProto enumerates transitions in an order that changes between
+// queries — the map-iteration failure mode, made deterministic for tests.
+type flipFlopProto struct {
+	*cellProto
+	calls int
+}
+
+func (f *flipFlopProto) Transitions(ps protocol.State) []protocol.Transition {
+	out := f.cellProto.Transitions(ps)
+	f.calls++
+	if f.calls%2 == 0 && len(out) > 1 {
+		out[0], out[1] = out[1], out[0]
+	}
+	return out
+}
+
+func TestNondeterministicEnumerationDetected(t *testing.T) {
+	p := &flipFlopProto{cellProto: goodCell()}
+	p.name = "cell-nondet"
+	rep := lint(t, p, gammalint.Options{BandwidthRuns: -1})
+	wantRule(t, rep, gammalint.RuleNondet)
+}
+
+func TestDeadStateReported(t *testing.T) {
+	s := &protocol.Scripted{
+		ProtoName: "script-ends",
+		P:         1, B: 1, V: 1, L: 1,
+		Steps: []protocol.ScriptStep{
+			{Action: protocol.MemOp(trace.ST(1, 1, 1)), Loc: 1},
+		},
+	}
+	rep := lint(t, s, gammalint.Options{BandwidthRuns: -1})
+	wantRule(t, rep, gammalint.RuleDeadState)
+	if rep.Errors() != 0 {
+		t.Errorf("dead state must be a warning, got %d errors", rep.Errors())
+	}
+}
+
+// declaringProto wraps a protocol and declares one reachable and one
+// unreachable state.
+type declaringProto struct {
+	*cellProto
+}
+
+func (d *declaringProto) DeclaredStates() []protocol.State {
+	return []protocol.State{
+		cellState{val: 1},               // reachable
+		cellState{val: 9, hidden: 1234}, // not reachable
+	}
+}
+
+func TestUnreachableDeclaredState(t *testing.T) {
+	p := &declaringProto{cellProto: goodCell()}
+	p.name = "cell-declares"
+	rep := lint(t, p, gammalint.Options{BandwidthRuns: -1})
+	wantRule(t, rep, gammalint.RuleUnreachable)
+	if rep.Errors() != 0 {
+		t.Errorf("unreachable declared state must be a warning, got %d errors", rep.Errors())
+	}
+}
+
+func TestBandwidthBoundViolation(t *testing.T) {
+	// A pool of 2 IDs cannot describe the serial protocol's constraint
+	// graphs (it needs a store, its loads, and program-order tails live at
+	// once), so the declared k must be reported as exceeded.
+	params := trace.Params{Procs: 2, Blocks: 1, Values: 1}
+	rep := lint(t, serial.New(params), gammalint.Options{
+		MaxStates: 500, PoolSize: 2, BandwidthRuns: 10, BandwidthSteps: 30,
+	})
+	wantRule(t, rep, gammalint.RuleBandwidth)
+}
+
+func TestFindingsAreReplayable(t *testing.T) {
+	p := goodCell()
+	p.name = "cell-bad-stloc"
+	p.locations = 2
+	p.stLoc = 2
+	rep := lint(t, p, gammalint.Options{BandwidthRuns: -1})
+	for _, f := range rep.Findings {
+		if f.Path == nil {
+			continue
+		}
+		if _, err := protocol.ReplayIndices(p, f.Path); err != nil {
+			t.Errorf("finding path %v does not replay: %v", f.Path, err)
+		}
+	}
+}

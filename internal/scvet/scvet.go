@@ -1,0 +1,245 @@
+// Package scvet statically analyzes this repository's Go source for
+// violations of the invariants the verification method's correctness rests
+// on. The model checker closes its state space over canonical encodings
+// (State.Key, StateKey, CanonicalKey, ...), counterexample replay assumes
+// deterministic transition enumeration, and branching exploration assumes
+// Clone methods deep-copy every field — so a map iterated in an encoding
+// function, or a struct field missing from a clone, is a soundness bug
+// that no unit test reliably catches (Go randomizes map order per run).
+//
+// Two analyses are provided, purely syntactic (go/ast, no type checker):
+//
+//   - SV001 map-range-encoding: a `for ... range` over a map whose body
+//     feeds a canonical encoding or a transition list. The sorted-keys
+//     idiom (collect keys into a slice, sort, then iterate) is recognized
+//     and not flagged; a collected-but-never-sorted slice is.
+//   - SV002 clone-incomplete: a composite literal inside a Clone/clone
+//     function that, together with later field assignments to the same
+//     variable, does not cover every field of its struct type.
+//   - SV003 clone-unread-field: a field of a Clone method's receiver type
+//     that the method body never mentions at all.
+//
+// Being syntactic, the analyses resolve types only as far as receiver,
+// parameter and local declarations allow; unresolvable expressions are
+// skipped rather than guessed, so findings are high-confidence.
+package scvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rule identifiers, stable across releases.
+const (
+	// RuleMapRange flags map iteration feeding canonical encodings or
+	// transition lists.
+	RuleMapRange = "SV001"
+	// RuleCloneIncomplete flags composite literals in clone functions that
+	// leave struct fields at their zero value.
+	RuleCloneIncomplete = "SV002"
+	// RuleCloneUnread flags receiver fields never mentioned in a Clone
+	// method.
+	RuleCloneUnread = "SV003"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule string         `json:"rule"`
+	Pos  token.Position `json:"pos"`
+	Msg  string         `json:"msg"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Package is one parsed Go package directory.
+type Package struct {
+	Fset  *token.FileSet
+	Dir   string
+	Name  string
+	Files []*ast.File
+	// Structs indexes the package's struct types: type name -> field name
+	// -> declared field type expression.
+	Structs map[string]map[string]ast.Expr
+	// FieldOrder preserves declaration order for stable messages.
+	FieldOrder map[string][]string
+}
+
+// LoadDir parses every non-test Go file of a directory into a Package.
+// Directories with no Go files return (nil, nil).
+func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Fset:       fset,
+		Dir:        dir,
+		Structs:    make(map[string]map[string]ast.Expr),
+		FieldOrder: make(map[string][]string),
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Name = f.Name.Name
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pkg.indexStructs()
+	return pkg, nil
+}
+
+func (p *Package) indexStructs() {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fields := make(map[string]ast.Expr)
+			var order []string
+			for _, fl := range st.Fields.List {
+				if len(fl.Names) == 0 {
+					// Embedded field: named by its type's identifier.
+					if id := baseTypeIdent(fl.Type); id != "" {
+						fields[id] = fl.Type
+						order = append(order, id)
+					}
+					continue
+				}
+				for _, nm := range fl.Names {
+					fields[nm.Name] = fl.Type
+					order = append(order, nm.Name)
+				}
+			}
+			p.Structs[ts.Name.Name] = fields
+			p.FieldOrder[ts.Name.Name] = order
+			return true
+		})
+	}
+}
+
+// baseTypeIdent returns the identifier naming a type expression, looking
+// through pointers; "" when the type is not a plain (possibly pointered)
+// identifier.
+func baseTypeIdent(t ast.Expr) string {
+	switch v := t.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.StarExpr:
+		return baseTypeIdent(v.X)
+	case *ast.SelectorExpr:
+		return "" // foreign package type; not resolvable syntactically
+	default:
+		return ""
+	}
+}
+
+// isMapType reports whether a declared type expression is a map.
+func isMapType(t ast.Expr) bool {
+	_, ok := t.(*ast.MapType)
+	return ok
+}
+
+// Analyze runs every analyzer over the package.
+func Analyze(p *Package) []Finding {
+	var out []Finding
+	out = append(out, analyzeMapRange(p)...)
+	out = append(out, analyzeClones(p)...)
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Rule < fs[j].Rule
+	})
+}
+
+// Run analyzes the packages named by the arguments: each argument is a
+// directory, or a "dir/..." pattern analyzed recursively. Directories
+// named testdata, vendor, or starting with "." or "_" are skipped during
+// recursion.
+func Run(args []string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var dirs []string
+	seen := make(map[string]struct{})
+	addDir := func(d string) {
+		d = filepath.Clean(d)
+		if _, ok := seen[d]; !ok {
+			seen[d] = struct{}{}
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "/..."); ok {
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				addDir(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			addDir(arg)
+		}
+	}
+
+	var out []Finding
+	for _, dir := range dirs {
+		pkg, err := LoadDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		out = append(out, Analyze(pkg)...)
+	}
+	sortFindings(out)
+	return out, nil
+}
