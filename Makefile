@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race scvet lint fuzz-burst clean
+.PHONY: tier1 build vet test race scvet lint fuzz-burst smoke-serve bench-serve clean
 
-tier1: build vet race scvet lint fuzz-burst
+tier1: build vet race scvet lint smoke-serve fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,26 @@ fuzz-burst:
 	$(GO) test -run='^$$' -fuzz=FuzzCheckerAgainstOffline -fuzztime=$(FUZZTIME) ./internal/checker
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME) ./internal/descriptor
 	$(GO) test -run='^$$' -fuzz=FuzzTrackerAndDecode -fuzztime=$(FUZZTIME) ./internal/descriptor
+	$(GO) test -run='^$$' -fuzz=FuzzDecoder -fuzztime=$(FUZZTIME) ./internal/descriptor
+	$(GO) test -run='^$$' -fuzz=FuzzFrameParser -fuzztime=$(FUZZTIME) ./internal/scserve
+	$(GO) test -run='^$$' -fuzz=FuzzServerConn -fuzztime=$(FUZZTIME) ./internal/scserve
+
+# smoke-serve: race-enabled client↔server smoke of the scserve session
+# service — 64 concurrent sessions with exact verdict positions, plus the
+# graceful-shutdown drain guarantees.
+smoke-serve:
+	$(GO) test -race -run='TestServerConcurrentSessions|TestGracefulShutdown' -count=1 ./internal/scserve
+
+# bench-serve: throughput of the scserve service on the loopback
+# (sessions/s, symbols/s), written to BENCH_scserve.json.
+BENCH_SESSIONS ?= 256
+BENCH_WORKERS  ?= 64
+BENCH_SYMBOLS  ?= 5000
+
+bench-serve:
+	$(GO) run ./cmd/scserve -bench -bench-sessions=$(BENCH_SESSIONS) \
+		-bench-workers=$(BENCH_WORKERS) -bench-symbols=$(BENCH_SYMBOLS) \
+		-bench-out=BENCH_scserve.json
 
 clean:
 	$(GO) clean ./...

@@ -3,13 +3,16 @@
 // file or stdin. It decouples checking from observation: an observer
 // embedded in a real system (or another tool entirely) can log its
 // descriptor stream and have it adjudicated offline — the testing
-// deployment sketched in Section 5 of Condon & Hu.
+// deployment sketched in Section 5 of Condon & Hu. The stream is decoded
+// incrementally (symbol by symbol), so memory stays bounded on
+// arbitrarily long inputs, and decode failures report the byte offset and
+// symbol index of the malformed symbol.
 //
 // Usage:
 //
 //	scexperiments ... | sccheck -k 12            # stream on stdin
 //	sccheck -k 12 -in run.desc                   # stream from a file
-//	sccheck -k 12 -in run.desc -text             # also print the stream
+//	sccheck -k 12 -in run.desc -text             # also print each symbol
 //
 // The lint subcommand instead runs the Γ-membership linter (package
 // gammalint) over registered protocols:
@@ -22,6 +25,8 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,34 +58,49 @@ func main() {
 		os.Exit(2)
 	}
 
-	var data []byte
-	var err error
-	if *in == "" {
-		data, err = io.ReadAll(os.Stdin)
-	} else {
-		data, err = os.ReadFile(*in)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sccheck: read: %v\n", err)
-		os.Exit(2)
-	}
-
-	stream, err := descriptor.Unmarshal(data)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sccheck: decode: %v\n", err)
-		os.Exit(2)
-	}
-	if *text {
-		fmt.Println(stream.Text())
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccheck: open: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
 	}
 
 	c := checker.New(*k)
 	if *procs > 0 {
 		c.SetParams(trace.Params{Procs: *procs, Blocks: *blocks, Values: *values})
 	}
-	for i, sym := range stream {
+
+	// Decode incrementally: memory stays bounded however long the stream
+	// is, and the checker rejects as early as the stream allows.
+	dec := descriptor.NewDecoder(bufio.NewReaderSize(r, 64<<10))
+	ops := 0
+	for {
+		off := dec.Offset()
+		sym, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var de *descriptor.DecodeError
+			if errors.As(err, &de) {
+				fmt.Fprintf(os.Stderr, "sccheck: decode: symbol %d at byte %d: %s\n", de.Symbol+1, de.Offset, de.Msg)
+			} else {
+				fmt.Fprintf(os.Stderr, "sccheck: read: %v\n", err)
+			}
+			os.Exit(2)
+		}
+		if *text {
+			fmt.Println(sym.Text())
+		}
+		if n, ok := sym.(descriptor.Node); ok && n.Op != nil {
+			ops++
+		}
 		if err := c.Step(sym); err != nil {
-			fmt.Printf("REJECTED at symbol %d (%s): %v\n", i+1, sym.Text(), err)
+			fmt.Printf("REJECTED at symbol %d, byte %d (%s): %v\n", dec.Count(), off, sym.Text(), err)
 			os.Exit(1)
 		}
 	}
@@ -89,7 +109,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("accepted: %d symbols describe an acyclic constraint graph for trace of %d operations\n",
-		len(stream), len(stream.Trace()))
+		dec.Count(), ops)
 }
 
 // lintMain implements `sccheck lint`: Γ-lint over registered protocols.

@@ -1,0 +1,243 @@
+// Command scserve runs the concurrent network SC-checking service: the
+// online form of the Section 5 testing deployment, where observers inside
+// running systems stream k-graph descriptors to a central adjudicator.
+// Clients (package scserve's Client, or `sctest -server`) open length-
+// framed sessions, stream descriptor wire bytes, and receive one verdict
+// frame each; every session gets a dedicated checker goroutine behind a
+// bounded queue.
+//
+// Usage:
+//
+//	scserve -addr :7541                          # serve until SIGINT
+//	scserve -addr :7541 -max-sessions 512 -read-timeout 1m
+//	scserve -bench -bench-out BENCH_scserve.json # self-contained benchmark
+//
+// SIGINT/SIGTERM begins a graceful shutdown: the listener closes, in-
+// flight sessions run to their verdicts (bounded by -drain-timeout), and
+// the final stats line is printed.
+//
+// Exit status: 0 clean serve/bench, 1 drain timeout exceeded, 2 usage/IO
+// error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/scserve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7541", "listen address")
+		maxSessions  = flag.Int("max-sessions", 256, "maximum concurrent sessions")
+		maxFrame     = flag.Int("max-frame", 1<<20, "maximum frame payload bytes")
+		maxK         = flag.Int("max-k", 4096, "maximum session bandwidth bound k")
+		queueBytes   = flag.Int("queue", 64<<10, "per-session symbol queue bytes")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read / idle timeout (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		verbose      = flag.Bool("v", false, "log per-connection diagnostics")
+
+		bench         = flag.Bool("bench", false, "run the self-contained benchmark instead of serving")
+		benchSessions = flag.Int("bench-sessions", 256, "benchmark: total sessions")
+		benchWorkers  = flag.Int("bench-workers", 64, "benchmark: concurrent client connections")
+		benchSymbols  = flag.Int("bench-symbols", 5000, "benchmark: symbols per session")
+		benchOut      = flag.String("bench-out", "BENCH_scserve.json", "benchmark: JSON output file")
+	)
+	flag.Parse()
+
+	cfg := scserve.Config{
+		MaxSessions: *maxSessions,
+		MaxFrame:    *maxFrame,
+		MaxK:        *maxK,
+		QueueBytes:  *queueBytes,
+		ReadTimeout: *readTimeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	if *bench {
+		os.Exit(runBench(cfg, *benchSessions, *benchWorkers, *benchSymbols, *benchOut))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scserve: listen: %v\n", err)
+		os.Exit(2)
+	}
+	srv := scserve.New(cfg)
+	fmt.Printf("scserve: listening on %s (max %d sessions, k ≤ %d)\n", ln.Addr(), *maxSessions, *maxK)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan error, 1)
+	go func() {
+		s := <-sig
+		fmt.Printf("scserve: %v: draining in-flight sessions (budget %s)\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(ln); err != scserve.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "scserve: serve: %v\n", err)
+		os.Exit(2)
+	}
+	err = <-drained
+	fmt.Printf("scserve: %s\n", srv.Stats())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scserve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// benchResult is the BENCH_scserve.json schema.
+type benchResult struct {
+	Bench             string        `json:"bench"`
+	Sessions          int           `json:"sessions"`
+	Workers           int           `json:"workers"`
+	SymbolsPerSession int           `json:"symbols_per_session"`
+	Accepts           int           `json:"accepts"`
+	Rejects           int           `json:"rejects"`
+	ElapsedSeconds    float64       `json:"elapsed_seconds"`
+	SessionsPerSec    float64       `json:"sessions_per_sec"`
+	SymbolsPerSec     float64       `json:"symbols_per_sec"`
+	BytesPerSec       float64       `json:"bytes_per_sec"`
+	Server            scserve.Stats `json:"server_stats"`
+}
+
+// runBench measures client↔server session throughput over loopback TCP:
+// workers share the total session count, each session streaming a
+// synthetic SC stream (every eighth session a rejecting one, exercising
+// the early-verdict path).
+func runBench(cfg scserve.Config, sessions, workers, symbols int, out string) int {
+	if workers > sessions {
+		workers = sessions
+	}
+	if cfg.MaxSessions < workers {
+		cfg.MaxSessions = workers
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scserve bench: listen: %v\n", err)
+		return 2
+	}
+	srv := scserve.New(cfg)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	h := scserve.SyntheticHeader()
+	acceptWire := descriptor.Marshal(scserve.SyntheticAccept(symbols))
+	rejectStream, rejectIdx := scserve.SyntheticReject(symbols - 4)
+	rejectWire := descriptor.Marshal(rejectStream)
+
+	var mu sync.Mutex
+	accepts, rejects := 0, 0
+	var bytesSent int64
+	failures := 0
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := sessions / workers
+		if w < sessions%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			c, err := scserve.DialTimeout(ln.Addr().String(), 30*time.Second)
+			if err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			localA, localR, localBytes := 0, 0, int64(0)
+			for i := 0; i < share; i++ {
+				reject := (w+i)%8 == 7
+				wire := acceptWire
+				if reject {
+					wire = rejectWire
+				}
+				sess, err := c.Session(h)
+				if err == nil {
+					err = sess.SendBytes(wire)
+				}
+				var v scserve.Verdict
+				if err == nil {
+					v, err = sess.Finish()
+				}
+				switch {
+				case err != nil,
+					reject && (v.Code != scserve.VerdictReject || v.Symbol != rejectIdx),
+					!reject && v.Code != scserve.VerdictAccept:
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					return
+				case reject:
+					localR++
+				default:
+					localA++
+				}
+				localBytes += int64(len(wire))
+			}
+			mu.Lock()
+			accepts += localA
+			rejects += localR
+			bytesSent += localBytes
+			mu.Unlock()
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	<-serveDone
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "scserve bench: %d sessions failed or returned wrong verdicts\n", failures)
+		return 2
+	}
+	res := benchResult{
+		Bench:             "scserve",
+		Sessions:          sessions,
+		Workers:           workers,
+		SymbolsPerSession: symbols,
+		Accepts:           accepts,
+		Rejects:           rejects,
+		ElapsedSeconds:    elapsed.Seconds(),
+		SessionsPerSec:    float64(sessions) / elapsed.Seconds(),
+		SymbolsPerSec:     float64(srv.Stats().SymbolsTotal) / elapsed.Seconds(),
+		BytesPerSec:       float64(bytesSent) / elapsed.Seconds(),
+		Server:            srv.Stats(),
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scserve bench: %v\n", err)
+		return 2
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "scserve bench: write %s: %v\n", out, err)
+		return 2
+	}
+	fmt.Printf("scserve bench: %d sessions × %d symbols over %d conns in %.2fs — %.0f sessions/s, %.0f symbols/s (%s)\n",
+		sessions, symbols, workers, res.ElapsedSeconds, res.SessionsPerSec, res.SymbolsPerSec, out)
+	return 0
+}

@@ -8,12 +8,20 @@
 // Usage:
 //
 //	sctest -protocol storebuffer -p 2 -b 2 -v 1 -runs 1000 -steps 16
+//
+// With -server, runs are adjudicated by a remote scserve service instead
+// of the in-process checker — the fully online form of the Section 5
+// deployment (observers local, adjudication central):
+//
+//	scserve -addr :7541 &
+//	sctest -protocol msi -server 127.0.0.1:7541 -runs 1000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"scverify/internal/registry"
 	"scverify/internal/sctest"
@@ -33,6 +41,8 @@ func main() {
 		exact   = flag.Bool("exact", true, "cross-check short traces with the exact reordering search")
 		limit   = flag.Int("exactlimit", 14, "maximum trace length for the exact cross-check")
 		workers = flag.Int("workers", 1, "parallel campaign workers")
+		server  = flag.String("server", "", "scserve address; adjudicate runs remotely instead of in-process")
+		rpcTO   = flag.Duration("server-timeout", 30*time.Second, "per-run I/O timeout for -server mode")
 	)
 	flag.Parse()
 
@@ -43,12 +53,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("testing %s (%s) at %s: %d runs × %d steps\n",
-		tgt.Protocol.Name(), tgt.Note, params, *runs, *steps)
-	res := sctest.Campaign(tgt, sctest.Config{
+	cfg := sctest.Config{
 		Runs: *runs, Steps: *steps, Seed: *seed,
 		Exact: *exact, ExactLimit: *limit, Workers: *workers,
-	})
+	}
+	how := "in-process checker"
+	if *server != "" {
+		cfg.Check = sctest.RemoteChecker(*server, *rpcTO)
+		how = "scserve at " + *server
+	}
+	fmt.Printf("testing %s (%s) at %s: %d runs × %d steps, adjudicated by %s\n",
+		tgt.Protocol.Name(), tgt.Note, params, *runs, *steps, how)
+	res := sctest.Campaign(tgt, cfg)
 	fmt.Println(res)
 
 	if res.SoundnessBreaks > 0 {

@@ -1,0 +1,185 @@
+package descriptor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"scverify/internal/trace"
+)
+
+// DecodeError reports a malformed symbol in a wire-encoded stream together
+// with its position: Offset is the byte offset of the symbol's first byte
+// (the tag) and Symbol is the zero-based index of the symbol within the
+// stream. Truncated distinguishes input that ended in the middle of a
+// symbol — recoverable by supplying more bytes — from input that is
+// malformed outright (unknown tag, varint overflow).
+type DecodeError struct {
+	Offset    int64
+	Symbol    int
+	Truncated bool
+	Msg       string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("descriptor: symbol %d at byte %d: %s", e.Symbol, e.Offset, e.Msg)
+}
+
+// Decoder reads a wire-encoded descriptor stream incrementally from an
+// io.Reader, one symbol per Next call, so arbitrarily long observer logs
+// can be checked in constant memory. Decode failures are *DecodeError
+// values carrying the byte offset and symbol index of the offending
+// symbol; a clean end of input at a symbol boundary is io.EOF.
+type Decoder struct {
+	br  io.ByteReader
+	off int64 // bytes consumed so far
+	idx int   // symbols fully decoded so far
+	err error // sticky terminal state (io.EOF or *DecodeError)
+}
+
+// NewDecoder returns a decoder reading from r. The reader is wrapped in a
+// bufio.Reader unless it already implements io.ByteReader.
+func NewDecoder(r io.Reader) *Decoder {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Decoder{br: br}
+}
+
+// Offset returns the number of stream bytes consumed so far, i.e. the
+// offset of the next symbol's first byte.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// Count returns the number of symbols decoded so far, i.e. the zero-based
+// index of the next symbol.
+func (d *Decoder) Count() int { return d.idx }
+
+func (d *Decoder) fail(start int64, truncated bool, format string, args ...any) error {
+	d.err = &DecodeError{Offset: start, Symbol: d.idx, Truncated: truncated, Msg: fmt.Sprintf(format, args...)}
+	return d.err
+}
+
+func (d *Decoder) readByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err == nil {
+		d.off++
+	}
+	return b, err
+}
+
+// ioErr distinguishes end-of-input (io.EOF, or io.ErrUnexpectedEOF from
+// readers that translate it) from genuine I/O failures, which propagate
+// verbatim so callers can tell a truncated stream from a broken transport.
+func (d *Decoder) ioErr(err error, start int64, truncated string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return d.fail(start, true, "%s", truncated)
+	}
+	d.err = err
+	return err
+}
+
+// uvarint decodes one unsigned varint; end-of-input mid-varint is a
+// truncation error positioned at the enclosing symbol's start.
+func (d *Decoder) uvarint(start int64, field string) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < 10; i++ {
+		b, err := d.readByte()
+		if err != nil {
+			return 0, d.ioErr(err, start, "truncated "+field+" varint")
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, d.fail(start, false, "%s varint overflows uint64", field)
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, d.fail(start, false, "%s varint overflows uint64", field)
+}
+
+// Next decodes and returns the next symbol. It returns io.EOF when the
+// input ends cleanly at a symbol boundary, and a *DecodeError (sticky, as
+// is io.EOF) when the input is malformed or ends mid-symbol.
+func (d *Decoder) Next() (Symbol, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	start := d.off
+	tag, err := d.readByte()
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = io.EOF // clean end at a symbol boundary
+		}
+		d.err = err
+		return nil, err
+	}
+	switch tag {
+	case tagNode:
+		id, err := d.uvarint(start, "node ID")
+		if err != nil {
+			return nil, err
+		}
+		d.idx++
+		return Node{ID: int(id)}, nil
+	case tagNodeLabeled:
+		id, err := d.uvarint(start, "node ID")
+		if err != nil {
+			return nil, err
+		}
+		kindByte, err := d.readByte()
+		if err != nil {
+			return nil, d.ioErr(err, start, "truncated node operation kind")
+		}
+		p, err := d.uvarint(start, "processor")
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.uvarint(start, "block")
+		if err != nil {
+			return nil, err
+		}
+		val, err := d.uvarint(start, "value")
+		if err != nil {
+			return nil, err
+		}
+		op := trace.Op{Kind: trace.OpKind(kindByte), Proc: trace.ProcID(p), Block: trace.BlockID(b), Value: trace.Value(val)}
+		d.idx++
+		return Node{ID: int(id), Op: &op}, nil
+	case tagEdge, tagEdgeLabeled:
+		from, err := d.uvarint(start, "edge source")
+		if err != nil {
+			return nil, err
+		}
+		to, err := d.uvarint(start, "edge target")
+		if err != nil {
+			return nil, err
+		}
+		label := None
+		if tag == tagEdgeLabeled {
+			lb, err := d.readByte()
+			if err != nil {
+				return nil, d.ioErr(err, start, "truncated edge label")
+			}
+			label = EdgeLabel(lb)
+		}
+		d.idx++
+		return Edge{From: int(from), To: int(to), Label: label}, nil
+	case tagAddID:
+		ex, err := d.uvarint(start, "add-ID existing")
+		if err != nil {
+			return nil, err
+		}
+		nw, err := d.uvarint(start, "add-ID new")
+		if err != nil {
+			return nil, err
+		}
+		d.idx++
+		return AddID{Existing: int(ex), New: int(nw)}, nil
+	default:
+		return nil, d.fail(start, false, "unknown tag %d", tag)
+	}
+}

@@ -1,0 +1,223 @@
+package descriptor
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+
+	"scverify/internal/trace"
+)
+
+func testStream() Stream {
+	st := trace.ST(1, 1, 1)
+	ld := trace.LD(2, 1, 1)
+	return Stream{
+		Node{ID: 1, Op: &st},
+		Node{ID: 2, Op: &ld},
+		Edge{From: 1, To: 2, Label: POInh},
+		AddID{Existing: 1, New: 3},
+		Node{ID: 2},
+		Edge{From: 1, To: 3},
+	}
+}
+
+// TestDecoderMatchesUnmarshal: symbol-at-a-time decoding yields exactly the
+// stream Unmarshal produces, with clean io.EOF at the end.
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	want := testStream()
+	data := Marshal(want)
+	d := NewDecoder(bytes.NewReader(data))
+	var got Stream
+	for {
+		sym, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, sym)
+	}
+	if got.Text() != want.Text() {
+		t.Fatalf("decoded %q, want %q", got.Text(), want.Text())
+	}
+	if d.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", d.Count(), len(want))
+	}
+	if d.Offset() != int64(len(data)) {
+		t.Fatalf("Offset = %d, want %d", d.Offset(), len(data))
+	}
+	// io.EOF is sticky.
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF: %v", err)
+	}
+}
+
+// TestDecoderPositionedErrors: malformed input yields a *DecodeError whose
+// Offset and Symbol point at the offending symbol's first byte.
+func TestDecoderPositionedErrors(t *testing.T) {
+	prefix := Marshal(testStream()[:2]) // two well-formed symbols
+	cases := []struct {
+		name      string
+		tail      []byte
+		truncated bool
+	}{
+		{"unknown tag", []byte{99}, false},
+		{"truncated node varint", []byte{tagNode}, true},
+		{"truncated labeled node", []byte{tagNodeLabeled, 0x01, 0x00, 0x01}, true},
+		{"truncated edge", []byte{tagEdge, 0x01}, true},
+		{"truncated edge label", []byte{tagEdgeLabeled, 0x01, 0x02}, true},
+		{"truncated add-ID", []byte{tagAddID, 0x01}, true},
+		{"varint overflow", append([]byte{tagNode}, bytes.Repeat([]byte{0xff}, 10)...), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append(append([]byte(nil), prefix...), tc.tail...)
+			d := NewDecoder(bytes.NewReader(data))
+			var err error
+			for err == nil {
+				_, err = d.Next()
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error %v (%T), want *DecodeError", err, err)
+			}
+			if de.Symbol != 2 {
+				t.Errorf("Symbol = %d, want 2", de.Symbol)
+			}
+			if de.Offset != int64(len(prefix)) {
+				t.Errorf("Offset = %d, want %d", de.Offset, len(prefix))
+			}
+			if de.Truncated != tc.truncated {
+				t.Errorf("Truncated = %v, want %v", de.Truncated, tc.truncated)
+			}
+			// The error is sticky.
+			if _, err2 := d.Next(); err2 != err {
+				t.Errorf("error not sticky: %v then %v", err, err2)
+			}
+			// Unmarshal reports the same positioned error.
+			if _, uerr := Unmarshal(data); !errors.As(uerr, &de) {
+				t.Errorf("Unmarshal error %v, want *DecodeError", uerr)
+			}
+		})
+	}
+}
+
+// TestDecoderEveryTruncation chops a marshaled stream at every byte
+// position: a cut at a symbol boundary is a clean EOF; any other cut
+// yields a truncation error positioned at the start of the cut symbol.
+func TestDecoderEveryTruncation(t *testing.T) {
+	s := testStream()
+	data := Marshal(s)
+	// Record symbol start offsets.
+	starts := map[int64]bool{}
+	var off int64
+	starts[0] = true
+	for _, sym := range s {
+		off += int64(len(AppendBinary(nil, sym)))
+		starts[off] = true
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		d := NewDecoder(bytes.NewReader(data[:cut]))
+		var err error
+		n := 0
+		for {
+			_, err = d.Next()
+			if err != nil {
+				break
+			}
+			n++
+		}
+		if starts[int64(cut)] {
+			if err != io.EOF {
+				t.Fatalf("cut at boundary %d: err %v, want io.EOF", cut, err)
+			}
+			continue
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) || !de.Truncated {
+			t.Fatalf("cut at %d: err %v, want truncated *DecodeError", cut, err)
+		}
+		if !starts[de.Offset] || de.Offset > int64(cut) {
+			t.Fatalf("cut at %d: error offset %d is not a symbol start before the cut", cut, de.Offset)
+		}
+		if de.Symbol != n {
+			t.Fatalf("cut at %d: error symbol %d, want %d", cut, de.Symbol, n)
+		}
+	}
+}
+
+// repeatReader serves the same chunk n times without materializing the
+// whole stream, so the bounded-memory test's input costs no heap.
+type repeatReader struct {
+	chunk []byte
+	n     int
+	pos   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	m := copy(p, r.chunk[r.pos:])
+	r.pos += m
+	if r.pos == len(r.chunk) {
+		r.pos = 0
+		r.n--
+	}
+	return m, nil
+}
+
+// TestDecoderBoundedMemory decodes a multi-megabyte synthetic stream and
+// asserts the live heap stays far below the stream size — the regression
+// guard for the io.ReadAll-era behavior of holding the whole input (and
+// decoded Stream) in memory.
+func TestDecoderBoundedMemory(t *testing.T) {
+	chunk := Marshal(testStream())
+	const repeats = 400000 // ~10 MB of wire bytes, ~2.4M symbols
+	total := int64(len(chunk)) * repeats
+	if total < 8<<20 {
+		t.Fatalf("synthetic stream too small: %d bytes", total)
+	}
+	d := NewDecoder(&repeatReader{chunk: chunk, n: repeats})
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	syms := 0
+	var peak uint64
+	for {
+		_, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next at symbol %d: %v", syms, err)
+		}
+		syms++
+		if syms%500000 == 0 {
+			runtime.GC()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			if m.HeapAlloc > peak {
+				peak = m.HeapAlloc
+			}
+		}
+	}
+	if d.Offset() != total {
+		t.Fatalf("consumed %d bytes, want %d", d.Offset(), total)
+	}
+	if syms != repeats*len(testStream()) {
+		t.Fatalf("decoded %d symbols, want %d", syms, repeats*len(testStream()))
+	}
+	// Live heap while streaming must stay far below the input size; allow
+	// generous slack over the baseline for runtime noise.
+	limit := m0.HeapAlloc + 2<<20
+	if peak > limit {
+		t.Fatalf("peak live heap %d bytes over a %d-byte stream (baseline %d); decoding is not bounded-memory",
+			peak, total, m0.HeapAlloc)
+	}
+}

@@ -1,6 +1,9 @@
 package descriptor
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"scverify/internal/trace"
@@ -31,6 +34,71 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatal("normalization not idempotent")
 		}
 	})
+}
+
+// FuzzDecoder feeds arbitrary bytes to the incremental decoder in
+// adversarially small reads: no panics; the symbol sequence and terminal
+// error must agree exactly with Unmarshal on the same bytes; errors must be
+// positioned at a symbol start; and a truncation cut mid-symbol must be
+// reported as such.
+func FuzzDecoder(f *testing.F) {
+	op := trace.ST(1, 1, 1)
+	f.Add([]byte{}, byte(1))
+	f.Add(Marshal(Stream{Node{ID: 1, Op: &op}, Edge{From: 1, To: 2, Label: Inh}}), byte(3))
+	f.Add([]byte{tagNodeLabeled, 0x01, 0x00}, byte(1))
+	f.Add([]byte{0xff, 0x00, 0x01}, byte(2))
+	f.Add(append([]byte{tagNode}, bytes.Repeat([]byte{0x80}, 12)...), byte(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, readSize byte) {
+		want, wantErr := Unmarshal(data)
+		r := iotest(bytes.NewReader(data), int(readSize%7)+1)
+		d := NewDecoder(r)
+		var got Stream
+		var gotErr error
+		for {
+			sym, err := d.Next()
+			if err != nil {
+				if err != io.EOF {
+					gotErr = err
+				}
+				break
+			}
+			got = append(got, sym)
+		}
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("Decoder err %v, Unmarshal err %v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			var de, ue *DecodeError
+			if !errors.As(gotErr, &de) || !errors.As(wantErr, &ue) {
+				t.Fatalf("non-DecodeError failures: %v / %v", gotErr, wantErr)
+			}
+			if de.Offset != ue.Offset || de.Symbol != ue.Symbol || de.Truncated != ue.Truncated {
+				t.Fatalf("Decoder error %+v disagrees with Unmarshal error %+v", de, ue)
+			}
+			if de.Symbol != len(got) {
+				t.Fatalf("error symbol index %d, decoded %d symbols", de.Symbol, len(got))
+			}
+		} else if got.Text() != want.Text() {
+			t.Fatalf("Decoder stream %q, Unmarshal stream %q", got.Text(), want.Text())
+		}
+	})
+}
+
+// iotest returns a reader delivering at most n bytes per Read, exercising
+// symbol decodes that span reads (and, in scserve, frame payloads).
+func iotest(r io.Reader, n int) io.Reader { return &slowReader{r: r, n: n} }
+
+type slowReader struct {
+	r io.Reader
+	n int
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if len(p) > s.n {
+		p = p[:s.n]
+	}
+	return s.r.Read(p)
 }
 
 // FuzzTrackerAndDecode drives the ID-set semantics and the whole-graph

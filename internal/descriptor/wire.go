@@ -1,10 +1,10 @@
 package descriptor
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
-
-	"scverify/internal/trace"
+	"io"
 )
 
 // Binary wire format for descriptor streams. Each symbol is a 1-byte tag
@@ -62,83 +62,20 @@ func Marshal(s Stream) []byte {
 	return out
 }
 
-// Unmarshal decodes a wire-encoded stream.
+// Unmarshal decodes a wire-encoded stream. Decode failures are
+// *DecodeError values carrying the byte offset and symbol index of the
+// malformed symbol.
 func Unmarshal(data []byte) (Stream, error) {
+	d := NewDecoder(bytes.NewReader(data))
 	var out Stream
-	pos := 0
-	uv := func() (uint64, error) {
-		v, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return 0, fmt.Errorf("descriptor: truncated varint at byte %d", pos)
+	for {
+		sym, err := d.Next()
+		if err == io.EOF {
+			return out, nil
 		}
-		pos += n
-		return v, nil
-	}
-	for pos < len(data) {
-		tag := data[pos]
-		pos++
-		switch tag {
-		case tagNode:
-			id, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Node{ID: int(id)})
-		case tagNodeLabeled:
-			id, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			if pos >= len(data) {
-				return nil, fmt.Errorf("descriptor: truncated node label at byte %d", pos)
-			}
-			kind := trace.OpKind(data[pos])
-			pos++
-			p, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			b, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			val, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			op := trace.Op{Kind: kind, Proc: trace.ProcID(p), Block: trace.BlockID(b), Value: trace.Value(val)}
-			out = append(out, Node{ID: int(id), Op: &op})
-		case tagEdge, tagEdgeLabeled:
-			from, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			to, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			label := None
-			if tag == tagEdgeLabeled {
-				if pos >= len(data) {
-					return nil, fmt.Errorf("descriptor: truncated edge label at byte %d", pos)
-				}
-				label = EdgeLabel(data[pos])
-				pos++
-			}
-			out = append(out, Edge{From: int(from), To: int(to), Label: label})
-		case tagAddID:
-			ex, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			nw, err := uv()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, AddID{Existing: int(ex), New: int(nw)})
-		default:
-			return nil, fmt.Errorf("descriptor: unknown tag %d at byte %d", tag, pos-1)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, sym)
 	}
-	return out, nil
 }

@@ -1,0 +1,205 @@
+package scserve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"scverify/internal/descriptor"
+)
+
+// maxChunk is the largest symbols-frame payload the client emits; the
+// server's default MaxFrame is far above it.
+const maxChunk = 32 << 10
+
+// Client speaks the scserve session protocol over one connection. It is
+// not goroutine-safe: a connection carries one session at a time (open
+// several Clients for concurrency). The zero value is not usable;
+// construct with Dial or NewClient.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+	open    *Session
+}
+
+// Dial connects to an scserve server.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout connects with a dial deadline; the same duration then bounds
+// every subsequent read and write on the connection (0 disables).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("scserve: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, timeout), nil
+}
+
+// NewClient wraps an established connection (used by tests over in-memory
+// pipes and by Dial).
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 8<<10),
+		bw:      bufio.NewWriterSize(conn, maxChunk+64),
+		timeout: timeout,
+	}
+}
+
+// Close closes the connection. An open session is abandoned (the server
+// counts it as aborted).
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) deadlines() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// Stats fetches the server's counters. Not available while a session is
+// open on this connection.
+func (c *Client) Stats() (Stats, error) {
+	if c.open != nil {
+		return Stats{}, fmt.Errorf("scserve: stats request inside an open session")
+	}
+	c.deadlines()
+	if err := writeFrame(c.bw, frameStatsReq, nil); err != nil {
+		return Stats{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Stats{}, err
+	}
+	typ, payload, err := readFrame(c.br, 1<<20)
+	if err != nil {
+		return Stats{}, fmt.Errorf("scserve: stats read: %w", err)
+	}
+	if typ != frameStatsReply {
+		return Stats{}, fmt.Errorf("scserve: stats request answered by frame type %#x", typ)
+	}
+	var st Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return Stats{}, fmt.Errorf("scserve: stats payload: %w", err)
+	}
+	return st, nil
+}
+
+// Session opens a checking session with the given header. Only one session
+// may be open per Client; it must be concluded with Finish (or the
+// connection closed) before the next.
+func (c *Client) Session(h Header) (*Session, error) {
+	if c.open != nil {
+		return nil, fmt.Errorf("scserve: previous session still open")
+	}
+	c.deadlines()
+	if err := writeFrame(c.bw, frameHello, appendHello(nil, h)); err != nil {
+		return nil, fmt.Errorf("scserve: hello: %w", err)
+	}
+	s := &Session{c: c}
+	c.open = s
+	return s, nil
+}
+
+// Session is one open checking session: a sequence of Send/SendBytes calls
+// concluded by Finish.
+type Session struct {
+	c       *Client
+	symbols int
+	bytes   int64
+	scratch []byte
+	done    bool
+}
+
+// Symbols returns the number of symbols sent so far via Send (SendBytes
+// payloads are counted as raw bytes only).
+func (s *Session) Symbols() int { return s.symbols }
+
+// Bytes returns the number of stream bytes sent so far.
+func (s *Session) Bytes() int64 { return s.bytes }
+
+// Send encodes and streams the given symbols.
+func (s *Session) Send(syms ...descriptor.Symbol) error {
+	s.scratch = s.scratch[:0]
+	for _, sym := range syms {
+		s.scratch = descriptor.AppendBinary(s.scratch, sym)
+	}
+	if err := s.SendBytes(s.scratch); err != nil {
+		return err
+	}
+	s.symbols += len(syms)
+	return nil
+}
+
+// SendBytes streams raw descriptor wire bytes, split into frames of at
+// most maxChunk. The bytes need not align with symbol boundaries.
+func (s *Session) SendBytes(raw []byte) error {
+	if s.done {
+		return fmt.Errorf("scserve: send after Finish")
+	}
+	s.c.deadlines()
+	for len(raw) > 0 {
+		n := len(raw)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		if err := writeFrame(s.c.bw, frameSymbols, raw[:n]); err != nil {
+			return fmt.Errorf("scserve: send: %w", err)
+		}
+		s.bytes += int64(n)
+		raw = raw[n:]
+	}
+	return nil
+}
+
+// Flush pushes buffered frames to the server immediately; Send and
+// SendBytes otherwise buffer until the client-side writer fills or Finish
+// is called.
+func (s *Session) Flush() error {
+	s.c.deadlines()
+	return s.c.bw.Flush()
+}
+
+// Finish ends the stream and returns the server's verdict. The connection
+// remains usable for further sessions.
+func (s *Session) Finish() (Verdict, error) {
+	if s.done {
+		return Verdict{}, fmt.Errorf("scserve: session already finished")
+	}
+	s.done = true
+	s.c.open = nil
+	s.c.deadlines()
+	if err := writeFrame(s.c.bw, frameEnd, nil); err != nil {
+		return Verdict{}, fmt.Errorf("scserve: end: %w", err)
+	}
+	if err := s.c.bw.Flush(); err != nil {
+		return Verdict{}, fmt.Errorf("scserve: flush: %w", err)
+	}
+	typ, payload, err := readFrame(s.c.br, 1<<20)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("scserve: verdict read: %w", err)
+	}
+	if typ != frameVerdict {
+		return Verdict{}, fmt.Errorf("scserve: expected verdict, got frame type %#x", typ)
+	}
+	v, err := parseVerdict(payload)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("scserve: %w", err)
+	}
+	return v, nil
+}
+
+// Check is the one-shot convenience: it opens a session with h, streams
+// the whole stream, and returns the verdict.
+func (c *Client) Check(h Header, stream descriptor.Stream) (Verdict, error) {
+	s, err := c.Session(h)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if err := s.Send(stream...); err != nil {
+		return Verdict{}, err
+	}
+	return s.Finish()
+}

@@ -1,0 +1,255 @@
+package scserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"scverify/internal/trace"
+)
+
+// The scserve session protocol is length-framed on top of the descriptor
+// binary wire format. A frame is
+//
+//	[1-byte type] [uvarint payload length] [payload]
+//
+// and a session is
+//
+//	client: hello(version, k, p, b, v, flags)
+//	client: symbols* (payloads concatenate into one descriptor byte stream;
+//	        frames may split the stream anywhere, even mid-symbol)
+//	client: end
+//	server: one verdict frame per session — emitted early on rejection,
+//	        otherwise in response to end
+//
+// A connection carries any number of sessions sequentially; stats frames
+// may be sent between sessions (and are answered mid-session too). All
+// uvarints are unsigned varints in encoding/binary's format.
+const (
+	frameHello      byte = 0x01 // open a session: header payload
+	frameSymbols    byte = 0x02 // descriptor wire bytes
+	frameEnd        byte = 0x03 // end of symbol stream; request final verdict
+	frameStatsReq   byte = 0x04 // request a stats frame
+	frameVerdict    byte = 0x81 // server → client: session verdict
+	frameStatsReply byte = 0x82 // server → client: JSON-encoded Stats
+)
+
+// protocolVersion is the hello version this package speaks.
+const protocolVersion = 1
+
+// helloFlagNoValues asks the server to skip the value-equality side of
+// constraint 4 (the Section 4.4 optimization); the client is expected to
+// run its own valuecheck pass.
+const helloFlagNoValues = 1 << 0
+
+// Header opens a session: the bandwidth bound the checker is built for,
+// optional protocol parameters (zero Params disables the label range
+// check), and NoValues to request a value-blind checker.
+type Header struct {
+	K        int
+	Params   trace.Params
+	NoValues bool
+}
+
+func appendHello(dst []byte, h Header) []byte {
+	dst = binary.AppendUvarint(dst, protocolVersion)
+	dst = binary.AppendUvarint(dst, uint64(h.K))
+	dst = binary.AppendUvarint(dst, uint64(h.Params.Procs))
+	dst = binary.AppendUvarint(dst, uint64(h.Params.Blocks))
+	dst = binary.AppendUvarint(dst, uint64(h.Params.Values))
+	var flags uint64
+	if h.NoValues {
+		flags |= helloFlagNoValues
+	}
+	return binary.AppendUvarint(dst, flags)
+}
+
+func parseHello(payload []byte) (Header, error) {
+	var h Header
+	fields := []struct {
+		name string
+		dst  *int
+	}{
+		{"version", nil},
+		{"k", &h.K},
+		{"p", &h.Params.Procs},
+		{"b", &h.Params.Blocks},
+		{"v", &h.Params.Values},
+		{"flags", nil},
+	}
+	pos := 0
+	for i, f := range fields {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return Header{}, fmt.Errorf("hello: truncated %s field", f.name)
+		}
+		pos += n
+		switch {
+		case i == 0:
+			if v != protocolVersion {
+				return Header{}, fmt.Errorf("hello: protocol version %d, want %d", v, protocolVersion)
+			}
+		case f.dst != nil:
+			if v > 1<<31 {
+				return Header{}, fmt.Errorf("hello: %s field %d out of range", f.name, v)
+			}
+			*f.dst = int(v)
+		default: // flags
+			h.NoValues = v&helloFlagNoValues != 0
+			if v &^= helloFlagNoValues; v != 0 {
+				return Header{}, fmt.Errorf("hello: unknown flags %#x", v)
+			}
+		}
+	}
+	if pos != len(payload) {
+		return Header{}, fmt.Errorf("hello: %d trailing bytes", len(payload)-pos)
+	}
+	return h, nil
+}
+
+// VerdictCode classifies a session outcome.
+type VerdictCode uint8
+
+const (
+	// VerdictAccept: the stream describes an acyclic, well-annotated
+	// constraint graph — the run is SC under the chosen annotation.
+	VerdictAccept VerdictCode = iota
+	// VerdictReject: the checker rejected; Symbol/Offset locate the
+	// rejecting symbol (or the end of stream for Finish-time rejections).
+	VerdictReject
+	// VerdictProtocolError: the session itself was malformed — bad frame,
+	// undecodable symbol bytes (positioned), bad hello, or server limits.
+	VerdictProtocolError
+)
+
+func (c VerdictCode) String() string {
+	switch c {
+	case VerdictAccept:
+		return "accept"
+	case VerdictReject:
+		return "reject"
+	case VerdictProtocolError:
+		return "protocol-error"
+	default:
+		return fmt.Sprintf("VerdictCode(%d)", uint8(c))
+	}
+}
+
+// Verdict is the server's adjudication of one session. Symbol is the
+// zero-based index of the offending symbol in the session's stream and
+// Offset the byte offset of its first byte; both are -1 when not
+// applicable (accepts, pre-stream protocol errors).
+type Verdict struct {
+	Code   VerdictCode
+	Symbol int
+	Offset int64
+	Msg    string
+}
+
+// String renders the verdict on one line.
+func (v Verdict) String() string {
+	if v.Symbol < 0 {
+		return fmt.Sprintf("%s: %s", v.Code, v.Msg)
+	}
+	return fmt.Sprintf("%s at symbol %d (byte %d): %s", v.Code, v.Symbol, v.Offset, v.Msg)
+}
+
+// Err returns nil for an accept and an error describing the verdict
+// otherwise, for callers adjudicating runs through the service.
+func (v Verdict) Err() error {
+	if v.Code == VerdictAccept {
+		return nil
+	}
+	return fmt.Errorf("scserve: %s", v)
+}
+
+// Verdict payloads encode Symbol and Offset shifted by one so that 0
+// means "not applicable" (-1) and varints stay unsigned.
+func appendVerdict(dst []byte, v Verdict) []byte {
+	dst = binary.AppendUvarint(dst, uint64(v.Code))
+	dst = binary.AppendUvarint(dst, uint64(v.Symbol+1))
+	dst = binary.AppendUvarint(dst, uint64(v.Offset+1))
+	return append(dst, v.Msg...)
+}
+
+func parseVerdict(payload []byte) (Verdict, error) {
+	var v Verdict
+	pos := 0
+	uv := func(name string) (uint64, error) {
+		x, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("verdict: truncated %s field", name)
+		}
+		pos += n
+		return x, nil
+	}
+	code, err := uv("code")
+	if err != nil {
+		return Verdict{}, err
+	}
+	if code > uint64(VerdictProtocolError) {
+		return Verdict{}, fmt.Errorf("verdict: unknown code %d", code)
+	}
+	v.Code = VerdictCode(code)
+	sym, err := uv("symbol")
+	if err != nil {
+		return Verdict{}, err
+	}
+	off, err := uv("offset")
+	if err != nil {
+		return Verdict{}, err
+	}
+	if sym > 1<<40 || off > 1<<60 {
+		return Verdict{}, fmt.Errorf("verdict: position out of range")
+	}
+	v.Symbol = int(sym) - 1
+	v.Offset = int64(off) - 1
+	v.Msg = string(payload[pos:])
+	return v, nil
+}
+
+// writeFrame writes one frame. The caller flushes.
+func writeFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	if err := w.WriteByte(typ); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, enforcing maxPayload. A clean EOF before the
+// type byte is io.EOF; an EOF anywhere inside the frame is
+// io.ErrUnexpectedEOF.
+func readFrame(br *bufio.Reader, maxPayload int) (byte, []byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return 0, nil, err
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if size > uint64(maxPayload) {
+		return 0, nil, fmt.Errorf("frame type %#x: payload %d bytes exceeds limit %d", typ, size, maxPayload)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}

@@ -1,0 +1,143 @@
+package scserve
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"scverify/internal/descriptor"
+)
+
+// FuzzFrameParser feeds arbitrary bytes to the frame reader: no panics,
+// and every parsed frame respects the payload limit.
+func FuzzFrameParser(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{frameHello, 0x00})
+	f.Add([]byte{frameSymbols, 0x05, 1, 2, 3, 4, 5})
+	f.Add([]byte{frameEnd, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add(append([]byte{frameVerdict, 0x03}, 0, 1, 2))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		const max = 1 << 10
+		for {
+			typ, payload, err := readFrame(br, max)
+			if err != nil {
+				if err == io.EOF && len(payload) != 0 {
+					t.Fatal("EOF with payload")
+				}
+				return
+			}
+			if len(payload) > max {
+				t.Fatalf("frame type %#x: payload %d exceeds limit", typ, len(payload))
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip: whatever writeFrame emits, readFrame returns
+// verbatim, including back-to-back frames.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), []byte{}, byte(2), []byte{9, 9})
+	f.Fuzz(func(t *testing.T, typ1 byte, p1 []byte, typ2 byte, p2 []byte) {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := writeFrame(bw, typ1, p1); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(bw, typ2, p2); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		br := bufio.NewReader(&buf)
+		for i, want := range []struct {
+			typ     byte
+			payload []byte
+		}{{typ1, p1}, {typ2, p2}} {
+			typ, payload, err := readFrame(br, len(p1)+len(p2))
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if typ != want.typ || !bytes.Equal(payload, want.payload) {
+				t.Fatalf("frame %d: got (%#x, %v), want (%#x, %v)", i, typ, payload, want.typ, want.payload)
+			}
+		}
+		if _, _, err := readFrame(br, 1<<10); err != io.EOF {
+			t.Fatalf("trailing read: %v, want io.EOF", err)
+		}
+	})
+}
+
+// FuzzHelloAndVerdictParsers: arbitrary payloads never panic the parsers,
+// and well-formed values survive a round trip.
+func FuzzHelloAndVerdictParsers(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add(appendHello(nil, SyntheticHeader()), appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Msg: "x"}))
+	f.Fuzz(func(t *testing.T, hp, vp []byte) {
+		if h, err := parseHello(hp); err == nil {
+			back, err2 := parseHello(appendHello(nil, h))
+			if err2 != nil || back != h {
+				t.Fatalf("hello round trip: %+v -> %+v (%v)", h, back, err2)
+			}
+		}
+		if v, err := parseVerdict(vp); err == nil {
+			back, err2 := parseVerdict(appendVerdict(nil, v))
+			if err2 != nil || back != v {
+				t.Fatalf("verdict round trip: %+v -> %+v (%v)", v, back, err2)
+			}
+		}
+	})
+}
+
+// FuzzServerConn throws an arbitrary client byte stream at a live
+// connection handler: the server must neither panic nor leak the handler
+// goroutine, whatever the bytes contain.
+func FuzzServerConn(f *testing.F) {
+	valid := func(stream descriptor.Stream) []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		writeFrame(bw, frameHello, appendHello(nil, SyntheticHeader()))
+		writeFrame(bw, frameSymbols, descriptor.Marshal(stream))
+		writeFrame(bw, frameEnd, nil)
+		bw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(valid(SyntheticAccept(9)))
+	rej, _ := SyntheticReject(2)
+	f.Add(valid(rej))
+	f.Add([]byte{frameHello, 0x00, frameEnd, 0x00})
+	f.Add([]byte{frameStatsReq, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(Config{MaxFrame: 1 << 16, MaxK: 64, QueueBytes: 512, ReadTimeout: 2 * time.Second})
+		server, client := net.Pipe()
+		srv.wg.Add(1)
+		go srv.handleConn(server)
+
+		// Drain server responses so its writes never block the pipe.
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			io.Copy(io.Discard, client)
+		}()
+
+		client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		for len(data) > 0 { // dribble in smallish writes
+			n := len(data)
+			if n > 64 {
+				n = 64
+			}
+			if _, err := client.Write(data[:n]); err != nil {
+				break
+			}
+			data = data[n:]
+		}
+		client.Close()
+		srv.wg.Wait()
+		<-drained
+	})
+}

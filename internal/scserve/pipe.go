@@ -1,0 +1,130 @@
+package scserve
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// bpipe is a bounded in-memory byte pipe connecting a session's frame
+// reader (producer) to its checker goroutine (consumer). Writes block once
+// max bytes are buffered, so a client outrunning its checker is throttled
+// through TCP flow control instead of ballooning server memory — the
+// bounded per-session queue of the design.
+type bpipe struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	buf  []byte
+	off  int // read position within buf
+	max  int
+
+	werr error // write side closed; io.EOF means a clean close
+	rerr error // read side closed; writes fail with this error
+
+	// depth, when non-nil, tracks the server-wide total of queued bytes.
+	depth *atomic.Int64
+}
+
+func newBPipe(max int, depth *atomic.Int64) *bpipe {
+	p := &bpipe{max: max, depth: depth}
+	p.cond.L = &p.mu
+	return p
+}
+
+func (p *bpipe) pending() int { return len(p.buf) - p.off }
+
+// Write appends b, blocking while the pipe is full. It returns the read
+// side's close error if the consumer is gone, and io.ErrClosedPipe after
+// CloseWrite.
+func (p *bpipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	for len(b) > 0 {
+		for p.rerr == nil && p.werr == nil && p.pending() >= p.max {
+			p.cond.Wait()
+		}
+		if p.rerr != nil {
+			return written, p.rerr
+		}
+		if p.werr != nil {
+			return written, io.ErrClosedPipe
+		}
+		n := p.max - p.pending()
+		if n > len(b) {
+			n = len(b)
+		}
+		if p.off > 0 && p.off == len(p.buf) {
+			p.buf = p.buf[:0]
+			p.off = 0
+		}
+		p.buf = append(p.buf, b[:n]...)
+		if p.depth != nil {
+			p.depth.Add(int64(n))
+		}
+		b = b[n:]
+		written += n
+		p.cond.Broadcast()
+	}
+	return written, nil
+}
+
+// Read drains buffered bytes, blocking while the pipe is empty and the
+// write side is open. After CloseWrite it drains the remainder and then
+// returns the close error (io.EOF for a clean close).
+func (p *bpipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.pending() == 0 && p.werr == nil && p.rerr == nil {
+		p.cond.Wait()
+	}
+	if p.rerr != nil {
+		return 0, p.rerr
+	}
+	if p.pending() == 0 {
+		return 0, p.werr
+	}
+	n := copy(b, p.buf[p.off:])
+	p.off += n
+	if p.depth != nil {
+		p.depth.Add(int64(-n))
+	}
+	if p.off == len(p.buf) {
+		p.buf = p.buf[:0]
+		p.off = 0
+	}
+	p.cond.Broadcast()
+	return n, nil
+}
+
+// CloseWrite ends the stream. A nil err closes cleanly: the reader drains
+// the buffer and then sees io.EOF. A non-nil err is surfaced to the reader
+// immediately after the drained bytes.
+func (p *bpipe) CloseWrite(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	p.mu.Lock()
+	if p.werr == nil {
+		p.werr = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// CloseRead abandons the read side: buffered bytes are dropped and
+// subsequent writes fail fast with err, unblocking a producer stuck on a
+// full pipe (the early-rejection path).
+func (p *bpipe) CloseRead(err error) {
+	p.mu.Lock()
+	if p.rerr == nil {
+		p.rerr = err
+		if p.depth != nil {
+			p.depth.Add(int64(-p.pending()))
+		}
+		p.buf = nil
+		p.off = 0
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,428 @@
+// Package scserve turns the per-run SC-checking pipeline into a long-lived
+// concurrent network service: the online half of the testing deployment of
+// Section 5 of Condon & Hu, where observers embedded in running systems
+// emit descriptor streams and a central adjudicator accepts or rejects
+// them. Clients open length-framed sessions over TCP (see frame.go for the
+// protocol), stream descriptor wire bytes, and receive one structured
+// verdict per session; each session runs a dedicated checker.Checker in
+// its own goroutine behind a bounded byte queue, so a fast producer is
+// throttled by TCP backpressure rather than buffered without bound.
+package scserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scverify/internal/checker"
+	"scverify/internal/descriptor"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("scserve: server closed")
+
+// errSessionOver unblocks a producer once its session has a verdict.
+var errSessionOver = errors.New("scserve: session terminated")
+
+// errClientGone aborts a checker whose client vanished mid-session.
+var errClientGone = errors.New("scserve: client connection lost")
+
+// Config tunes a Server. The zero value gets sane defaults from New.
+type Config struct {
+	// MaxSessions caps concurrently open sessions; further hellos receive
+	// a protocol-error verdict. Default 256.
+	MaxSessions int
+	// MaxFrame caps a frame payload in bytes. Default 1 MiB.
+	MaxFrame int
+	// MaxK caps the bandwidth bound a session may request — the checker
+	// allocates Θ(k²) state, so k is a resource the client must not
+	// control unboundedly. Default 4096.
+	MaxK int
+	// QueueBytes bounds each session's symbol queue (frame reader to
+	// checker goroutine). Default 64 KiB.
+	QueueBytes int
+	// ReadTimeout bounds each frame read; it doubles as the idle timeout
+	// between sessions on a kept-alive connection. 0 disables.
+	ReadTimeout time.Duration
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 1 << 20
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 4096
+	}
+	if c.QueueBytes <= 0 {
+		c.QueueBytes = 64 << 10
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's counters, served to clients as JSON
+// in stats frames.
+type Stats struct {
+	SessionsTotal   int64   `json:"sessions_total"`
+	SessionsActive  int64   `json:"sessions_active"`
+	SessionsAborted int64   `json:"sessions_aborted"`
+	Accepts         int64   `json:"accepts"`
+	Rejects         int64   `json:"rejects"`
+	ProtocolErrors  int64   `json:"protocol_errors"`
+	SymbolsTotal    int64   `json:"symbols_total"`
+	QueueBytes      int64   `json:"queue_bytes"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	SessionsPerSec  float64 `json:"sessions_per_sec"`
+	SymbolsPerSec   float64 `json:"symbols_per_sec"`
+}
+
+// String renders the operator-facing one-liner.
+func (st Stats) String() string {
+	return fmt.Sprintf("sessions %d (%d active, %d aborted), verdicts %d/%d/%d accept/reject/error, %d symbols, queue %dB, %.0f symbols/s",
+		st.SessionsTotal, st.SessionsActive, st.SessionsAborted,
+		st.Accepts, st.Rejects, st.ProtocolErrors, st.SymbolsTotal, st.QueueBytes, st.SymbolsPerSec)
+}
+
+// Server is the concurrent SC-checking service. Construct with New, start
+// with Serve, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.Mutex
+	lns      map[net.Listener]bool
+	conns    map[net.Conn]bool
+	draining bool
+
+	wg sync.WaitGroup // one per connection handler
+
+	sessionsTotal   atomic.Int64
+	sessionsActive  atomic.Int64
+	sessionsAborted atomic.Int64
+	accepts         atomic.Int64
+	rejects         atomic.Int64
+	protoErrs       atomic.Int64
+	symbolsTotal    atomic.Int64
+	queueBytes      atomic.Int64
+}
+
+// New returns a server with cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+		lns:   make(map[net.Listener]bool),
+		conns: make(map[net.Conn]bool),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		SessionsTotal:   s.sessionsTotal.Load(),
+		SessionsActive:  s.sessionsActive.Load(),
+		SessionsAborted: s.sessionsAborted.Load(),
+		Accepts:         s.accepts.Load(),
+		Rejects:         s.rejects.Load(),
+		ProtocolErrors:  s.protoErrs.Load(),
+		SymbolsTotal:    s.symbolsTotal.Load(),
+		QueueBytes:      s.queueBytes.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	}
+	if st.UptimeSeconds > 0 {
+		st.SessionsPerSec = float64(st.SessionsTotal) / st.UptimeSeconds
+		st.SymbolsPerSec = float64(st.SymbolsTotal) / st.UptimeSeconds
+	}
+	return st
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Serve accepts connections on ln until Shutdown. It returns
+// ErrServerClosed after a graceful shutdown and the accept error
+// otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown stops accepting connections and waits for every in-flight
+// session to deliver its verdict. If ctx expires first, remaining
+// connections are force-closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// readFrame reads one frame with the configured deadline.
+func (s *Server) readFrame(conn net.Conn, br *bufio.Reader) (byte, []byte, error) {
+	if s.cfg.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+	return readFrame(br, s.cfg.MaxFrame)
+}
+
+func (s *Server) sendVerdict(bw *bufio.Writer, v Verdict) error {
+	switch v.Code {
+	case VerdictAccept:
+		s.accepts.Add(1)
+	case VerdictReject:
+		s.rejects.Add(1)
+	default:
+		s.protoErrs.Add(1)
+	}
+	if err := writeFrame(bw, frameVerdict, appendVerdict(nil, v)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (s *Server) sendStats(bw *bufio.Writer) error {
+	payload, err := json.Marshal(s.Stats())
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(bw, frameStatsReply, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// handleConn serves one connection: any number of sessions back to back,
+// with stats frames allowed between (and inside) them.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 8<<10)
+
+	for {
+		if s.isDraining() {
+			return
+		}
+		typ, payload, err := s.readFrame(conn, br)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("scserve: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch typ {
+		case frameStatsReq:
+			if err := s.sendStats(bw); err != nil {
+				return
+			}
+		case frameHello:
+			h, herr := parseHello(payload)
+			switch {
+			case herr != nil:
+				s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: herr.Error()})
+				return
+			case h.K < 1 || h.K > s.cfg.MaxK:
+				s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+					Msg: fmt.Sprintf("hello: k=%d outside 1..%d", h.K, s.cfg.MaxK)})
+				return
+			case s.sessionsActive.Load() >= int64(s.cfg.MaxSessions):
+				s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+					Msg: fmt.Sprintf("server at session capacity (%d)", s.cfg.MaxSessions)})
+				return
+			}
+			if !s.runSession(conn, br, bw, h) {
+				return
+			}
+		default:
+			s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+				Msg: fmt.Sprintf("unexpected frame type %#x", typ)})
+			return
+		}
+	}
+}
+
+// runSession drives one session to its verdict. It reports whether the
+// connection is still in a known-good state for another session.
+func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h Header) bool {
+	s.sessionsTotal.Add(1)
+	s.sessionsActive.Add(1)
+	defer s.sessionsActive.Add(-1)
+
+	pipe := newBPipe(s.cfg.QueueBytes, &s.queueBytes)
+	resc := make(chan Verdict, 1)
+	go s.checkLoop(h, pipe, resc)
+
+	sent := false    // verdict already delivered (early rejection)
+	discard := false // checker gone; drop further symbol payloads
+	for {
+		typ, payload, err := s.readFrame(conn, br)
+		if err != nil {
+			// Client vanished mid-session: release the checker and drop
+			// its verdict.
+			pipe.CloseWrite(errClientGone)
+			<-resc
+			s.sessionsAborted.Add(1)
+			s.logf("scserve: %s: session aborted: %v", conn.RemoteAddr(), err)
+			return false
+		}
+		switch typ {
+		case frameSymbols:
+			if discard {
+				continue
+			}
+			if _, werr := pipe.Write(payload); werr != nil {
+				// The checker terminated early (rejection or undecodable
+				// input). Deliver the verdict now; keep draining frames
+				// until the client's end so the connection stays usable.
+				if err := s.sendVerdict(bw, <-resc); err != nil {
+					return false
+				}
+				sent, discard = true, true
+			}
+		case frameEnd:
+			pipe.CloseWrite(nil)
+			if !sent {
+				if err := s.sendVerdict(bw, <-resc); err != nil {
+					return false
+				}
+			}
+			return !s.isDraining()
+		case frameStatsReq:
+			if err := s.sendStats(bw); err != nil {
+				pipe.CloseWrite(errClientGone)
+				<-resc
+				s.sessionsAborted.Add(1)
+				return false
+			}
+		default:
+			pipe.CloseWrite(errClientGone)
+			<-resc
+			s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+				Msg: fmt.Sprintf("unexpected frame type %#x inside session", typ)})
+			return false
+		}
+	}
+}
+
+// checkLoop is the session's dedicated checker goroutine: it decodes
+// symbols from the bounded pipe, steps a fresh checker, and delivers
+// exactly one verdict on resc.
+func (s *Server) checkLoop(h Header, pipe *bpipe, resc chan<- Verdict) {
+	chk := checker.New(h.K)
+	if h.Params.Procs > 0 {
+		chk.SetParams(h.Params)
+	}
+	if h.NoValues {
+		chk.DisableValueCheck()
+	}
+	dec := descriptor.NewDecoder(pipe)
+	for {
+		off := dec.Offset()
+		sym, err := dec.Next()
+		if err == io.EOF {
+			if ferr := chk.Finish(); ferr != nil {
+				resc <- Verdict{Code: VerdictReject, Symbol: dec.Count(), Offset: dec.Offset(),
+					Msg: "end of stream: " + ferr.Error()}
+			} else {
+				resc <- Verdict{Code: VerdictAccept, Symbol: -1, Offset: -1,
+					Msg: fmt.Sprintf("%d symbols describe an acyclic constraint graph", dec.Count())}
+			}
+			return
+		}
+		if err != nil {
+			var de *descriptor.DecodeError
+			if errors.As(err, &de) {
+				resc <- Verdict{Code: VerdictProtocolError, Symbol: de.Symbol, Offset: de.Offset,
+					Msg: "decode: " + de.Msg}
+			} else {
+				// Transport-level abort; the conn loop discards this.
+				resc <- Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: err.Error()}
+			}
+			pipe.CloseRead(errSessionOver)
+			return
+		}
+		s.symbolsTotal.Add(1)
+		if serr := chk.Step(sym); serr != nil {
+			resc <- Verdict{Code: VerdictReject, Symbol: dec.Count() - 1, Offset: off, Msg: serr.Error()}
+			pipe.CloseRead(errSessionOver)
+			return
+		}
+	}
+}

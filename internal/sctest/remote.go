@@ -1,0 +1,70 @@
+package sctest
+
+import (
+	"fmt"
+	"time"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/observer"
+	"scverify/internal/protocol"
+	"scverify/internal/registry"
+	"scverify/internal/scserve"
+)
+
+// RemoteChecker returns a Config.Check function that adjudicates runs
+// against an scserve service at addr instead of an in-process checker:
+// the observer still runs locally alongside the recorded run, but its
+// descriptor stream is shipped over a session and the service's verdict
+// decides the run. Each call dials its own connection, so the function is
+// safe for concurrent campaign workers.
+//
+// Rejections carry the service's positioned verdict; transport failures
+// are returned as errors prefixed "sctest: remote" so they are not
+// mistaken for genuine SC violations.
+func RemoteChecker(addr string, timeout time.Duration) func(*protocol.Run, registry.Target) error {
+	return func(run *protocol.Run, tgt registry.Target) error {
+		// Size the observer's ID pool the same way CheckRun does: the
+		// session header must announce the bandwidth bound k up front.
+		sizing := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, nil)
+		c, err := scserve.DialTimeout(addr, timeout)
+		if err != nil {
+			return fmt.Errorf("sctest: remote: %w", err)
+		}
+		defer c.Close()
+		sess, err := c.Session(scserve.Header{K: sizing.K(), Params: run.Protocol.Params()})
+		if err != nil {
+			return fmt.Errorf("sctest: remote: %w", err)
+		}
+
+		// Batch the observer's symbols into frame-sized chunks.
+		var buf []byte
+		emit := func(sym descriptor.Symbol) error {
+			buf = descriptor.AppendBinary(buf, sym)
+			if len(buf) >= 16<<10 {
+				err := sess.SendBytes(buf)
+				buf = buf[:0]
+				return err
+			}
+			return nil
+		}
+		obs := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, emit)
+		for _, step := range run.Steps {
+			if err := obs.Step(step.Transition); err != nil {
+				return err
+			}
+		}
+		if err := obs.Finish(); err != nil {
+			return err
+		}
+		if len(buf) > 0 {
+			if err := sess.SendBytes(buf); err != nil {
+				return fmt.Errorf("sctest: remote: %w", err)
+			}
+		}
+		v, err := sess.Finish()
+		if err != nil {
+			return fmt.Errorf("sctest: remote: %w", err)
+		}
+		return v.Err()
+	}
+}

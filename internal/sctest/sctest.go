@@ -35,6 +35,11 @@ type Config struct {
 	// Results are deterministic regardless of worker count: per-run
 	// verdicts depend only on the run's seed, and aggregation is ordered.
 	Workers int
+	// Check overrides per-run adjudication; nil means the in-process
+	// CheckRun. RemoteChecker supplies one that ships each run's
+	// descriptor stream to an scserve service. It must be safe for
+	// concurrent use when Workers > 1.
+	Check func(*protocol.Run, registry.Target) error
 }
 
 // Result summarizes a campaign.
@@ -99,7 +104,11 @@ type verdict struct {
 
 func classify(tgt registry.Target, cfg Config, i int) verdict {
 	run := protocol.RandomRun(tgt.Protocol, cfg.Steps, cfg.Seed+int64(i))
-	v := verdict{run: run, err: CheckRun(run, tgt)}
+	check := cfg.Check
+	if check == nil {
+		check = CheckRun
+	}
+	v := verdict{run: run, err: check(run, tgt)}
 	if cfg.Exact && len(run.Trace) <= cfg.ExactLimit {
 		v.checked = true
 		v.isSC = trace.HasSerialReordering(run.Trace)
