@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race scvet lint fuzz-burst smoke-serve bench-serve clean
+.PHONY: tier1 build vet test race scvet lint witness fuzz-burst smoke-serve bench-serve clean
 
-tier1: build vet race scvet lint smoke-serve fuzz-burst
+tier1: build vet race scvet lint witness smoke-serve fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ scvet:
 lint:
 	$(GO) run ./cmd/sccheck lint -all
 
+# witness: the golden counterexample explanations for the built-in non-SC
+# protocols, plus the minimizer's 1-minimality/certification contract.
+# Regenerate goldens with: go test ./internal/witness -run Golden -update
+witness:
+	$(GO) test -run='TestGoldenExplanations|TestMinimizedWitnessProperties' -count=1 ./internal/witness
+
 # fuzz-burst: a short CI-budget run of each fuzz target; regressions in
 # the corpus replay in normal `go test`, this additionally explores.
 FUZZTIME ?= 5s
@@ -39,6 +45,7 @@ fuzz-burst:
 	$(GO) test -run='^$$' -fuzz=FuzzDecoder -fuzztime=$(FUZZTIME) ./internal/descriptor
 	$(GO) test -run='^$$' -fuzz=FuzzFrameParser -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzServerConn -fuzztime=$(FUZZTIME) ./internal/scserve
+	$(GO) test -run='^$$' -fuzz=FuzzMinimizer -fuzztime=$(FUZZTIME) ./internal/witness
 
 # smoke-serve: race-enabled client↔server smoke of the scserve session
 # service — 64 concurrent sessions with exact verdict positions, plus the

@@ -13,6 +13,15 @@
 //	scexperiments ... | sccheck -k 12            # stream on stdin
 //	sccheck -k 12 -in run.desc                   # stream from a file
 //	sccheck -k 12 -in run.desc -text             # also print each symbol
+//	sccheck -k 12 -in run.desc -explain          # minimized witness on rejection
+//
+// With -explain, a rejection is explained rather than merely located: the
+// stream is shrunk to a 1-minimal rejecting core (delta debugging), the
+// offending happens-before cycle is printed as concrete memory operations,
+// and the witness trace is cross-checked against the exact Gibbons–Korach
+// serial-reordering search. The whole stream is buffered in memory, so
+// -explain trades sccheck's default bounded-memory streaming for
+// explanatory power.
 //
 // The lint subcommand instead runs the Γ-membership linter (package
 // gammalint) over registered protocols:
@@ -37,6 +46,7 @@ import (
 	"scverify/internal/gammalint"
 	"scverify/internal/registry"
 	"scverify/internal/trace"
+	"scverify/internal/witness"
 )
 
 func main() {
@@ -44,12 +54,13 @@ func main() {
 		os.Exit(lintMain(os.Args[2:]))
 	}
 	var (
-		k      = flag.Int("k", 0, "bandwidth bound (required; IDs range over 1..k+1)")
-		in     = flag.String("in", "", "input file (default stdin)")
-		text   = flag.Bool("text", false, "print the decoded stream in the paper's notation")
-		procs  = flag.Int("p", 0, "optional: processors, enables parameter checking")
-		blocks = flag.Int("b", 0, "optional: blocks")
-		values = flag.Int("v", 0, "optional: values")
+		k       = flag.Int("k", 0, "bandwidth bound (required; IDs range over 1..k+1)")
+		in      = flag.String("in", "", "input file (default stdin)")
+		text    = flag.Bool("text", false, "print the decoded stream in the paper's notation")
+		explain = flag.Bool("explain", false, "on rejection, print a minimized structured witness (buffers the whole stream)")
+		procs   = flag.Int("p", 0, "optional: processors, enables parameter checking")
+		blocks  = flag.Int("b", 0, "optional: blocks")
+		values  = flag.Int("v", 0, "optional: values")
 	)
 	flag.Parse()
 
@@ -69,14 +80,20 @@ func main() {
 		r = f
 	}
 
-	c := checker.New(*k)
+	params := trace.Params{}
 	if *procs > 0 {
-		c.SetParams(trace.Params{Procs: *procs, Blocks: *blocks, Values: *values})
+		params = trace.Params{Procs: *procs, Blocks: *blocks, Values: *values}
+	}
+	c := checker.New(*k)
+	if params.Procs > 0 {
+		c.SetParams(params)
 	}
 
 	// Decode incrementally: memory stays bounded however long the stream
-	// is, and the checker rejects as early as the stream allows.
+	// is, and the checker rejects as early as the stream allows. With
+	// -explain the symbols are buffered instead and explained after EOF.
 	dec := descriptor.NewDecoder(bufio.NewReaderSize(r, 64<<10))
+	var stream descriptor.Stream
 	ops := 0
 	for {
 		off := dec.Offset()
@@ -99,12 +116,22 @@ func main() {
 		if n, ok := sym.(descriptor.Node); ok && n.Op != nil {
 			ops++
 		}
+		if *explain {
+			stream = append(stream, sym)
+			continue
+		}
 		if err := c.Step(sym); err != nil {
 			fmt.Printf("REJECTED at symbol %d, byte %d (%s): %v\n", dec.Count(), off, sym.Text(), err)
 			os.Exit(1)
 		}
 	}
-	if err := c.Finish(); err != nil {
+	if *explain {
+		if w := witness.FromStream(stream, *k, witness.Options{Minimize: true, Params: params}); w != nil {
+			fmt.Printf("REJECTED (%s)\n", w.Summary())
+			fmt.Print(w.Render())
+			os.Exit(1)
+		}
+	} else if err := c.Finish(); err != nil {
 		fmt.Printf("REJECTED at end of stream: %v\n", err)
 		os.Exit(1)
 	}

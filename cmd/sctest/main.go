@@ -26,6 +26,7 @@ import (
 	"scverify/internal/registry"
 	"scverify/internal/sctest"
 	"scverify/internal/trace"
+	"scverify/internal/witness"
 )
 
 func main() {
@@ -72,8 +73,14 @@ func main() {
 		os.Exit(1)
 	}
 	if res.FirstRejected != nil {
-		fmt.Printf("first rejected run:\n  %s\n  trace: %s\n  cause: %v\n",
-			res.FirstRejected, res.FirstRejected.Trace, res.FirstCause)
+		fmt.Printf("first rejected run:\n  %s\n", res.FirstRejected)
+		// Replay through the witness pipeline: minimized rejecting core,
+		// concrete happens-before cycle, exact-search certification.
+		if w, werr := witness.FromRun(res.FirstRejected, tgt, witness.Explain()); werr == nil && w != nil {
+			fmt.Print(w.Render())
+		} else {
+			fmt.Printf("  trace: %s\n  cause: %v\n", res.FirstRejected.Trace, res.FirstCause)
+		}
 		os.Exit(1)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"scverify/internal/mc"
 	"scverify/internal/registry"
 	"scverify/internal/trace"
+	"scverify/internal/witness"
 )
 
 func main() {
@@ -80,7 +81,14 @@ func main() {
 		}
 		fmt.Printf("counterexample (%d steps):\n  %s\n", len(run.Steps), run)
 		fmt.Printf("trace: %s\n", run.Trace)
-		fmt.Printf("cause: %v\n", res.Err)
+		// The counterexample was found with witness mode off (mc clones the
+		// checker at every branch); replay it through the witness pipeline
+		// for a minimized, human-readable explanation.
+		if w, werr := witness.FromRun(run, tgt, witness.Explain()); werr == nil && w != nil {
+			fmt.Print(w.Render())
+		} else {
+			fmt.Printf("cause: %v\n", res.Err)
+		}
 		os.Exit(1)
 	case mc.Incomplete:
 		fmt.Printf("exploration incomplete after %s; raise -depth/-states to finish\n",

@@ -1,6 +1,11 @@
 // Bughunt: point the model checker at deliberately broken cache-coherence
-// protocols and watch it synthesize minimal counterexample runs, then
-// compare with the lightweight random-testing mode of Section 5.
+// protocols, then explain each violation with the witness pipeline — the
+// counterexample run is replayed through a witness-enabled observer and
+// checker, shrunk to a 1-minimal rejecting core by delta debugging, and
+// rendered as a happens-before loop of concrete memory operations,
+// cross-checked against the exact Gibbons–Korach reordering search.
+// The lightweight random-testing mode (witness.Hunt) finds and explains
+// the same bugs without exploring the product space.
 //
 // Run with: go run ./examples/bughunt
 package main
@@ -11,18 +16,20 @@ import (
 
 	"scverify/internal/mc"
 	"scverify/internal/registry"
-	"scverify/internal/sctest"
 	"scverify/internal/trace"
+	"scverify/internal/witness"
 )
 
 func main() {
 	targets := []struct {
 		name   string
 		params trace.Params
+		runs   int
+		steps  int
 	}{
-		{"msi-lost-writeback", trace.Params{Procs: 2, Blocks: 1, Values: 1}},
-		{"msi-no-invalidate", trace.Params{Procs: 2, Blocks: 2, Values: 1}},
-		{"storebuffer", trace.Params{Procs: 2, Blocks: 2, Values: 1}},
+		{"msi-lost-writeback", trace.Params{Procs: 2, Blocks: 1, Values: 1}, 800, 24},
+		{"msi-no-invalidate", trace.Params{Procs: 2, Blocks: 2, Values: 1}, 800, 24},
+		{"storebuffer", trace.Params{Procs: 2, Blocks: 2, Values: 1}, 500, 16},
 	}
 
 	for _, tc := range targets {
@@ -32,7 +39,8 @@ func main() {
 		}
 		fmt.Printf("=== %s (%s) ===\n", tc.name, tgt.Note)
 
-		// Exhaustive: the model checker finds a shortest-depth violation.
+		// Exhaustive: the model checker finds a shortest-depth violation;
+		// the witness pipeline turns it into an explanation.
 		res := mc.Verify(tgt.Protocol, mc.Options{
 			Generator: tgt.Generator,
 			PoolSize:  tgt.PoolSize,
@@ -46,14 +54,28 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("counterexample run:", run)
-		fmt.Println("counterexample trace:", run.Trace)
-		fmt.Println("trace is SC?", trace.HasSerialReordering(run.Trace))
+		w, err := witness.FromRun(run, tgt, witness.Explain())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if w == nil {
+			log.Fatalf("counterexample run for %s was accepted on replay", tc.name)
+		}
+		fmt.Printf("counterexample run: %s\n", run)
+		fmt.Print(w.Render())
 
-		// Lightweight: random testing also stumbles on violations, without
-		// exploring the product space.
-		camp := sctest.Campaign(tgt, sctest.Config{Runs: 300, Steps: 14, Seed: 7, Exact: true})
-		fmt.Println("random testing:", camp)
+		// Lightweight: random testing stumbles on the same class of bug
+		// without exploring the product space. Hunt prefers rejections the
+		// exact search certifies as genuine non-SC traces.
+		hw, err := witness.Hunt(tgt, tc.runs, tc.steps, 7, witness.Explain())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hw == nil {
+			fmt.Println("random testing: no rejection within the budget")
+		} else {
+			fmt.Printf("random testing (seed %d): %s\n", hw.Seed, hw.Summary())
+		}
 		fmt.Println()
 	}
 }

@@ -11,7 +11,6 @@
 package checker
 
 import (
-	"fmt"
 	"sort"
 
 	"scverify/internal/cycle"
@@ -104,6 +103,13 @@ type Checker struct {
 	// bottoms holds constraint-5(b) obligations keyed by (proc, block).
 	bottoms map[[2]int]*bottomOblig
 
+	// symbols counts Step calls; stepping is the symbol currently being
+	// processed (nil outside Step), so rejections raised from anywhere in
+	// the call tree can attribute themselves to the rejecting symbol.
+	symbols  int
+	stepping descriptor.Symbol
+	witness  bool
+
 	rejected error
 }
 
@@ -133,16 +139,22 @@ func (c *Checker) SetParams(p trace.Params) { c.params = p }
 func (c *Checker) DisableValueCheck() { c.noValues = true }
 
 // Err returns the rejection error, or nil while the checker still accepts.
+// Rejections are always *RejectError values, so errors.As recovers the
+// structured cause.
 func (c *Checker) Err() error { return c.rejected }
 
 // CycleStats exposes the embedded cycle checker's counters.
 func (c *Checker) CycleStats() cycle.Stats { return c.cyc.Stats() }
 
-func (c *Checker) reject(format string, args ...any) error {
-	if c.rejected == nil {
-		c.rejected = fmt.Errorf("checker: "+format, args...)
-	}
-	return c.rejected
+// EnableWitness switches the embedded cycle checker into witness mode, so
+// acyclicity rejections carry the actual offending cycle (RejectError.Cycle
+// with populated Hops). Must be called before the first Step. The model
+// checker leaves witness mode off — it clones the checker at every branch —
+// and re-derives witnesses by replaying counterexample runs.
+func (c *Checker) EnableWitness() *Checker {
+	c.witness = true
+	c.cyc.EnableWitness()
+	return c
 }
 
 func (c *Checker) proc(p trace.ProcID) *procState {
@@ -168,16 +180,19 @@ func (c *Checker) Step(sym descriptor.Symbol) error {
 	if c.rejected != nil {
 		return c.rejected
 	}
+	c.stepping = sym
+	c.symbols++
+	defer func() { c.stepping = nil }()
 	if err := c.cyc.Step(sym); err != nil {
-		return c.reject("cycle check: %v", err)
+		return c.rejectCycle(err)
 	}
 	switch v := sym.(type) {
 	case descriptor.Node:
 		if v.Op == nil {
-			return c.reject("node with ID %d has no operation label", v.ID)
+			return c.reject(ConstraintMalformed, nil, "node with ID %d has no operation label", v.ID)
 		}
 		if c.params.Procs > 0 && !c.params.Contains(*v.Op) {
-			return c.reject("operation %s outside parameters %s", v.Op, c.params)
+			return c.reject(ConstraintParams, []trace.Op{*v.Op}, "operation %s outside parameters %s", v.Op, c.params)
 		}
 		if err := c.releaseID(v.ID); err != nil {
 			return err

@@ -17,6 +17,9 @@ func (c *Checker) Clone() *Checker {
 		blocks:   make(map[trace.BlockID]*blockState, len(c.blocks)),
 		armed:    make(map[*oblig]bool, len(c.armed)),
 		bottoms:  make(map[[2]int]*bottomOblig, len(c.bottoms)),
+		symbols:  c.symbols,
+		stepping: c.stepping,
+		witness:  c.witness,
 		rejected: c.rejected,
 	}
 

@@ -1,8 +1,6 @@
 package checker
 
 import (
-	"fmt"
-
 	"scverify/internal/descriptor"
 	"scverify/internal/graph"
 	"scverify/internal/trace"
@@ -21,19 +19,19 @@ const (
 // two incoming or two outgoing program-order edges.
 func (c *Checker) onProgramOrder(a, b *rec) error {
 	if a.op.Proc != b.op.Proc {
-		return c.reject("constraint 2: program-order edge %s→%s crosses processors", a.op, b.op)
+		return c.reject(Constraint2, []trace.Op{a.op, b.op}, "constraint 2: program-order edge %s→%s crosses processors", a.op, b.op)
 	}
 	if a.seq >= b.seq {
-		return c.reject("constraint 2: program-order edge %s→%s against trace order", a.op, b.op)
+		return c.reject(Constraint2, []trace.Op{a.op, b.op}, "constraint 2: program-order edge %s→%s against trace order", a.op, b.op)
 	}
 	if a.poNext == b {
 		return nil // duplicate symbol for an existing edge
 	}
 	if a.poOut {
-		return c.reject("constraint 2: second outgoing program-order edge from %s", a.op)
+		return c.reject(Constraint2, []trace.Op{a.op}, "constraint 2: second outgoing program-order edge from %s", a.op)
 	}
 	if b.poIn {
-		return c.reject("constraint 2: second incoming program-order edge into %s", b.op)
+		return c.reject(Constraint2, []trace.Op{b.op}, "constraint 2: second incoming program-order edge into %s", b.op)
 	}
 	a.poOut, b.poIn = true, true
 	a.poNext = b
@@ -45,19 +43,19 @@ func (c *Checker) onProgramOrder(a, b *rec) error {
 // inheritor of the store owes a forced edge to k.
 func (c *Checker) onStoreOrder(a, b *rec) error {
 	if !a.op.IsStore() || !b.op.IsStore() {
-		return c.reject("constraint 3: ST-order edge %s→%s touches a non-store", a.op, b.op)
+		return c.reject(Constraint3, []trace.Op{a.op, b.op}, "constraint 3: ST-order edge %s→%s touches a non-store", a.op, b.op)
 	}
 	if a.op.Block != b.op.Block {
-		return c.reject("constraint 3: ST-order edge %s→%s crosses blocks", a.op, b.op)
+		return c.reject(Constraint3, []trace.Op{a.op, b.op}, "constraint 3: ST-order edge %s→%s crosses blocks", a.op, b.op)
 	}
 	if a.stSucc == b {
 		return nil // duplicate symbol for an existing edge
 	}
 	if a.stOut {
-		return c.reject("constraint 3: second outgoing ST-order edge from %s", a.op)
+		return c.reject(Constraint3, []trace.Op{a.op}, "constraint 3: second outgoing ST-order edge from %s", a.op)
 	}
 	if b.stIn {
-		return c.reject("constraint 3: second incoming ST-order edge into %s", b.op)
+		return c.reject(Constraint3, []trace.Op{b.op}, "constraint 3: second incoming ST-order edge into %s", b.op)
 	}
 	a.stOut, b.stIn = true, true
 	a.stSucc = b
@@ -83,19 +81,19 @@ func (c *Checker) onStoreOrder(a, b *rec) error {
 // constraint-5(a) obligation slot for (store, processor).
 func (c *Checker) onInheritance(a, b *rec) error {
 	if !b.op.IsLoad() || b.op.Value == trace.Bottom {
-		return c.reject("constraint 4: inheritance edge into %s", b.op)
+		return c.reject(Constraint4, []trace.Op{b.op}, "constraint 4: inheritance edge into %s", b.op)
 	}
 	if !a.op.IsStore() || a.op.Block != b.op.Block {
-		return c.reject("constraint 4: inheritance edge %s→%s mismatched", a.op, b.op)
+		return c.reject(Constraint4, []trace.Op{a.op, b.op}, "constraint 4: inheritance edge %s→%s mismatched", a.op, b.op)
 	}
 	if !c.noValues && a.op.Value != b.op.Value {
-		return c.reject("constraint 4: inheritance edge %s→%s value mismatch", a.op, b.op)
+		return c.reject(Constraint4, []trace.Op{a.op, b.op}, "constraint 4: inheritance edge %s→%s value mismatch", a.op, b.op)
 	}
 	if b.inhFrom == a {
 		return nil // duplicate symbol for an existing edge
 	}
 	if b.inhIn {
-		return c.reject("constraint 4: second inheritance edge into %s", b.op)
+		return c.reject(Constraint4, []trace.Op{b.op}, "constraint 4: second inheritance edge into %s", b.op)
 	}
 	b.inhIn = true
 	b.inhFrom = a
@@ -150,10 +148,10 @@ func (c *Checker) checkFeasible(ob *oblig) error {
 		return nil
 	}
 	if !ob.target.active {
-		return c.reject("constraint 5a: load %s owes a forced edge to retired store %s", ob.load.op, ob.target.op)
+		return c.reject(Constraint5a, []trace.Op{ob.load.op, ob.target.op}, "constraint 5a: load %s owes a forced edge to retired store %s", ob.load.op, ob.target.op)
 	}
 	if !ob.load.active && !ob.store.active {
-		return c.reject("constraint 5a: retired load %s owes a forced edge to %s and no successor inheritor can arise", ob.load.op, ob.target.op)
+		return c.reject(Constraint5a, []trace.Op{ob.load.op, ob.target.op}, "constraint 5a: retired load %s owes a forced edge to %s and no successor inheritor can arise", ob.load.op, ob.target.op)
 	}
 	return nil
 }
@@ -168,13 +166,13 @@ func (c *Checker) deactivate(r *rec) error {
 	if !r.poIn {
 		ps.srcFinal++
 		if ps.srcFinal > 1 {
-			return c.reject("constraint 2: two first operations for processor P%d", r.op.Proc)
+			return c.reject(Constraint2, []trace.Op{r.op}, "constraint 2: two first operations for processor P%d", r.op.Proc)
 		}
 	}
 	if !r.poOut {
 		ps.snkFinal++
 		if ps.snkFinal > 1 {
-			return c.reject("constraint 2: two last operations for processor P%d", r.op.Proc)
+			return c.reject(Constraint2, []trace.Op{r.op}, "constraint 2: two last operations for processor P%d", r.op.Proc)
 		}
 	}
 
@@ -184,13 +182,13 @@ func (c *Checker) deactivate(r *rec) error {
 			bs.srcFinal++
 			bs.orphan = r
 			if bs.srcFinal > 1 {
-				return c.reject("constraint 3: two first stores for block B%d", r.op.Block)
+				return c.reject(Constraint3, []trace.Op{r.op}, "constraint 3: two first stores for block B%d", r.op.Block)
 			}
 		}
 		if !r.stOut {
 			bs.snkFinal++
 			if bs.snkFinal > 1 {
-				return c.reject("constraint 3: two last stores for block B%d", r.op.Block)
+				return c.reject(Constraint3, []trace.Op{r.op}, "constraint 3: two last stores for block B%d", r.op.Block)
 			}
 		}
 		// No ST-order successor can arrive anymore: pending obligations with
@@ -207,7 +205,7 @@ func (c *Checker) deactivate(r *rec) error {
 		}
 	} else {
 		if r.op.Value != trace.Bottom && !r.inhIn {
-			return c.reject("constraint 4: load %s retired without an inheritance edge", r.op)
+			return c.reject(Constraint4, []trace.Op{r.op}, "constraint 4: load %s retired without an inheritance edge", r.op)
 		}
 	}
 
@@ -249,7 +247,7 @@ func (c *Checker) Finish() error {
 				bs.snkFinal++
 			}
 		} else if r.op.Value != trace.Bottom && !r.inhIn {
-			return c.reject("constraint 4: load %s has no inheritance edge at end of run", r.op)
+			return c.reject(Constraint4, []trace.Op{r.op}, "constraint 4: load %s has no inheritance edge at end of run", r.op)
 		}
 	}
 	for p, ps := range c.procs {
@@ -257,7 +255,7 @@ func (c *Checker) Finish() error {
 			continue
 		}
 		if ps.srcFinal != 1 || ps.snkFinal != 1 {
-			return c.reject("constraint 2: processor P%d has %d first / %d last operations, want 1/1", p, ps.srcFinal, ps.snkFinal)
+			return c.reject(Constraint2, nil, "constraint 2: processor P%d has %d first / %d last operations, want 1/1", p, ps.srcFinal, ps.snkFinal)
 		}
 	}
 	for b, bs := range c.blocks {
@@ -265,12 +263,12 @@ func (c *Checker) Finish() error {
 			continue
 		}
 		if bs.srcFinal != 1 || bs.snkFinal != 1 {
-			return c.reject("constraint 3: block B%d has %d first / %d last stores, want 1/1", b, bs.srcFinal, bs.snkFinal)
+			return c.reject(Constraint3, nil, "constraint 3: block B%d has %d first / %d last stores, want 1/1", b, bs.srcFinal, bs.snkFinal)
 		}
 	}
 	for ob := range c.armed {
 		if !ob.done {
-			return c.reject("constraint 5a: load %s never produced a forced edge to %s", ob.load.op, ob.target.op)
+			return c.reject(Constraint5a, []trace.Op{ob.load.op, ob.target.op}, "constraint 5a: load %s never produced a forced edge to %s", ob.load.op, ob.target.op)
 		}
 	}
 	for key, bo := range c.bottoms {
@@ -281,10 +279,10 @@ func (c *Checker) Finish() error {
 		}
 		first := bs.orphan
 		if first == nil {
-			return c.reject("internal: block B%d has stores but no first store", b)
+			return c.reject(ConstraintInternal, nil, "internal: block B%d has stores but no first store", b)
 		}
 		if !bo.targets[first] {
-			return c.reject("constraint 5b: ⊥-load %s has no forced edge to block B%d's first store", bo.load.op, b)
+			return c.reject(Constraint5b, []trace.Op{bo.load.op}, "constraint 5b: ⊥-load %s has no forced edge to block B%d's first store", bo.load.op, b)
 		}
 	}
 	return nil
@@ -332,7 +330,7 @@ func (c *Checker) FinishDry() error {
 			}
 			blocks[r.op.Block] = bc
 		} else if r.op.Value != trace.Bottom && !r.inhIn {
-			return fmt.Errorf("checker: constraint 4: load %s has no inheritance edge at end of run", r.op)
+			return dryReject(Constraint4, []trace.Op{r.op}, "constraint 4: load %s has no inheritance edge at end of run", r.op)
 		}
 	}
 	for p, ps := range c.procs {
@@ -340,7 +338,7 @@ func (c *Checker) FinishDry() error {
 			continue
 		}
 		if pc := procs[p]; pc.src != 1 || pc.snk != 1 {
-			return fmt.Errorf("checker: constraint 2: processor P%d has %d first / %d last operations, want 1/1", p, pc.src, pc.snk)
+			return dryReject(Constraint2, nil, "constraint 2: processor P%d has %d first / %d last operations, want 1/1", p, pc.src, pc.snk)
 		}
 	}
 	for b, bs := range c.blocks {
@@ -348,12 +346,12 @@ func (c *Checker) FinishDry() error {
 			continue
 		}
 		if bc := blocks[b]; bc.src != 1 || bc.snk != 1 {
-			return fmt.Errorf("checker: constraint 3: block B%d has %d first / %d last stores, want 1/1", b, bc.src, bc.snk)
+			return dryReject(Constraint3, nil, "constraint 3: block B%d has %d first / %d last stores, want 1/1", b, bc.src, bc.snk)
 		}
 	}
 	for ob := range c.armed {
 		if !ob.done {
-			return fmt.Errorf("checker: constraint 5a: load %s never produced a forced edge to %s", ob.load.op, ob.target.op)
+			return dryReject(Constraint5a, []trace.Op{ob.load.op, ob.target.op}, "constraint 5a: load %s never produced a forced edge to %s", ob.load.op, ob.target.op)
 		}
 	}
 	for key, bo := range c.bottoms {
@@ -364,10 +362,10 @@ func (c *Checker) FinishDry() error {
 		}
 		first := orphan[b]
 		if first == nil {
-			return fmt.Errorf("checker: internal: block B%d has stores but no first store", b)
+			return dryReject(ConstraintInternal, nil, "internal: block B%d has stores but no first store", b)
 		}
 		if !bo.targets[first] {
-			return fmt.Errorf("checker: constraint 5b: ⊥-load %s has no forced edge to block B%d's first store", bo.load.op, b)
+			return dryReject(Constraint5b, []trace.Op{bo.load.op}, "constraint 5b: ⊥-load %s has no forced edge to block B%d's first store", bo.load.op, b)
 		}
 	}
 	return nil

@@ -1,0 +1,211 @@
+package checker
+
+import (
+	"errors"
+	"fmt"
+
+	"scverify/internal/cycle"
+	"scverify/internal/descriptor"
+	"scverify/internal/trace"
+)
+
+// Constraint classifies a rejection by the paper condition it violates: the
+// acyclicity requirement of Lemma 3.3 / Theorem 3.1, one of the five
+// edge-annotation constraints of Section 3.1, the protocol parameter range,
+// or stream malformation outside the paper's alphabet.
+type Constraint uint8
+
+const (
+	// ConstraintNone marks an unclassified rejection (should not occur).
+	ConstraintNone Constraint = iota
+	// ConstraintCycle: the constraint graph is cyclic (Lemma 3.3; the
+	// acyclicity side of Theorem 3.1). The RejectError carries the actual
+	// cycle when witness mode is enabled.
+	ConstraintCycle
+	// Constraint2: program-order edges must form one chain per processor,
+	// consistent with trace order (§3.1 constraint 2).
+	Constraint2
+	// Constraint3: ST-order edges must form one chain per block, over that
+	// block's stores only (§3.1 constraint 3).
+	Constraint3
+	// Constraint4: every non-⊥ load has exactly one inheritance edge, from
+	// a store of the same block and value (§3.1 constraint 4).
+	Constraint4
+	// Constraint5a: a load inheriting from store i needs a forced edge to
+	// i's ST-order successor, possibly via program order (§3.1 constraint 5a).
+	Constraint5a
+	// Constraint5b: a LD(P,B,⊥) needs a forced edge to block B's first
+	// store, possibly via program order (§3.1 constraint 5b).
+	Constraint5b
+	// ConstraintParams: an operation label falls outside the protocol
+	// parameters (p, b, v) of §2.1.
+	ConstraintParams
+	// ConstraintMalformed: the stream is not a well-formed k-graph
+	// descriptor (ID out of range, unlabeled node, unknown symbol).
+	ConstraintMalformed
+	// ConstraintInternal: an invariant of the checker itself broke.
+	ConstraintInternal
+
+	numConstraints // sentinel for range checks (wire decoding)
+)
+
+// String names the constraint.
+func (k Constraint) String() string {
+	switch k {
+	case ConstraintCycle:
+		return "acyclicity"
+	case Constraint2:
+		return "constraint 2 (program order)"
+	case Constraint3:
+		return "constraint 3 (ST order)"
+	case Constraint4:
+		return "constraint 4 (inheritance)"
+	case Constraint5a:
+		return "constraint 5a (forced edge to ST successor)"
+	case Constraint5b:
+		return "constraint 5b (⊥-load forced edge)"
+	case ConstraintParams:
+		return "parameter range"
+	case ConstraintMalformed:
+		return "malformed stream"
+	case ConstraintInternal:
+		return "internal invariant"
+	default:
+		return fmt.Sprintf("Constraint(%d)", uint8(k))
+	}
+}
+
+// Ref returns the paper reference for the violated condition.
+func (k Constraint) Ref() string {
+	switch k {
+	case ConstraintCycle:
+		return "Lemma 3.3 (constraint-graph acyclicity)"
+	case Constraint2:
+		return "§3.1 constraint 2"
+	case Constraint3:
+		return "§3.1 constraint 3"
+	case Constraint4:
+		return "§3.1 constraint 4"
+	case Constraint5a:
+		return "§3.1 constraint 5(a)"
+	case Constraint5b:
+		return "§3.1 constraint 5(b)"
+	case ConstraintParams:
+		return "§2.1 parameter ranges"
+	case ConstraintMalformed:
+		return "§3.2 descriptor well-formedness"
+	default:
+		return "internal"
+	}
+}
+
+// ValidConstraintCode reports whether a wire-decoded code names a known
+// constraint (used by scserve's verdict parser).
+func ValidConstraintCode(code int) bool {
+	return code >= 0 && code < int(numConstraints)
+}
+
+// RejectError is the checker's structured rejection. It pinpoints the
+// rejecting symbol, the violated paper condition, and the graph elements
+// involved; for acyclicity violations in witness mode it carries the actual
+// offending cycle. Rejection is sticky: every Step and Err call after the
+// first rejection returns the same *RejectError.
+type RejectError struct {
+	// SymbolIndex is the 0-based index of the rejecting symbol in the
+	// stream, or -1 for end-of-stream (Finish) rejections.
+	SymbolIndex int
+	// Constraint classifies the violation.
+	Constraint Constraint
+	// Edges holds the edge symbol that triggered the rejection, when the
+	// rejecting symbol was an edge.
+	Edges []descriptor.Edge
+	// IDs holds the descriptor IDs mentioned by the rejecting symbol.
+	IDs []int
+	// Ops holds the operation labels of the nodes involved, when known.
+	Ops []trace.Op
+	// Cycle is the offending cycle for ConstraintCycle rejections; its Hops
+	// are populated only in witness mode (EnableWitness).
+	Cycle *cycle.CycleError
+	// Msg is the human-readable cause, without the "checker: " prefix.
+	Msg string
+}
+
+// Error renders the rejection in the checker's historical format.
+func (e *RejectError) Error() string { return "checker: " + e.Msg }
+
+// CycleLen returns the number of nodes on the offending cycle, or 0 when
+// the rejection is not a (witnessed) cycle.
+func (e *RejectError) CycleLen() int {
+	if e.Cycle == nil {
+		return 0
+	}
+	return e.Cycle.Len()
+}
+
+// reject records the first rejection, built from the violated constraint,
+// the ops involved, and the message; the symbol context (index, IDs, edge)
+// is taken from the symbol currently being stepped. Returns the sticky
+// error.
+func (c *Checker) reject(con Constraint, ops []trace.Op, format string, args ...any) error {
+	if c.rejected != nil {
+		return c.rejected
+	}
+	re := &RejectError{
+		SymbolIndex: c.symbols - 1,
+		Constraint:  con,
+		Ops:         ops,
+		Msg:         fmt.Sprintf(format, args...),
+	}
+	if c.stepping == nil {
+		re.SymbolIndex = -1 // Finish-time rejection
+	} else {
+		switch v := c.stepping.(type) {
+		case descriptor.Node:
+			re.IDs = []int{v.ID}
+		case descriptor.Edge:
+			re.Edges = []descriptor.Edge{v}
+			re.IDs = []int{v.From, v.To}
+		case descriptor.AddID:
+			re.IDs = []int{v.Existing, v.New}
+		}
+	}
+	c.rejected = re
+	return c.rejected
+}
+
+// dryReject builds a non-sticky RejectError for FinishDry: end-of-stream
+// checks that must not mutate the checker, rendered identically to the
+// corresponding Finish rejection.
+func dryReject(con Constraint, ops []trace.Op, format string, args ...any) error {
+	return &RejectError{
+		SymbolIndex: -1,
+		Constraint:  con,
+		Ops:         ops,
+		Msg:         fmt.Sprintf(format, args...),
+	}
+}
+
+// rejectCycle records a rejection raised by the embedded cycle checker,
+// classifying genuine cycles (with their extracted hops) apart from stream
+// malformation.
+func (c *Checker) rejectCycle(err error) error {
+	if c.rejected != nil {
+		return c.rejected
+	}
+	var ops []trace.Op
+	con := ConstraintMalformed
+	var ce *cycle.CycleError
+	if errors.As(err, &ce) {
+		con = ConstraintCycle
+		for _, h := range ce.Hops {
+			if h.Node.Op != nil {
+				ops = append(ops, *h.Node.Op)
+			}
+		}
+	}
+	_ = c.reject(con, ops, "cycle check: %v", err)
+	if re, ok := c.rejected.(*RejectError); ok {
+		re.Cycle = ce
+	}
+	return c.rejected
+}

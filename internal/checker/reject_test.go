@@ -1,0 +1,187 @@
+package checker
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scverify/internal/cycle"
+	"scverify/internal/descriptor"
+	"scverify/internal/trace"
+)
+
+// cyclicStream closes a 2-cycle at its fourth symbol (index 3).
+func cyclicStream() descriptor.Stream {
+	return descriptor.Stream{
+		descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 1))},
+		descriptor.Node{ID: 2, Op: op(trace.ST(2, 1, 2))},
+		descriptor.Edge{From: 1, To: 2, Label: descriptor.STo},
+		descriptor.Edge{From: 2, To: 1, Label: descriptor.None},
+	}
+}
+
+func TestRejectErrorStructured(t *testing.T) {
+	c := New(3)
+	var err error
+	for _, sym := range cyclicStream() {
+		if err = c.Step(sym); err != nil {
+			break
+		}
+	}
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("Step error %v (%T) is not a *RejectError", err, err)
+	}
+	if re.Constraint != ConstraintCycle {
+		t.Errorf("Constraint = %v, want ConstraintCycle", re.Constraint)
+	}
+	if re.SymbolIndex != 3 {
+		t.Errorf("SymbolIndex = %d, want 3", re.SymbolIndex)
+	}
+	if want := []int{2, 1}; len(re.IDs) != 2 || re.IDs[0] != want[0] || re.IDs[1] != want[1] {
+		t.Errorf("IDs = %v, want %v", re.IDs, want)
+	}
+	if len(re.Edges) != 1 || re.Edges[0].From != 2 || re.Edges[0].To != 1 {
+		t.Errorf("Edges = %v, want the closing edge (2,1)", re.Edges)
+	}
+	if re.Cycle == nil {
+		t.Fatal("Cycle is nil for a ConstraintCycle rejection")
+	}
+	if !strings.Contains(re.Error(), "checker: cycle check:") {
+		t.Errorf("Error() = %q lost the historical message format", re.Error())
+	}
+}
+
+func TestRejectionStickyAcrossSteps(t *testing.T) {
+	c := New(3)
+	var first error
+	for _, sym := range cyclicStream() {
+		if err := c.Step(sym); err != nil {
+			first = err
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("cyclic stream was not rejected")
+	}
+	// Further symbols — including ones that would trigger different
+	// rejections — must return the identical first error.
+	after := descriptor.Stream{
+		descriptor.Node{ID: 3}, // would be "no operation label"
+		descriptor.Edge{From: 1, To: 1, Label: descriptor.None},
+	}
+	for _, sym := range after {
+		if err := c.Step(sym); err != first {
+			t.Errorf("Step after rejection returned %v, want the first error %v", err, first)
+		}
+	}
+	if err := c.Err(); err != first {
+		t.Errorf("Err() = %v, want the first error", err)
+	}
+	if err := c.Finish(); err != first {
+		t.Errorf("Finish() = %v, want the first error", err)
+	}
+	var re1, re2 *RejectError
+	if !errors.As(first, &re1) || !errors.As(c.Err(), &re2) || re1 != re2 {
+		t.Errorf("errors.As does not recover the same *RejectError: %p vs %p", re1, re2)
+	}
+}
+
+func TestWitnessModeCarriesCycleHops(t *testing.T) {
+	c := New(3).EnableWitness()
+	var err error
+	for _, sym := range cyclicStream() {
+		if err = c.Step(sym); err != nil {
+			break
+		}
+	}
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v", err)
+	}
+	if re.CycleLen() != 2 {
+		t.Fatalf("CycleLen = %d, want 2 (hops: %+v)", re.CycleLen(), re.Cycle.Hops)
+	}
+	loop := re.Cycle.String()
+	for _, want := range []string{"ST(P1,B1,1)", "ST(P2,B1,2)"} {
+		if !strings.Contains(loop, want) {
+			t.Errorf("cycle narrative %q missing %s", loop, want)
+		}
+	}
+	if len(re.Ops) != 2 {
+		t.Errorf("Ops = %v, want both cycle ops", re.Ops)
+	}
+}
+
+// TestWitnessModeExpandsContractedNodes checks that the extracted cycle
+// names nodes that were contracted out of the active graph before the
+// cycle closed (the via-chain machinery).
+func TestWitnessModeExpandsContractedNodes(t *testing.T) {
+	// a -> b -> c with b contracted out (ID recycled), then c -> a.
+	s := descriptor.Stream{
+		descriptor.Node{ID: 1, Op: op(trace.ST(1, 1, 1))}, // a
+		descriptor.Node{ID: 2, Op: op(trace.ST(1, 1, 2))}, // b
+		descriptor.Edge{From: 1, To: 2, Label: descriptor.PO},
+		descriptor.Node{ID: 3, Op: op(trace.ST(1, 1, 3))}, // c
+		descriptor.Edge{From: 2, To: 3, Label: descriptor.PO},
+		descriptor.Node{ID: 2, Op: op(trace.ST(2, 1, 4))}, // recycles b's ID: b contracted
+		descriptor.Edge{From: 3, To: 1, Label: descriptor.None},
+	}
+	cc := cycle.New(3).EnableWitness()
+	var ce *cycle.CycleError
+	for _, sym := range s {
+		if err := cc.Step(sym); err != nil {
+			if !errors.As(err, &ce) {
+				t.Fatalf("got %v (%T)", err, err)
+			}
+			break
+		}
+	}
+	if ce == nil {
+		t.Fatal("stream was not rejected")
+	}
+	if got := ce.Len(); got != 3 {
+		t.Fatalf("cycle length %d, want 3 (a,b,c): %s", got, ce)
+	}
+	loop := ce.String()
+	if !strings.Contains(loop, "ST(P1,B1,2)") {
+		t.Errorf("contracted node missing from cycle narrative %q", loop)
+	}
+}
+
+func TestFinishDryReturnsRejectError(t *testing.T) {
+	c := New(3)
+	// A lone load with a value needs an inheritance edge by end of run.
+	if err := c.Step(descriptor.Node{ID: 1, Op: op(trace.LD(1, 1, 1))}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.FinishDry()
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("FinishDry error %v (%T) is not a *RejectError", err, err)
+	}
+	if re.Constraint != Constraint4 || re.SymbolIndex != -1 {
+		t.Errorf("got constraint %v at symbol %d, want Constraint4 at -1", re.Constraint, re.SymbolIndex)
+	}
+	if c.Err() != nil {
+		t.Errorf("FinishDry was not side-effect free: Err() = %v", c.Err())
+	}
+	// The live checker still accepts further symbols.
+	if err := c.Step(descriptor.Node{ID: 2, Op: op(trace.ST(1, 1, 1))}); err != nil {
+		t.Errorf("Step after FinishDry rejected: %v", err)
+	}
+}
+
+func TestConstraintRefs(t *testing.T) {
+	for k := ConstraintCycle; k < numConstraints; k++ {
+		if k.String() == "" || k.Ref() == "" {
+			t.Errorf("constraint %d has empty String/Ref", k)
+		}
+		if !ValidConstraintCode(int(k)) {
+			t.Errorf("ValidConstraintCode(%d) = false", k)
+		}
+	}
+	if ValidConstraintCode(int(numConstraints)) || ValidConstraintCode(-1) {
+		t.Error("ValidConstraintCode accepts out-of-range codes")
+	}
+}

@@ -28,6 +28,16 @@ type Checker struct {
 	idCount []int16 // per slot: IDs currently naming it; 0 = free slot
 	adj     []bool  // n×n adjacency; adj[f*n+t] means edge slot f -> slot t
 
+	// Witness-mode bookkeeping (EnableWitness): node identities per slot,
+	// first-seen label per active edge, and contraction provenance chains.
+	// All nil/zero when witness mode is off; none of it influences
+	// acceptance, only the content of CycleError rejections.
+	witness bool
+	seq     int       // node symbols consumed (NodeRef.Seq source)
+	refs    []NodeRef // per slot: identity of the node holding it
+	lab     []uint8   // n×n: EdgeLabel of the first hop of edge f -> t
+	via     map[int32][]Hop
+
 	rejected error
 	stats    Stats
 }
@@ -84,8 +94,20 @@ func (c *Checker) Clone() *Checker {
 		owner:    append([]int16(nil), c.owner...),
 		idCount:  append([]int16(nil), c.idCount...),
 		adj:      append([]bool(nil), c.adj...),
+		witness:  c.witness,
+		seq:      c.seq,
 		rejected: c.rejected,
 		stats:    c.stats,
+	}
+	if c.witness {
+		out.refs = append([]NodeRef(nil), c.refs...)
+		out.lab = append([]uint8(nil), c.lab...)
+		out.via = make(map[int32][]Hop, len(c.via))
+		for k, v := range c.via {
+			// Chains are immutable once built (noteContraction always
+			// allocates fresh), so sharing the slices is safe.
+			out.via[k] = v
+		}
 	}
 	return out
 }
@@ -106,6 +128,8 @@ func (c *Checker) Step(sym descriptor.Symbol) error {
 		slot := c.freeSlot()
 		c.owner[v.ID] = slot
 		c.idCount[slot] = 1
+		c.noteNode(slot, v)
+		c.seq++
 		if a := c.Active(); a > c.stats.MaxActive {
 			c.stats.MaxActive = a
 		}
@@ -135,10 +159,13 @@ func (c *Checker) Step(sym descriptor.Symbol) error {
 			return nil // unbound IDs denote no edge (Section 3.2 semantics)
 		}
 		if from == to {
-			return c.reject(fmt.Errorf("cycle: self-loop via edge (%d,%d)", v.From, v.To))
+			return c.reject(c.selfLoopError(from, v))
 		}
 		if c.reachable(to, from) {
-			return c.reject(fmt.Errorf("cycle: edge (%d,%d) closes a cycle", v.From, v.To))
+			return c.reject(c.extractCycle(from, to, v))
+		}
+		if !c.adj[int(from)*c.n+int(to)] {
+			c.noteEdge(from, to, v.Label)
 		}
 		c.adj[int(from)*c.n+int(to)] = true
 	default:
@@ -209,6 +236,11 @@ func (c *Checker) contractOut(slot int) {
 		for s := 0; s < n; s++ {
 			if c.adj[slot*n+s] {
 				c.stats.Contractions++
+				if !c.adj[p*n+s] {
+					// A pre-existing direct edge (p,s) is a shorter witness;
+					// provenance is only recorded for genuinely new edges.
+					c.noteContraction(p, slot, s)
+				}
 				c.adj[p*n+s] = true
 			}
 		}
@@ -217,6 +249,7 @@ func (c *Checker) contractOut(slot int) {
 		c.adj[i*n+slot] = false
 		c.adj[slot*n+i] = false
 	}
+	c.clearWitness(slot)
 }
 
 // reachable reports whether dst is reachable from src in the active graph.

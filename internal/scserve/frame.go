@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"scverify/internal/checker"
 	"scverify/internal/trace"
 )
 
@@ -123,6 +124,15 @@ const (
 	VerdictProtocolError
 )
 
+// verdictFlagWitness is OR'd into the verdict code varint when the
+// payload carries the witness extension: two extra uvarints (constraint
+// code + 1, cycle length) between the offset field and the message. The
+// bit sits above the code value space, so pre-extension payloads parse
+// unchanged (Constraint = 0, CycleLen = 0) and pre-extension parsers
+// reject extended payloads as an unknown code rather than misreading
+// witness bytes as part of the message.
+const verdictFlagWitness = 0x08
+
 func (c VerdictCode) String() string {
 	switch c {
 	case VerdictAccept:
@@ -144,15 +154,29 @@ type Verdict struct {
 	Code   VerdictCode
 	Symbol int
 	Offset int64
-	Msg    string
+	// Constraint is the checker.Constraint code of a rejection (the
+	// witness extension), 0 when unclassified or from a pre-extension
+	// peer. CycleLen is the number of operations on the offending cycle
+	// when Constraint is the acyclicity requirement, 0 otherwise.
+	Constraint int
+	CycleLen   int
+	Msg        string
 }
 
 // String renders the verdict on one line.
 func (v Verdict) String() string {
-	if v.Symbol < 0 {
-		return fmt.Sprintf("%s: %s", v.Code, v.Msg)
+	s := v.Code.String()
+	if v.Symbol >= 0 {
+		s += fmt.Sprintf(" at symbol %d (byte %d)", v.Symbol, v.Offset)
 	}
-	return fmt.Sprintf("%s at symbol %d (byte %d): %s", v.Code, v.Symbol, v.Offset, v.Msg)
+	if v.Constraint > 0 {
+		s += fmt.Sprintf(" [%s", checker.Constraint(v.Constraint))
+		if v.CycleLen > 0 {
+			s += fmt.Sprintf(", cycle of %d", v.CycleLen)
+		}
+		s += "]"
+	}
+	return s + ": " + v.Msg
 }
 
 // Err returns nil for an accept and an error describing the verdict
@@ -165,11 +189,22 @@ func (v Verdict) Err() error {
 }
 
 // Verdict payloads encode Symbol and Offset shifted by one so that 0
-// means "not applicable" (-1) and varints stay unsigned.
+// means "not applicable" (-1) and varints stay unsigned. Witness fields
+// (Constraint, CycleLen) ride behind the verdictFlagWitness bit; a
+// verdict without them is encoded exactly as before the extension.
 func appendVerdict(dst []byte, v Verdict) []byte {
-	dst = binary.AppendUvarint(dst, uint64(v.Code))
+	code := uint64(v.Code)
+	witness := v.Constraint > 0 || v.CycleLen > 0
+	if witness {
+		code |= verdictFlagWitness
+	}
+	dst = binary.AppendUvarint(dst, code)
 	dst = binary.AppendUvarint(dst, uint64(v.Symbol+1))
 	dst = binary.AppendUvarint(dst, uint64(v.Offset+1))
+	if witness {
+		dst = binary.AppendUvarint(dst, uint64(v.Constraint+1))
+		dst = binary.AppendUvarint(dst, uint64(v.CycleLen))
+	}
 	return append(dst, v.Msg...)
 }
 
@@ -188,6 +223,8 @@ func parseVerdict(payload []byte) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, err
 	}
+	witness := code&verdictFlagWitness != 0
+	code &^= verdictFlagWitness
 	if code > uint64(VerdictProtocolError) {
 		return Verdict{}, fmt.Errorf("verdict: unknown code %d", code)
 	}
@@ -205,6 +242,27 @@ func parseVerdict(payload []byte) (Verdict, error) {
 	}
 	v.Symbol = int(sym) - 1
 	v.Offset = int64(off) - 1
+	if witness {
+		con, err := uv("constraint")
+		if err != nil {
+			return Verdict{}, err
+		}
+		cl, err := uv("cyclelen")
+		if err != nil {
+			return Verdict{}, err
+		}
+		if con < 1 || !checker.ValidConstraintCode(int(con-1)) {
+			return Verdict{}, fmt.Errorf("verdict: unknown constraint code %d", con)
+		}
+		if cl > 1<<32 {
+			return Verdict{}, fmt.Errorf("verdict: cycle length out of range")
+		}
+		v.Constraint = int(con) - 1
+		v.CycleLen = int(cl)
+		if v.Constraint == 0 && v.CycleLen == 0 {
+			return Verdict{}, fmt.Errorf("verdict: empty witness extension")
+		}
+	}
 	v.Msg = string(payload[pos:])
 	return v, nil
 }

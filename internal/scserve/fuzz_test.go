@@ -76,6 +76,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 func FuzzHelloAndVerdictParsers(f *testing.F) {
 	f.Add([]byte{}, []byte{})
 	f.Add(appendHello(nil, SyntheticHeader()), appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Msg: "x"}))
+	f.Add([]byte{}, appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Constraint: 1, CycleLen: 2, Msg: "cycle"}))
 	f.Fuzz(func(t *testing.T, hp, vp []byte) {
 		if h, err := parseHello(hp); err == nil {
 			back, err2 := parseHello(appendHello(nil, h))

@@ -1,13 +1,16 @@
 package scserve
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"scverify/internal/checker"
 	"scverify/internal/descriptor"
 	"scverify/internal/trace"
 )
@@ -80,6 +83,12 @@ func TestSessionVerdicts(t *testing.T) {
 			t.Fatalf("rejected at symbol %d byte %d, want symbol %d byte %d: %s",
 				v.Symbol, v.Offset, idx, offsetOf(s, idx), v.Msg)
 		}
+		// The witness extension classifies the rejection over the wire:
+		// SyntheticReject closes a two-node cycle.
+		if v.Constraint != int(checker.ConstraintCycle) || v.CycleLen != 2 {
+			t.Fatalf("witness fields constraint=%d cyclelen=%d, want cycle of 2: %s",
+				v.Constraint, v.CycleLen, v)
+		}
 	})
 
 	t.Run("finish-time reject", func(t *testing.T) {
@@ -93,6 +102,10 @@ func TestSessionVerdicts(t *testing.T) {
 		}
 		if v.Code != VerdictReject || v.Symbol != len(s) {
 			t.Fatalf("verdict %v, want reject at end-of-stream symbol %d", v, len(s))
+		}
+		if v.Constraint != int(checker.Constraint4) || v.CycleLen != 0 {
+			t.Fatalf("witness fields constraint=%d cyclelen=%d, want constraint 4: %s",
+				v.Constraint, v.CycleLen, v)
 		}
 	})
 
@@ -493,6 +506,48 @@ func TestServerLimits(t *testing.T) {
 			time.Sleep(5 * time.Millisecond)
 		}
 	})
+}
+
+// TestVerdictWireCompat pins the witness extension's wire compatibility:
+// pre-extension payloads parse with zero witness fields, witness-free
+// verdicts encode byte-identically to the pre-extension format, and
+// extended verdicts survive a lossless round trip.
+func TestVerdictWireCompat(t *testing.T) {
+	legacy := binary.AppendUvarint(nil, uint64(VerdictReject))
+	legacy = binary.AppendUvarint(legacy, uint64(4))  // symbol 3
+	legacy = binary.AppendUvarint(legacy, uint64(18)) // offset 17
+	legacy = append(legacy, "old peer"...)
+	v, err := parseVerdict(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Constraint != 0 || v.CycleLen != 0 || v.Symbol != 3 || v.Msg != "old peer" {
+		t.Fatalf("legacy payload parsed as %+v", v)
+	}
+	if got := appendVerdict(nil, v); !bytes.Equal(got, legacy) {
+		t.Fatalf("witness-free verdict re-encodes as %x, want legacy bytes %x", got, legacy)
+	}
+
+	want := Verdict{Code: VerdictReject, Symbol: 3, Offset: 17,
+		Constraint: int(checker.ConstraintCycle), CycleLen: 5, Msg: "loop"}
+	back, err := parseVerdict(appendVerdict(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != want {
+		t.Fatalf("extended round trip %+v, want %+v", back, want)
+	}
+
+	// A witness extension with an out-of-range constraint code is rejected
+	// rather than silently misclassified.
+	bad := binary.AppendUvarint(nil, uint64(VerdictReject)|verdictFlagWitness)
+	bad = binary.AppendUvarint(bad, 0)   // symbol n/a
+	bad = binary.AppendUvarint(bad, 0)   // offset n/a
+	bad = binary.AppendUvarint(bad, 200) // constraint code out of range
+	bad = binary.AppendUvarint(bad, 1)
+	if _, err := parseVerdict(bad); err == nil {
+		t.Fatal("out-of-range constraint code accepted")
+	}
 }
 
 func TestStatsFrame(t *testing.T) {

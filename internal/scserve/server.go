@@ -381,11 +381,25 @@ func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h
 	}
 }
 
+// rejectVerdict builds a reject verdict, lifting the constraint code and
+// cycle length out of the checker's structured rejection so clients get
+// the witness classification without re-running the stream locally.
+func rejectVerdict(symbol int, offset int64, prefix string, err error) Verdict {
+	v := Verdict{Code: VerdictReject, Symbol: symbol, Offset: offset, Msg: prefix + err.Error()}
+	var re *checker.RejectError
+	if errors.As(err, &re) {
+		v.Constraint = int(re.Constraint)
+		v.CycleLen = re.CycleLen()
+	}
+	return v
+}
+
 // checkLoop is the session's dedicated checker goroutine: it decodes
 // symbols from the bounded pipe, steps a fresh checker, and delivers
-// exactly one verdict on resc.
+// exactly one verdict on resc. Witness mode is on so rejections carry
+// their constraint classification and cycle length back to the client.
 func (s *Server) checkLoop(h Header, pipe *bpipe, resc chan<- Verdict) {
-	chk := checker.New(h.K)
+	chk := checker.New(h.K).EnableWitness()
 	if h.Params.Procs > 0 {
 		chk.SetParams(h.Params)
 	}
@@ -398,8 +412,7 @@ func (s *Server) checkLoop(h Header, pipe *bpipe, resc chan<- Verdict) {
 		sym, err := dec.Next()
 		if err == io.EOF {
 			if ferr := chk.Finish(); ferr != nil {
-				resc <- Verdict{Code: VerdictReject, Symbol: dec.Count(), Offset: dec.Offset(),
-					Msg: "end of stream: " + ferr.Error()}
+				resc <- rejectVerdict(dec.Count(), dec.Offset(), "end of stream: ", ferr)
 			} else {
 				resc <- Verdict{Code: VerdictAccept, Symbol: -1, Offset: -1,
 					Msg: fmt.Sprintf("%d symbols describe an acyclic constraint graph", dec.Count())}
@@ -420,7 +433,7 @@ func (s *Server) checkLoop(h Header, pipe *bpipe, resc chan<- Verdict) {
 		}
 		s.symbolsTotal.Add(1)
 		if serr := chk.Step(sym); serr != nil {
-			resc <- Verdict{Code: VerdictReject, Symbol: dec.Count() - 1, Offset: off, Msg: serr.Error()}
+			resc <- rejectVerdict(dec.Count()-1, off, "", serr)
 			pipe.CloseRead(errSessionOver)
 			return
 		}

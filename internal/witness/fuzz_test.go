@@ -1,0 +1,60 @@
+package witness
+
+import (
+	"testing"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/trace"
+)
+
+// FuzzMinimizer drives FromStream with arbitrary well-typed symbol
+// streams: the minimizer must never panic, and whenever the input rejects,
+// the minimized output must still reject for the same constraint and
+// Render must produce something.
+func FuzzMinimizer(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 3, 4})
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2})
+	f.Add([]byte{1, 0, 0, 1, 5, 5, 4, 4, 3, 2, 0, 7, 9})
+
+	const k = 4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s descriptor.Stream
+		for i := 0; i+2 < len(data) && len(s) < 40; i += 3 {
+			id := int(data[i]%(k+1)) + 1
+			id2 := int(data[i+1]%(k+1)) + 1
+			switch data[i+2] % 4 {
+			case 0:
+				op := trace.ST(trace.ProcID(data[i]%2+1), trace.BlockID(data[i+1]%2+1), trace.Value(data[i+2]%2+1))
+				s = append(s, descriptor.Node{ID: id, Op: &op})
+			case 1:
+				op := trace.LD(trace.ProcID(data[i]%2+1), trace.BlockID(data[i+1]%2+1), trace.Value(data[i+2]%3))
+				s = append(s, descriptor.Node{ID: id, Op: &op})
+			case 2:
+				s = append(s, descriptor.Edge{From: id, To: id2, Label: descriptor.EdgeLabel(data[i+2] % 8)})
+			default:
+				s = append(s, descriptor.AddID{Existing: id, New: id2})
+			}
+		}
+
+		w := FromStream(s, k, Explain())
+		if w == nil {
+			return // accepted: nothing to minimize
+		}
+		re := runStream(w.Stream, k, trace.Params{})
+		if re == nil {
+			t.Fatalf("minimized stream accepted; original %q, minimized %q", s.Text(), w.Stream.Text())
+		}
+		if re.Constraint != w.Reject.Constraint {
+			t.Fatalf("minimized constraint %v != reported %v", re.Constraint, w.Reject.Constraint)
+		}
+		if len(w.Stream) > len(s) {
+			t.Fatalf("minimization grew the stream: %d > %d", len(w.Stream), len(s))
+		}
+		if w.Render() == "" || w.Summary() == "" {
+			t.Fatal("empty rendering")
+		}
+		if w.Certified && trace.HasSerialReordering(w.Trace) {
+			t.Fatalf("certified witness has an SC trace: %s", w.Trace)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package witness
+
+import "scverify/internal/descriptor"
+
+// ddmin shrinks the stream to a 1-minimal subsequence still satisfying
+// pred, which must hold for the input. This is Zeller & Hildebrandt's
+// delta-debugging reduction in its complement-removal form: the stream is
+// split into n chunks and each complement (the stream minus one chunk) is
+// tried; on success granularity relaxes toward 2, on failure it doubles.
+// Once n reaches the stream length, complements are single-symbol
+// deletions, so termination without progress implies 1-minimality: no
+// single symbol can be removed without losing the property.
+func ddmin(s descriptor.Stream, pred func(descriptor.Stream) bool) descriptor.Stream {
+	cur := s
+	n := 2
+	for len(cur) >= 2 {
+		if n > len(cur) {
+			n = len(cur)
+		}
+		reduced := false
+		for i := 0; i < n; i++ {
+			comp := withoutChunk(cur, i, n)
+			if pred(comp) {
+				cur = comp
+				n--
+				if n < 2 {
+					n = 2
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // single deletions all failed: 1-minimal
+			}
+			n *= 2
+		}
+	}
+	return cur
+}
+
+// withoutChunk returns the stream minus its i-th of n equal chunks
+// (remainder spread over the leading chunks, as in the original algorithm).
+func withoutChunk(s descriptor.Stream, i, n int) descriptor.Stream {
+	start, end := chunkBounds(len(s), i, n)
+	out := make(descriptor.Stream, 0, len(s)-(end-start))
+	out = append(out, s[:start]...)
+	out = append(out, s[end:]...)
+	return out
+}
+
+// chunkBounds computes the half-open range of chunk i of n over length l.
+func chunkBounds(l, i, n int) (start, end int) {
+	size, rem := l/n, l%n
+	start = i*size + min(i, rem)
+	end = start + size
+	if i < rem {
+		end++
+	}
+	return start, end
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

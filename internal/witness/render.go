@@ -1,0 +1,132 @@
+package witness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"scverify/internal/checker"
+	"scverify/internal/cycle"
+)
+
+// maxTraceLines caps the rendered trace listing; minimized witnesses are
+// far below it, but raw (unminimized) witnesses can be arbitrarily long.
+const maxTraceLines = 20
+
+// Render formats the witness as a multi-line explanation: the violated
+// paper condition, the minimized trace with each operation's processor and
+// program-order position, the offending happens-before loop for cycles,
+// and the certification status against the exact reordering search.
+func (w *Witness) Render() string {
+	var sb strings.Builder
+
+	head := "SC violation"
+	if w.CertChecked && !w.Certified {
+		head = "checker rejection (not an SC violation)"
+	}
+	if w.Protocol != "" {
+		head += " in " + w.Protocol
+	}
+	fmt.Fprintf(&sb, "%s: %s — %s\n", head, w.Reject.Constraint, w.Reject.Constraint.Ref())
+	fmt.Fprintf(&sb, "  cause: %s\n", w.Reject.Error())
+	if w.Reject.SymbolIndex >= 0 && w.Reject.SymbolIndex < len(w.Stream) {
+		fmt.Fprintf(&sb, "  rejected at symbol %d/%d: %s\n",
+			w.Reject.SymbolIndex+1, len(w.Stream), w.Stream[w.Reject.SymbolIndex].Text())
+	} else {
+		fmt.Fprintf(&sb, "  rejected at end of stream (%d symbols)\n", len(w.Stream))
+	}
+	if w.Minimized {
+		fmt.Fprintf(&sb, "  minimized: %d → %d symbols, %d → %d trace ops\n",
+			w.OrigSymbols, len(w.Stream), w.OrigOps, len(w.Trace))
+	}
+
+	// Program-order position of each trace op within its processor.
+	pos := make([]int, len(w.Trace))
+	perProc := map[int]int{}
+	for i, op := range w.Trace {
+		perProc[int(op.Proc)]++
+		pos[i] = perProc[int(op.Proc)]
+	}
+	if len(w.Trace) > 0 {
+		fmt.Fprintf(&sb, "  trace (%d ops):\n", len(w.Trace))
+		for i, op := range w.Trace {
+			if i == maxTraceLines {
+				fmt.Fprintf(&sb, "    … (%d more)\n", len(w.Trace)-i)
+				break
+			}
+			fmt.Fprintf(&sb, "    n%-3d %-14s P%d op %d\n", i, op.String(), op.Proc, pos[i])
+		}
+	}
+
+	if ce := w.Reject.Cycle; ce != nil && len(ce.Hops) > 0 {
+		fmt.Fprintf(&sb, "  happens-before loop (%d operations):\n", ce.Len())
+		sb.WriteString("    " + w.hopLine(ce.Hops[0], pos) + "\n")
+		for i, h := range ce.Hops {
+			arrow := "─→"
+			if h.Label != 0 {
+				arrow = "─" + h.Label.String() + "→"
+			}
+			if i+1 < len(ce.Hops) {
+				fmt.Fprintf(&sb, "      %s %s\n", arrow, w.hopLine(ce.Hops[i+1], pos))
+			} else {
+				fmt.Fprintf(&sb, "      %s back to %s\n", arrow, w.hopLine(ce.Hops[0], pos))
+			}
+		}
+	} else if len(w.Reject.Ops) > 0 {
+		ops := make([]string, len(w.Reject.Ops))
+		for i, op := range w.Reject.Ops {
+			ops[i] = op.String()
+		}
+		fmt.Fprintf(&sb, "  operations involved: %s\n", strings.Join(ops, ", "))
+	}
+
+	switch {
+	case w.Certified:
+		sb.WriteString("  certified: trace confirmed non-SC by exact serial-reordering search (Gibbons–Korach)\n")
+	case w.CertChecked:
+		sb.WriteString("  note: the trace itself IS sequentially consistent — the rejection reflects\n" +
+			"  ST-order annotation inadequacy for this protocol, not an SC violation\n")
+	default:
+		sb.WriteString("  certification skipped: trace exceeds the exact-search limit\n")
+	}
+	return sb.String()
+}
+
+// hopLine renders one cycle node with its program-order position when the
+// node maps cleanly onto the witness trace.
+func (w *Witness) hopLine(h cycle.Hop, pos []int) string {
+	s := h.Node.String()
+	if h.Node.Seq >= 0 && h.Node.Seq < len(w.Trace) && h.Node.Op != nil && *h.Node.Op == w.Trace[h.Node.Seq] {
+		s += fmt.Sprintf(" (P%d op %d)", h.Node.Op.Proc, pos[h.Node.Seq])
+	}
+	return s
+}
+
+// Summary renders a one-line form for logs: constraint, cycle length, and
+// certification status.
+func (w *Witness) Summary() string {
+	s := fmt.Sprintf("%s (%s)", w.Reject.Constraint, w.Reject.Constraint.Ref())
+	if n := w.Reject.CycleLen(); n > 0 {
+		s += fmt.Sprintf(", cycle of %d operations", n)
+	}
+	if w.Minimized {
+		s += fmt.Sprintf(", minimized to %d symbols", len(w.Stream))
+	}
+	switch {
+	case w.Certified:
+		s += ", certified non-SC"
+	case w.CertChecked:
+		s += ", trace is SC (annotation inadequacy)"
+	}
+	return s
+}
+
+// Rejection recovers the structured rejection from any checker error, for
+// callers holding an error rather than a witness.
+func Rejection(err error) (*checker.RejectError, bool) {
+	var re *checker.RejectError
+	if err == nil || !errors.As(err, &re) {
+		return nil, false
+	}
+	return re, true
+}

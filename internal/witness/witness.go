@@ -1,0 +1,253 @@
+// Package witness turns checker rejections into structured counterexamples:
+// a rejected descriptor stream is shrunk to a locally-minimal rejecting core
+// (ddmin), cross-validated against the exact Gibbons–Korach serial-
+// reordering search so the result is certified non-SC rather than merely
+// checker-rejected, and rendered as a human-readable happens-before-loop
+// narrative naming concrete memory operations and the violated constraint
+// of Section 3.1 (or the acyclicity requirement of Lemma 3.3).
+//
+// The package sits above the whole pipeline: FromStream explains a raw
+// k-graph descriptor stream (sccheck), FromRun replays a concrete protocol
+// run through a witness-enabled observer/checker pair (scverify
+// counterexamples, sctest campaign failures), and Hunt scans random runs
+// for the first rejection (examples/bughunt).
+package witness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"scverify/internal/checker"
+	"scverify/internal/descriptor"
+	"scverify/internal/observer"
+	"scverify/internal/protocol"
+	"scverify/internal/registry"
+	"scverify/internal/trace"
+)
+
+// DefaultExactLimit is the largest trace the certification search examines
+// unless Options overrides it; beyond this the exponential Gibbons–Korach
+// search is skipped (matching sctest's default).
+const DefaultExactLimit = 14
+
+// Options tunes witness construction.
+type Options struct {
+	// Minimize shrinks the rejecting stream to a 1-minimal rejecting core
+	// before rendering.
+	Minimize bool
+	// ExactLimit bounds the trace length for the exact certification
+	// search: 0 means DefaultExactLimit, negative disables certification.
+	ExactLimit int
+	// Params enables the checker's operation-label range check.
+	Params trace.Params
+}
+
+// Explain is the option set the command-line tools use: minimize and
+// certify at the default limit.
+func Explain() Options { return Options{Minimize: true} }
+
+// Witness is a structured counterexample: a (minimized) rejecting stream,
+// its trace, the typed rejection, and the certification status of the
+// trace against the exact serial-reordering search.
+type Witness struct {
+	// Protocol names the protocol the stream was observed from; empty for
+	// raw streams.
+	Protocol string
+	// K is the bandwidth bound the stream was checked under.
+	K int
+	// Reject is the checker's structured rejection of Stream.
+	Reject *checker.RejectError
+	// Stream is the rejecting descriptor stream (minimized when
+	// Options.Minimize was set).
+	Stream descriptor.Stream
+	// Trace lists the operation labels of Stream's node symbols in order.
+	Trace trace.Trace
+	// Run is the rejecting protocol run, when the witness came from one.
+	Run *protocol.Run
+	// Seed is the random seed that produced Run, when found by Hunt.
+	Seed int64
+
+	// OrigSymbols and OrigOps record the pre-minimization sizes.
+	OrigSymbols int
+	OrigOps     int
+	// Minimized reports whether the ddmin reducer ran.
+	Minimized bool
+
+	// CertChecked reports whether the exact search examined Trace;
+	// Certified reports it confirmed the trace non-SC. A checked but
+	// uncertified witness means the trace itself IS sequentially
+	// consistent: the rejection reflects annotation inadequacy (wrong
+	// ST-order generator for the protocol), not an SC violation — the
+	// distinction Section 5 draws for lazy caching.
+	CertChecked bool
+	Certified   bool
+}
+
+// FromStream builds a witness for a descriptor stream, or nil if the
+// checker accepts it.
+func FromStream(s descriptor.Stream, k int, opts Options) *Witness {
+	re := runStream(s, k, opts.Params)
+	if re == nil {
+		return nil
+	}
+	origTrace := s.Trace()
+	w := &Witness{
+		K:           k,
+		OrigSymbols: len(s),
+		OrigOps:     len(origTrace),
+	}
+	limit := opts.ExactLimit
+	if limit == 0 {
+		limit = DefaultExactLimit
+	}
+	// When the original trace is exactly known to be non-SC, minimization
+	// preserves that: the ddmin predicate demands every intermediate
+	// candidate both reject and stay non-SC, so the core is certified by
+	// construction. Otherwise minimize on rejection alone and certify (or
+	// refute) the result post hoc.
+	certify := limit > 0 && len(origTrace) <= limit && !trace.HasSerialReordering(origTrace)
+	min := s
+	if opts.Minimize {
+		// The reduction preserves the failure signature: a candidate counts
+		// only if it rejects for the SAME constraint as the original (so a
+		// cycle witness stays a cycle rather than degenerating into, say, a
+		// bare load with no inheritance edge).
+		pred := func(cand descriptor.Stream) bool {
+			cre := runStream(cand, k, opts.Params)
+			if cre == nil || cre.Constraint != re.Constraint {
+				return false
+			}
+			return !certify || !trace.HasSerialReordering(cand.Trace())
+		}
+		min = ddmin(s, pred)
+		re = runStream(min, k, opts.Params)
+		w.Minimized = true
+	}
+	w.Stream = min
+	w.Trace = min.Trace()
+	w.Reject = re
+	switch {
+	case certify:
+		w.CertChecked, w.Certified = true, true
+	case limit > 0 && len(w.Trace) <= limit:
+		w.CertChecked = true
+		w.Certified = !trace.HasSerialReordering(w.Trace)
+	}
+	return w
+}
+
+// Record replays a run through a fresh observer, collecting the emitted
+// descriptor stream and the bandwidth bound it needs.
+func Record(run *protocol.Run, tgt registry.Target) (descriptor.Stream, int, error) {
+	sizing := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, nil)
+	k := sizing.K()
+	var stream descriptor.Stream
+	collect := func(sym descriptor.Symbol) error {
+		stream = append(stream, sym)
+		return nil
+	}
+	obs := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, collect)
+	for i, step := range run.Steps {
+		if err := obs.Step(step.Transition); err != nil {
+			return nil, 0, fmt.Errorf("witness: observe step %d: %w", i, err)
+		}
+	}
+	if err := obs.Finish(); err != nil {
+		return nil, 0, fmt.Errorf("witness: observe finish: %w", err)
+	}
+	return stream, k, nil
+}
+
+// FromRun observes a concrete protocol run and builds the witness for its
+// descriptor stream; (nil, nil) means the run is accepted. This is how
+// model-checker counterexamples get their witnesses: mc explores with
+// witness mode off (it clones the checker at every branch), and the
+// counterexample run is replayed through this witness-enabled pipeline.
+func FromRun(run *protocol.Run, tgt registry.Target, opts Options) (*Witness, error) {
+	stream, k, err := Record(run, tgt)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Params.Procs == 0 {
+		opts.Params = run.Protocol.Params()
+	}
+	w := FromStream(stream, k, opts)
+	if w != nil {
+		w.Protocol = run.Protocol.Name()
+		w.Run = run
+	}
+	return w, nil
+}
+
+// Hunt scans up to runs random executions of the target (seeds seed,
+// seed+1, ...) for one the checker rejects, returning its witness;
+// (nil, nil) means every run in the budget was accepted. Rejections whose
+// trace the exact search certifies non-SC are preferred over annotation-
+// inadequacy rejections: the scan returns the first certified witness, or
+// the first rejection of any kind if no run in the budget certifies.
+// Minimization (when requested) runs only on the chosen run, not during
+// the scan.
+func Hunt(tgt registry.Target, runs, steps int, seed int64, opts Options) (*Witness, error) {
+	scan := opts
+	scan.Minimize = false
+	var fallback *protocol.Run
+	var fallbackSeed int64
+	finish := func(run *protocol.Run, s int64) (*Witness, error) {
+		w, err := FromRun(run, tgt, opts)
+		if err == nil && w != nil {
+			w.Seed = s
+		}
+		return w, err
+	}
+	for i := 0; i < runs; i++ {
+		run := protocol.RandomRun(tgt.Protocol, steps, seed+int64(i))
+		w, err := FromRun(run, tgt, scan)
+		if err != nil {
+			return nil, err
+		}
+		if w == nil {
+			continue
+		}
+		if w.Certified {
+			return finish(run, seed+int64(i))
+		}
+		if fallback == nil {
+			fallback, fallbackSeed = run, seed+int64(i)
+		}
+	}
+	if fallback == nil {
+		return nil, nil
+	}
+	return finish(fallback, fallbackSeed)
+}
+
+// runStream checks the stream with a fresh witness-enabled checker,
+// returning the structured rejection or nil on acceptance.
+func runStream(s descriptor.Stream, k int, params trace.Params) *checker.RejectError {
+	c := checker.New(k).EnableWitness()
+	if params.Procs > 0 {
+		c.SetParams(params)
+	}
+	var err error
+	for _, sym := range s {
+		if err = c.Step(sym); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = c.Finish()
+	}
+	if err == nil {
+		return nil
+	}
+	var re *checker.RejectError
+	if errors.As(err, &re) {
+		return re
+	}
+	// Defensive: the checker only ever rejects with *RejectError.
+	return &checker.RejectError{
+		SymbolIndex: -1,
+		Msg:         strings.TrimPrefix(err.Error(), "checker: "),
+	}
+}
