@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race scvet lint witness fuzz-burst smoke-serve bench-serve clean
+.PHONY: tier1 build vet test race scvet lint witness fuzz-burst smoke-serve chaos soak bench-serve clean
 
-tier1: build vet race scvet lint witness smoke-serve fuzz-burst
+tier1: build vet race scvet lint witness smoke-serve chaos fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,8 @@ fuzz-burst:
 	$(GO) test -run='^$$' -fuzz=FuzzDecoder -fuzztime=$(FUZZTIME) ./internal/descriptor
 	$(GO) test -run='^$$' -fuzz=FuzzFrameParser -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzServerConn -fuzztime=$(FUZZTIME) ./internal/scserve
+	$(GO) test -run='^$$' -fuzz=FuzzResumeFrame -fuzztime=$(FUZZTIME) ./internal/scserve
+	$(GO) test -run='^$$' -fuzz=FuzzRetryClient -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzMinimizer -fuzztime=$(FUZZTIME) ./internal/witness
 
 # smoke-serve: race-enabled client↔server smoke of the scserve session
@@ -52,6 +54,21 @@ fuzz-burst:
 # graceful-shutdown drain guarantees.
 smoke-serve:
 	$(GO) test -race -run='TestServerConcurrentSessions|TestGracefulShutdown' -count=1 ./internal/scserve
+
+# chaos: the fault-tolerance acceptance test — the full protocol registry
+# adjudicated through a fault-injected link (fragmented writes, short
+# reads, latency spikes, forced connection cuts every ~20 KiB). Every
+# verdict delivered through the chaos must equal the local checker's;
+# faults may only degrade to errors, never to wrong answers. Deterministic
+# and ~10s.
+chaos:
+	$(GO) test -run='TestChaosSoakRegistry' -count=1 ./internal/sctest
+
+# soak: the long randomized version of chaos (SOAK sets the duration).
+SOAK ?= 2m
+
+soak:
+	SCSERVE_SOAK=$(SOAK) $(GO) test -run='TestChaosSoakRegistry' -count=1 -v -timeout=0 ./internal/sctest
 
 # bench-serve: throughput of the scserve service on the loopback
 # (sessions/s, symbols/s), written to BENCH_scserve.json.

@@ -14,6 +14,13 @@
 //	sccheck -k 12 -in run.desc                   # stream from a file
 //	sccheck -k 12 -in run.desc -text             # also print each symbol
 //	sccheck -k 12 -in run.desc -explain          # minimized witness on rejection
+//	sccheck -k 12 -in run.desc -server host:7541 # adjudicate via scserve
+//
+// With -server, the stream is adjudicated by a remote scserve service
+// through the fault-tolerant RetryClient: the session survives connection
+// loss by resuming from the server's last checkpoint and replaying only
+// the unacked tail. -server-timeout bounds each network operation and
+// -server-retries the connection attempts per operation.
 //
 // With -explain, a rejection is explained rather than merely located: the
 // stream is shrunk to a 1-minimal rejecting core (delta debugging), the
@@ -40,11 +47,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"scverify/internal/checker"
 	"scverify/internal/descriptor"
 	"scverify/internal/gammalint"
 	"scverify/internal/registry"
+	"scverify/internal/scserve"
 	"scverify/internal/trace"
 	"scverify/internal/witness"
 )
@@ -61,6 +70,9 @@ func main() {
 		procs   = flag.Int("p", 0, "optional: processors, enables parameter checking")
 		blocks  = flag.Int("b", 0, "optional: blocks")
 		values  = flag.Int("v", 0, "optional: values")
+		server  = flag.String("server", "", "scserve address; adjudicate the stream remotely")
+		srvTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server mode")
+		retries = flag.Int("server-retries", 5, "connection attempts per remote operation before giving up")
 	)
 	flag.Parse()
 
@@ -83,6 +95,14 @@ func main() {
 	params := trace.Params{}
 	if *procs > 0 {
 		params = trace.Params{Procs: *procs, Blocks: *blocks, Values: *values}
+	}
+
+	if *server != "" {
+		if *text || *explain {
+			fmt.Fprintln(os.Stderr, "sccheck: -text and -explain are local-only; not available with -server")
+			os.Exit(2)
+		}
+		os.Exit(remoteMain(r, *server, *k, params, *srvTO, *retries))
 	}
 	c := checker.New(*k)
 	if params.Procs > 0 {
@@ -137,6 +157,54 @@ func main() {
 	}
 	fmt.Printf("accepted: %d symbols describe an acyclic constraint graph for trace of %d operations\n",
 		dec.Count(), ops)
+}
+
+// remoteMain streams the raw descriptor wire bytes to an scserve service
+// through the fault-tolerant RetryClient and reports its verdict. The
+// stream is shipped as-is — the server decodes and positions errors —
+// and the session survives connection loss by resuming from the server's
+// last checkpoint.
+func remoteMain(r io.Reader, addr string, k int, params trace.Params, timeout time.Duration, retries int) int {
+	rc := scserve.NewRetryClient(addr, scserve.RetryConfig{Timeout: timeout, MaxAttempts: retries})
+	defer rc.Close()
+	sess, err := rc.Session(scserve.Header{K: k, Params: params})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccheck: remote: %v\n", err)
+		return 2
+	}
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if err := sess.SendBytes(buf[:n]); err != nil {
+				fmt.Fprintf(os.Stderr, "sccheck: remote: %v\n", err)
+				return 2
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "sccheck: read: %v\n", rerr)
+			return 2
+		}
+	}
+	v, err := sess.Finish()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccheck: remote: %v\n", err)
+		return 2
+	}
+	switch v.Code {
+	case scserve.VerdictAccept:
+		fmt.Printf("accepted: %s\n", v.Msg)
+		return 0
+	case scserve.VerdictReject:
+		fmt.Printf("REJECTED %s\n", v)
+		return 1
+	default:
+		fmt.Fprintf(os.Stderr, "sccheck: remote: %s\n", v)
+		return 2
+	}
 }
 
 // lintMain implements `sccheck lint`: Γ-lint over registered protocols.

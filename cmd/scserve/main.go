@@ -45,7 +45,12 @@ func main() {
 		maxK         = flag.Int("max-k", 4096, "maximum session bandwidth bound k")
 		queueBytes   = flag.Int("queue", 64<<10, "per-session symbol queue bytes")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read / idle timeout (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-write deadline (negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		ackInterval  = flag.Int("ack-interval", 1024, "symbols between checkpoints on resumable sessions")
+		resumeMax    = flag.Int("resume-max", 1024, "maximum retained session checkpoints")
+		resumeBytes  = flag.Int64("resume-bytes", 64<<20, "checkpoint retention memory budget in bytes")
+		resumeTTL    = flag.Duration("resume-ttl", 15*time.Minute, "checkpoint retention age limit (negative disables)")
 		verbose      = flag.Bool("v", false, "log per-connection diagnostics")
 
 		bench         = flag.Bool("bench", false, "run the self-contained benchmark instead of serving")
@@ -57,11 +62,16 @@ func main() {
 	flag.Parse()
 
 	cfg := scserve.Config{
-		MaxSessions: *maxSessions,
-		MaxFrame:    *maxFrame,
-		MaxK:        *maxK,
-		QueueBytes:  *queueBytes,
-		ReadTimeout: *readTimeout,
+		MaxSessions:       *maxSessions,
+		MaxFrame:          *maxFrame,
+		MaxK:              *maxK,
+		QueueBytes:        *queueBytes,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		AckInterval:       *ackInterval,
+		ResumeMaxSessions: *resumeMax,
+		ResumeMaxBytes:    *resumeBytes,
+		ResumeTTL:         *resumeTTL,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -79,14 +89,20 @@ func main() {
 	srv := scserve.New(cfg)
 	fmt.Printf("scserve: listening on %s (max %d sessions, k ≤ %d)\n", ln.Addr(), *maxSessions, *maxK)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	drained := make(chan error, 1)
 	go func() {
 		s := <-sig
-		fmt.Printf("scserve: %v: draining in-flight sessions (budget %s)\n", s, *drainTimeout)
+		fmt.Printf("scserve: %v: draining in-flight sessions (budget %s; signal again to force)\n", s, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		go func() {
+			// A second SIGINT/SIGTERM skips the rest of the drain.
+			s := <-sig
+			fmt.Printf("scserve: %v again: forcing shutdown\n", s)
+			cancel()
+		}()
 		drained <- srv.Shutdown(ctx)
 	}()
 
@@ -172,7 +188,12 @@ func runBench(cfg scserve.Config, sessions, workers, symbols int, out string) in
 				if reject {
 					wire = rejectWire
 				}
-				sess, err := c.Session(h)
+				// Benchmark with checkpointing on: each session announces a
+				// token, so the measured throughput includes the server's
+				// periodic checker clones and ack frames.
+				sh := h
+				sh.Token = fmt.Sprintf("bench-%d-%d", w, i)
+				sess, err := c.Session(sh)
 				if err == nil {
 					err = sess.SendBytes(wire)
 				}

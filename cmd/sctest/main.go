@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"scverify/internal/registry"
+	"scverify/internal/scserve"
 	"scverify/internal/sctest"
 	"scverify/internal/trace"
 	"scverify/internal/witness"
@@ -43,7 +44,8 @@ func main() {
 		limit   = flag.Int("exactlimit", 14, "maximum trace length for the exact cross-check")
 		workers = flag.Int("workers", 1, "parallel campaign workers")
 		server  = flag.String("server", "", "scserve address; adjudicate runs remotely instead of in-process")
-		rpcTO   = flag.Duration("server-timeout", 30*time.Second, "per-run I/O timeout for -server mode")
+		rpcTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server mode")
+		retries = flag.Int("server-retries", 5, "connection attempts per remote operation before giving up")
 	)
 	flag.Parse()
 
@@ -60,7 +62,10 @@ func main() {
 	}
 	how := "in-process checker"
 	if *server != "" {
-		cfg.Check = sctest.RemoteChecker(*server, *rpcTO)
+		cfg.Check = sctest.RemoteCheckerRetry(*server, scserve.RetryConfig{
+			Timeout:     *rpcTO,
+			MaxAttempts: *retries,
+		})
 		how = "scserve at " + *server
 	}
 	fmt.Printf("testing %s (%s) at %s: %d runs × %d steps, adjudicated by %s\n",

@@ -217,6 +217,31 @@ func (c *Checker) deactivate(r *rec) error {
 			}
 		}
 	}
+
+	// Sever links no future symbol can read. Edges reach records only
+	// through live IDs, so a retired record's successor pointers are
+	// write-only from here on; a pending slot whose carrier load has
+	// itself retired can never match a live inheritor again (and the
+	// armed/feasibility checks above have already adjudicated it). Without
+	// this, retired records chain through the entire history — e.g. a
+	// block's first store reaches every store of the block via stSucc —
+	// and Clone/StateKey degrade from O(k²) to O(stream).
+	r.poNext = nil
+	if r.op.IsStore() {
+		r.stSucc = nil
+		for p, ob := range r.pending {
+			if !ob.load.active {
+				delete(r.pending, p)
+			}
+		}
+	} else {
+		if s := r.inhFrom; s != nil && !s.active {
+			if ob, ok := s.pending[r.op.Proc]; ok && ob.load == r {
+				delete(s.pending, r.op.Proc)
+			}
+		}
+		r.inhFrom = nil
+	}
 	return nil
 }
 

@@ -47,6 +47,17 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{br: br}
 }
 
+// NewDecoderAt returns a decoder whose position counters start at the
+// given byte offset and symbol index instead of zero, for resuming a
+// partially decoded stream: r must supply the stream's bytes from offset
+// onward, and every reported position (Offset, Count, DecodeError) is
+// then absolute within the original stream.
+func NewDecoderAt(r io.Reader, offset int64, symbols int) *Decoder {
+	d := NewDecoder(r)
+	d.off, d.idx = offset, symbols
+	return d
+}
+
 // Offset returns the number of stream bytes consumed so far, i.e. the
 // offset of the next symbol's first byte.
 func (d *Decoder) Offset() int64 { return d.off }

@@ -1,0 +1,155 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDataIntegrity: fragmentation faults reorder nothing and lose
+// nothing — every delivered byte stream is exactly the sent one.
+func TestDataIntegrity(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		a, b := net.Pipe()
+		fa := Wrap(a, Config{Seed: seed, WriteChunk: 7, ReadChunk: 5}, nil)
+		fb := Wrap(b, Config{Seed: seed + 100, WriteChunk: 3, ReadChunk: 11}, nil)
+
+		payload := make([]byte, 16<<10)
+		rand.New(rand.NewSource(seed)).Read(payload)
+
+		got := make(chan []byte, 1)
+		errc := make(chan error, 1)
+		go func() {
+			var buf bytes.Buffer
+			_, err := io.Copy(&buf, fb)
+			got <- buf.Bytes()
+			errc <- err
+		}()
+		if _, err := fa.Write(payload); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		fa.Close()
+		if err := <-errc; err != nil {
+			t.Fatalf("seed %d: read: %v", seed, err)
+		}
+		if !bytes.Equal(<-got, payload) {
+			t.Fatalf("seed %d: delivered bytes differ from sent bytes", seed)
+		}
+		if fa.Stats().PartialWrites.Load() == 0 {
+			t.Errorf("seed %d: expected partial writes to be injected", seed)
+		}
+		if fb.Stats().ShortReads.Load() == 0 {
+			t.Errorf("seed %d: expected short reads to be injected", seed)
+		}
+		fb.Close()
+	}
+}
+
+// TestResetAfterBytes: the deterministic reset cuts the connection once
+// the byte budget is crossed, and both further reads and writes fail.
+func TestResetAfterBytes(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fa := Wrap(a, Config{Seed: 1, ResetAfterBytes: 100}, nil)
+
+	go io.Copy(io.Discard, b)
+	buf := make([]byte, 64)
+	if _, err := fa.Write(buf); err != nil {
+		t.Fatalf("first write (under budget): %v", err)
+	}
+	// This write crosses 100 total bytes; the bytes may be delivered but
+	// the connection must be reset by the following operation.
+	fa.Write(buf)
+	if _, err := fa.Write(buf); err != errReset {
+		t.Fatalf("write after reset: got %v, want %v", err, errReset)
+	}
+	if _, err := fa.Read(buf); err != errReset {
+		t.Fatalf("read after reset: got %v, want %v", err, errReset)
+	}
+	if got := fa.Stats().Resets.Load(); got != 1 {
+		t.Fatalf("resets = %d, want 1", got)
+	}
+}
+
+// TestResetProb: random resets fire eventually and surface as errReset.
+func TestResetProb(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fa := Wrap(a, Config{Seed: 7, ResetProb: 0.2}, nil)
+	go io.Copy(io.Discard, b)
+
+	buf := make([]byte, 8)
+	var err error
+	for i := 0; i < 1000; i++ {
+		if _, err = fa.Write(buf); err != nil {
+			break
+		}
+	}
+	if err != errReset {
+		t.Fatalf("expected a random reset within 1000 writes, got %v", err)
+	}
+}
+
+// TestLatency: latency faults delay but do not fail operations.
+func TestLatency(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fa := Wrap(a, Config{Seed: 3, LatencyProb: 1.0, Latency: time.Millisecond}, nil)
+	go io.Copy(io.Discard, b)
+
+	for i := 0; i < 5; i++ {
+		if _, err := fa.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if fa.Stats().Latencies.Load() != 5 {
+		t.Fatalf("latencies = %d, want 5", fa.Stats().Latencies.Load())
+	}
+	fa.Close()
+}
+
+// TestDialerSchedules: each dialed connection draws a distinct schedule
+// but shares the dialer's stats.
+func TestDialerSchedules(t *testing.T) {
+	d := NewDialer(Config{Seed: 11, WriteChunk: 4})
+	a1, b1 := net.Pipe()
+	a2, b2 := net.Pipe()
+	defer b1.Close()
+	defer b2.Close()
+	c1 := d.WrapConn(a1)
+	c2 := d.WrapConn(a2)
+	go io.Copy(io.Discard, b1)
+	go io.Copy(io.Discard, b2)
+
+	payload := make([]byte, 256)
+	if _, err := c1.Write(payload); err != nil {
+		t.Fatalf("c1 write: %v", err)
+	}
+	if _, err := c2.Write(payload); err != nil {
+		t.Fatalf("c2 write: %v", err)
+	}
+	if d.Stats().PartialWrites.Load() == 0 {
+		t.Fatal("expected shared stats to record partial writes")
+	}
+}
+
+// TestZeroConfigTransparent: the zero config injects nothing.
+func TestZeroConfigTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	fa := Wrap(a, Config{Seed: 1}, nil)
+	go func() {
+		fa.Write([]byte("hello"))
+		fa.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	s := fa.Stats()
+	if n := s.PartialWrites.Load() + s.ShortReads.Load() + s.Latencies.Load() + s.Stalls.Load() + s.Resets.Load(); n != 0 {
+		t.Fatalf("zero config injected %d faults", n)
+	}
+}

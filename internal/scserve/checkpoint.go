@@ -1,0 +1,217 @@
+package scserve
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"scverify/internal/checker"
+)
+
+// errHeaderMismatch rejects a resume whose header disagrees with the
+// checkpointed session's (different k, params, or value mode).
+var errHeaderMismatch = errors.New("resume: header does not match the checkpointed session")
+
+// The resume store is the server half of the fault-tolerance contract:
+// sessions that announce a token get their checker cloned at symbol
+// boundaries, and the newest clone is retained here so a client that
+// loses its connection can replay only the unacked tail of its stream
+// instead of the whole thing. Retention is bounded three ways — entry
+// count, accounted bytes, and age — and an evicted or expired token
+// degrades a resume attempt to a clean error, never to a wrong verdict:
+// the checker is deterministic, so any verdict the server produces is a
+// function of the exact byte prefix the client streamed, resumed or not.
+
+// resumeEntry is one token's newest checkpoint, or — once the session
+// delivered its verdict — the verdict itself, retained so a client that
+// lost the connection just before reading it can recover it on resume.
+type resumeEntry struct {
+	token string
+	hdr   Header // bare: the checker-shaping fields a resume must match
+	chk   *checker.Checker
+	sym   int
+	off   int64
+	done  *Verdict // non-nil once the session's verdict was determined
+	cost  int64
+	kick  func() // closes the conn of the session currently feeding this entry
+	elem  *list.Element
+	last  time.Time
+}
+
+// resumeSeed is what a resuming session starts from: a private clone of
+// the stored checker positioned at (sym, off), or the stored verdict for
+// an already-completed session.
+type resumeSeed struct {
+	chk  *checker.Checker
+	sym  int
+	off  int64
+	done *Verdict
+}
+
+type resumeStore struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	ttl      time.Duration
+
+	bytes   int64
+	entries map[string]*resumeEntry
+	lru     *list.List // front = least recently touched
+}
+
+func newResumeStore(max int, maxBytes int64, ttl time.Duration) *resumeStore {
+	return &resumeStore{
+		max:      max,
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		entries:  make(map[string]*resumeEntry),
+		lru:      list.New(),
+	}
+}
+
+// checkpointCost estimates an entry's memory footprint for the store's
+// byte accounting. The checker's live state is Θ(k²) slots plus O(k)
+// records; the constant is a deliberate overestimate so the accounting
+// errs toward evicting early rather than ballooning.
+func checkpointCost(h Header, done *Verdict) int64 {
+	if done != nil {
+		return 256 + int64(len(done.Msg))
+	}
+	k := int64(h.K)
+	return 4096 + 64*k*k + 512*k
+}
+
+func (rs *resumeStore) removeLocked(e *resumeEntry) {
+	delete(rs.entries, e.token)
+	rs.lru.Remove(e.elem)
+	rs.bytes -= e.cost
+}
+
+// evictLocked enforces the three retention limits, oldest-first, never
+// touching keep (the entry just stored).
+func (rs *resumeStore) evictLocked(keep *resumeEntry, now time.Time) {
+	for rs.lru.Len() > 0 {
+		e := rs.lru.Front().Value.(*resumeEntry)
+		expired := rs.ttl > 0 && now.Sub(e.last) > rs.ttl
+		over := len(rs.entries) > rs.max || rs.bytes > rs.maxBytes
+		if e == keep || (!expired && !over) {
+			return
+		}
+		rs.removeLocked(e)
+	}
+}
+
+// put stores a checkpoint for token, replacing any older one. Offsets are
+// monotonic per token: a stale session racing a resumed one can never
+// move a checkpoint backwards past an ack the client already acted on.
+// It reports whether the checkpoint was stored (and may thus be acked).
+func (rs *resumeStore) put(token string, hdr Header, chk *checker.Checker, sym int, off int64, kick func()) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	now := time.Now()
+	e := rs.entries[token]
+	if e == nil {
+		e = &resumeEntry{token: token}
+		e.elem = rs.lru.PushBack(e)
+		rs.entries[token] = e
+	} else {
+		if e.done == nil && off < e.off {
+			return false
+		}
+		rs.lru.MoveToBack(e.elem)
+		rs.bytes -= e.cost
+	}
+	e.hdr, e.chk, e.sym, e.off = hdr.bare(), chk, sym, off
+	e.done, e.kick, e.last = nil, kick, now
+	e.cost = checkpointCost(e.hdr, nil)
+	rs.bytes += e.cost
+	rs.evictLocked(e, now)
+	return true
+}
+
+// finish records the session's verdict under the token and drops the
+// checkpoint checker: a later resume replays the stored verdict instead
+// of re-checking. The final (sym, off) position keeps resume acks
+// monotonic for clients that missed the last ack.
+func (rs *resumeStore) finish(token string, v Verdict, sym int, off int64) {
+	if token == "" {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	now := time.Now()
+	e := rs.entries[token]
+	if e == nil {
+		e = &resumeEntry{token: token}
+		e.elem = rs.lru.PushBack(e)
+		rs.entries[token] = e
+	} else {
+		rs.lru.MoveToBack(e.elem)
+		rs.bytes -= e.cost
+		if sym < e.sym {
+			sym, off = e.sym, e.off
+		}
+	}
+	done := v
+	e.chk, e.done, e.kick, e.last = nil, &done, nil, now
+	e.sym, e.off = sym, off
+	e.cost = checkpointCost(e.hdr, e.done)
+	rs.bytes += e.cost
+	rs.evictLocked(e, now)
+}
+
+// take resolves a resume request: it returns a seed holding a private
+// clone of the stored checker (or the stored verdict), after fencing off
+// any session still feeding the entry. A nil seed with nil error means
+// the token is unknown or expired; a non-nil error means the header does
+// not match the checkpointed session.
+func (rs *resumeStore) take(token string, hdr Header, kick func()) (*resumeSeed, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	e := rs.entries[token]
+	if e != nil && rs.ttl > 0 && time.Since(e.last) > rs.ttl {
+		rs.removeLocked(e)
+		e = nil
+	}
+	if e == nil {
+		return nil, nil
+	}
+	if e.hdr != hdr.bare() {
+		return nil, errHeaderMismatch
+	}
+	if old := e.kick; old != nil {
+		old()
+	}
+	e.kick = kick
+	e.last = time.Now()
+	rs.lru.MoveToBack(e.elem)
+	seed := &resumeSeed{sym: e.sym, off: e.off, done: e.done}
+	if e.done == nil {
+		seed.chk = e.chk.Clone()
+	}
+	return seed, nil
+}
+
+// drop removes a token's entry (a fresh hello reusing the token restarts
+// the session from scratch), fencing off any session still feeding it.
+func (rs *resumeStore) drop(token string) {
+	if token == "" {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if e := rs.entries[token]; e != nil {
+		if e.kick != nil {
+			e.kick()
+		}
+		rs.removeLocked(e)
+	}
+}
+
+// snapshot reports the store's gauges for Stats.
+func (rs *resumeStore) snapshot() (entries int64, bytes int64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return int64(len(rs.entries)), rs.bytes
+}

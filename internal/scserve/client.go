@@ -2,6 +2,7 @@ package scserve
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -30,7 +31,10 @@ type Client struct {
 func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
 
 // DialTimeout connects with a dial deadline; the same duration then bounds
-// every subsequent read and write on the connection (0 disables).
+// every subsequent read and write operation on the connection (0
+// disables). The deadline is per operation, not per connection: a session
+// may run arbitrarily long as long as each individual frame read or write
+// makes progress within the timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -54,9 +58,19 @@ func NewClient(conn net.Conn, timeout time.Duration) *Client {
 // counts it as aborted).
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) deadlines() {
+// armRead refreshes the read deadline before a blocking read. Deadlines
+// are refreshed per operation — setting one whole-connection deadline
+// would make long multi-frame sessions time out spuriously no matter how
+// much progress they were making.
+func (c *Client) armRead() {
 	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+func (c *Client) armWrite() {
+	if c.timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	}
 }
 
@@ -66,13 +80,14 @@ func (c *Client) Stats() (Stats, error) {
 	if c.open != nil {
 		return Stats{}, fmt.Errorf("scserve: stats request inside an open session")
 	}
-	c.deadlines()
+	c.armWrite()
 	if err := writeFrame(c.bw, frameStatsReq, nil); err != nil {
 		return Stats{}, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return Stats{}, err
 	}
+	c.armRead()
 	typ, payload, err := readFrame(c.br, 1<<20)
 	if err != nil {
 		return Stats{}, fmt.Errorf("scserve: stats read: %w", err)
@@ -90,17 +105,46 @@ func (c *Client) Stats() (Stats, error) {
 // Session opens a checking session with the given header. Only one session
 // may be open per Client; it must be concluded with Finish (or the
 // connection closed) before the next.
+//
+// If h.Resume is set, Session performs the resume handshake: it blocks for
+// the server's answer, which is either an ack naming the checkpoint the
+// session resumed from (see Acked — the caller replays its stream from
+// that offset) or an immediate verdict (recorded and returned by Finish;
+// e.g. an unknown token).
 func (c *Client) Session(h Header) (*Session, error) {
 	if c.open != nil {
 		return nil, fmt.Errorf("scserve: previous session still open")
 	}
-	c.deadlines()
+	c.armWrite()
 	if err := writeFrame(c.bw, frameHello, appendHello(nil, h)); err != nil {
 		return nil, fmt.Errorf("scserve: hello: %w", err)
 	}
-	s := &Session{c: c}
+	s := &Session{c: c, ackSym: -1, ackOff: -1}
 	c.open = s
+	if h.Resume {
+		if err := c.resumeHandshake(s); err != nil {
+			c.open = nil
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// resumeHandshake blocks for the server's answer to a resume hello: an
+// ack naming the checkpoint, or an immediate verdict.
+func (c *Client) resumeHandshake(s *Session) error {
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("scserve: hello: %w", err)
+	}
+	c.armRead()
+	typ, payload, err := readFrame(c.br, 1<<20)
+	if err != nil {
+		return fmt.Errorf("scserve: resume: %w", err)
+	}
+	if err := s.handleFrame(typ, payload); err != nil {
+		return fmt.Errorf("scserve: resume: %w", err)
+	}
+	return nil
 }
 
 // Session is one open checking session: a sequence of Send/SendBytes calls
@@ -111,6 +155,10 @@ type Session struct {
 	bytes   int64
 	scratch []byte
 	done    bool
+
+	ackSym int      // highest server-acked symbol index, -1 before any ack
+	ackOff int64    // highest server-acked byte offset, -1 before any ack
+	early  *Verdict // verdict received before Finish (early rejection, busy)
 }
 
 // Symbols returns the number of symbols sent so far via Send (SendBytes
@@ -119,6 +167,37 @@ func (s *Session) Symbols() int { return s.symbols }
 
 // Bytes returns the number of stream bytes sent so far.
 func (s *Session) Bytes() int64 { return s.bytes }
+
+// Acked returns the highest checkpoint position the server has acked on
+// this session: everything before byte offset off is durable server-side
+// and need not be replayed after a reconnect. Before any ack it returns
+// (-1, -1). Acks arrive only on sessions opened with a Header.Token, and
+// only as Poll, Finish, or a resume handshake reads them.
+func (s *Session) Acked() (sym int, off int64) { return s.ackSym, s.ackOff }
+
+// handleFrame folds one server frame into the session's state.
+func (s *Session) handleFrame(typ byte, payload []byte) error {
+	switch typ {
+	case frameAck:
+		sym, off, err := parseAck(payload)
+		if err != nil {
+			return err
+		}
+		if off > s.ackOff {
+			s.ackSym, s.ackOff = sym, off
+		}
+		return nil
+	case frameVerdict:
+		v, err := parseVerdict(payload)
+		if err != nil {
+			return err
+		}
+		s.early = &v
+		return nil
+	default:
+		return fmt.Errorf("unexpected frame type %#x inside session", typ)
+	}
+}
 
 // Send encodes and streams the given symbols.
 func (s *Session) Send(syms ...descriptor.Symbol) error {
@@ -134,12 +213,21 @@ func (s *Session) Send(syms ...descriptor.Symbol) error {
 }
 
 // SendBytes streams raw descriptor wire bytes, split into frames of at
-// most maxChunk. The bytes need not align with symbol boundaries.
+// most maxChunk. The bytes need not align with symbol boundaries. An
+// empty raw sends one empty symbols frame — a keepalive that gives the
+// server a turn to emit pending progress acks (acks ride between frame
+// reads on the server's connection loop).
 func (s *Session) SendBytes(raw []byte) error {
 	if s.done {
 		return fmt.Errorf("scserve: send after Finish")
 	}
-	s.c.deadlines()
+	s.c.armWrite()
+	if len(raw) == 0 {
+		if err := writeFrame(s.c.bw, frameSymbols, nil); err != nil {
+			return fmt.Errorf("scserve: send: %w", err)
+		}
+		return nil
+	}
 	for len(raw) > 0 {
 		n := len(raw)
 		if n > maxChunk {
@@ -158,8 +246,81 @@ func (s *Session) SendBytes(raw []byte) error {
 // SendBytes otherwise buffer until the client-side writer fills or Finish
 // is called.
 func (s *Session) Flush() error {
-	s.c.deadlines()
+	s.c.armWrite()
 	return s.c.bw.Flush()
+}
+
+// tryParseFrame parses one complete frame from buffered bytes. ok is
+// false when buf holds only a frame prefix (more bytes needed).
+func tryParseFrame(buf []byte, maxPayload int) (typ byte, payload []byte, size int, ok bool, err error) {
+	if len(buf) < 2 {
+		return 0, nil, 0, false, nil
+	}
+	n, w := binary.Uvarint(buf[1:])
+	if w == 0 {
+		if len(buf) >= 1+binary.MaxVarintLen64 {
+			return 0, nil, 0, false, fmt.Errorf("frame type %#x: malformed length varint", buf[0])
+		}
+		return 0, nil, 0, false, nil
+	}
+	if w < 0 || n > uint64(maxPayload) {
+		return 0, nil, 0, false, fmt.Errorf("frame type %#x: payload %d bytes exceeds limit %d", buf[0], n, maxPayload)
+	}
+	total := 1 + w + int(n)
+	if len(buf) < total {
+		return 0, nil, 0, false, nil
+	}
+	return buf[0], buf[1+w : total], total, true, nil
+}
+
+// pollWindow is how long Poll waits for bytes the server has already
+// sent to arrive. It bounds Poll's cost when nothing is pending.
+const pollWindow = time.Millisecond
+
+// Poll drains any server frames already delivered — progress acks and an
+// early verdict, if one arrived — without blocking beyond a small grace
+// window. It lets a long-running producer observe acks (see Acked) and
+// notice an early rejection mid-stream. Frames the server has only
+// partially delivered are left buffered for the next Poll or Finish.
+func (s *Session) Poll() error {
+	if s.done {
+		return fmt.Errorf("scserve: poll after Finish")
+	}
+	for {
+		// Parse complete frames out of what is already buffered.
+		if n := s.c.br.Buffered(); n > 0 {
+			buf, _ := s.c.br.Peek(n)
+			typ, payload, size, ok, err := tryParseFrame(buf, 1<<20)
+			if err != nil {
+				return fmt.Errorf("scserve: poll: %w", err)
+			}
+			if ok {
+				if err := s.handleFrame(typ, payload); err != nil {
+					return fmt.Errorf("scserve: poll: %w", err)
+				}
+				s.c.br.Discard(size)
+				continue
+			}
+		}
+		// Only a frame prefix (or nothing) is buffered: attempt one short
+		// bounded read for more. A deadline already in the past would fail
+		// without attempting the read at all, so the window must be
+		// positive; a timeout just means nothing more is pending.
+		s.c.conn.SetReadDeadline(time.Now().Add(pollWindow))
+		_, perr := s.c.br.Peek(s.c.br.Buffered() + 1)
+		s.c.conn.SetReadDeadline(time.Time{})
+		if perr != nil {
+			if nerr, ok := perr.(net.Error); ok && nerr.Timeout() {
+				return nil
+			}
+			if perr == bufio.ErrBufferFull {
+				// A frame larger than the read buffer; leave it for the
+				// next blocking read.
+				return nil
+			}
+			return fmt.Errorf("scserve: poll: %w", perr)
+		}
+	}
 }
 
 // Finish ends the stream and returns the server's verdict. The connection
@@ -170,25 +331,24 @@ func (s *Session) Finish() (Verdict, error) {
 	}
 	s.done = true
 	s.c.open = nil
-	s.c.deadlines()
+	s.c.armWrite()
 	if err := writeFrame(s.c.bw, frameEnd, nil); err != nil {
 		return Verdict{}, fmt.Errorf("scserve: end: %w", err)
 	}
 	if err := s.c.bw.Flush(); err != nil {
 		return Verdict{}, fmt.Errorf("scserve: flush: %w", err)
 	}
-	typ, payload, err := readFrame(s.c.br, 1<<20)
-	if err != nil {
-		return Verdict{}, fmt.Errorf("scserve: verdict read: %w", err)
+	for s.early == nil {
+		s.c.armRead()
+		typ, payload, err := readFrame(s.c.br, 1<<20)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("scserve: verdict read: %w", err)
+		}
+		if err := s.handleFrame(typ, payload); err != nil {
+			return Verdict{}, fmt.Errorf("scserve: %w", err)
+		}
 	}
-	if typ != frameVerdict {
-		return Verdict{}, fmt.Errorf("scserve: expected verdict, got frame type %#x", typ)
-	}
-	v, err := parseVerdict(payload)
-	if err != nil {
-		return Verdict{}, fmt.Errorf("scserve: %w", err)
-	}
-	return v, nil
+	return *s.early, nil
 }
 
 // Check is the one-shot convenience: it opens a session with h, streams

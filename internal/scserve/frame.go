@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 
 	"scverify/internal/checker"
 	"scverify/internal/trace"
@@ -34,6 +35,7 @@ const (
 	frameStatsReq   byte = 0x04 // request a stats frame
 	frameVerdict    byte = 0x81 // server → client: session verdict
 	frameStatsReply byte = 0x82 // server → client: JSON-encoded Stats
+	frameAck        byte = 0x83 // server → client: checkpointed progress ack
 )
 
 // protocolVersion is the hello version this package speaks.
@@ -44,13 +46,42 @@ const protocolVersion = 1
 // run its own valuecheck pass.
 const helloFlagNoValues = 1 << 0
 
+// helloFlagToken marks a session the server should checkpoint for later
+// resumption: the payload continues with a length-prefixed client-chosen
+// token, and the server emits ack frames as checkpoints are taken. Hellos
+// without the flag encode byte-identically to the pre-resume format.
+const helloFlagToken = 1 << 1
+
+// helloFlagResume (requires helloFlagToken) asks the server to resume the
+// token's checkpointed session instead of starting fresh: the payload
+// continues with the client's last-acked symbol index and byte offset.
+// The server answers with an ack naming the checkpoint it actually
+// resumed from (always at or past the client's position), and the client
+// replays its buffered tail from there.
+const helloFlagResume = 1 << 2
+
+// maxTokenLen bounds the resume token a client may choose.
+const maxTokenLen = 64
+
 // Header opens a session: the bandwidth bound the checker is built for,
 // optional protocol parameters (zero Params disables the label range
 // check), and NoValues to request a value-blind checker.
+//
+// A non-empty Token opts the session into checkpoint/resume: the server
+// clones the checker at symbol boundaries, retains the newest clone under
+// the token, and acks the checkpointed position. Resume reopens the
+// token's session from AckSymbol/AckOffset (the position of the last ack
+// the client received). Tokens are client-chosen; RetryClient draws 16
+// random bytes.
 type Header struct {
 	K        int
 	Params   trace.Params
 	NoValues bool
+
+	Token     string
+	Resume    bool
+	AckSymbol int
+	AckOffset int64
 }
 
 func appendHello(dst []byte, h Header) []byte {
@@ -63,7 +94,22 @@ func appendHello(dst []byte, h Header) []byte {
 	if h.NoValues {
 		flags |= helloFlagNoValues
 	}
-	return binary.AppendUvarint(dst, flags)
+	if h.Token != "" {
+		flags |= helloFlagToken
+		if h.Resume {
+			flags |= helloFlagResume
+		}
+	}
+	dst = binary.AppendUvarint(dst, flags)
+	if h.Token != "" {
+		dst = binary.AppendUvarint(dst, uint64(len(h.Token)))
+		dst = append(dst, h.Token...)
+		if h.Resume {
+			dst = binary.AppendUvarint(dst, uint64(h.AckSymbol))
+			dst = binary.AppendUvarint(dst, uint64(h.AckOffset))
+		}
+	}
+	return dst
 }
 
 func parseHello(payload []byte) (Header, error) {
@@ -80,6 +126,7 @@ func parseHello(payload []byte) (Header, error) {
 		{"flags", nil},
 	}
 	pos := 0
+	var resume bool
 	for i, f := range fields {
 		v, n := binary.Uvarint(payload[pos:])
 		if n <= 0 {
@@ -98,7 +145,47 @@ func parseHello(payload []byte) (Header, error) {
 			*f.dst = int(v)
 		default: // flags
 			h.NoValues = v&helloFlagNoValues != 0
-			if v &^= helloFlagNoValues; v != 0 {
+			resume = v&helloFlagResume != 0
+			if resume && v&helloFlagToken == 0 {
+				return Header{}, fmt.Errorf("hello: resume flag without a session token")
+			}
+			if v&helloFlagToken != 0 {
+				tl, n := binary.Uvarint(payload[pos:])
+				if n <= 0 {
+					return Header{}, fmt.Errorf("hello: truncated token length")
+				}
+				pos += n
+				if tl < 1 || tl > maxTokenLen {
+					return Header{}, fmt.Errorf("hello: token length %d outside 1..%d", tl, maxTokenLen)
+				}
+				if uint64(len(payload)-pos) < tl {
+					return Header{}, fmt.Errorf("hello: truncated token")
+				}
+				h.Token = string(payload[pos : pos+int(tl)])
+				pos += int(tl)
+			}
+			if resume {
+				h.Resume = true
+				for _, rf := range []struct {
+					name string
+					max  uint64
+					set  func(uint64)
+				}{
+					{"ack symbol", 1 << 40, func(v uint64) { h.AckSymbol = int(v) }},
+					{"ack offset", 1 << 60, func(v uint64) { h.AckOffset = int64(v) }},
+				} {
+					v, n := binary.Uvarint(payload[pos:])
+					if n <= 0 {
+						return Header{}, fmt.Errorf("hello: truncated %s field", rf.name)
+					}
+					pos += n
+					if v > rf.max {
+						return Header{}, fmt.Errorf("hello: %s %d out of range", rf.name, v)
+					}
+					rf.set(v)
+				}
+			}
+			if v &^= helloFlagNoValues | helloFlagToken | helloFlagResume; v != 0 {
 				return Header{}, fmt.Errorf("hello: unknown flags %#x", v)
 			}
 		}
@@ -107,6 +194,38 @@ func parseHello(payload []byte) (Header, error) {
 		return Header{}, fmt.Errorf("hello: %d trailing bytes", len(payload)-pos)
 	}
 	return h, nil
+}
+
+// bare strips the session-management fields, leaving only the parts of a
+// header that shape the checker — the equality a resume must preserve.
+func (h Header) bare() Header {
+	return Header{K: h.K, Params: h.Params, NoValues: h.NoValues}
+}
+
+// Ack frames carry the highest fully-checked position the server holds a
+// checkpoint for: everything before (symbol, byte offset) is durable, and
+// a client may discard its local copy of those bytes.
+func appendAck(dst []byte, sym int, off int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(sym))
+	return binary.AppendUvarint(dst, uint64(off))
+}
+
+func parseAck(payload []byte) (sym int, off int64, err error) {
+	s, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("ack: truncated symbol field")
+	}
+	o, m := binary.Uvarint(payload[n:])
+	if m <= 0 {
+		return 0, 0, fmt.Errorf("ack: truncated offset field")
+	}
+	if s > 1<<40 || o > 1<<60 {
+		return 0, 0, fmt.Errorf("ack: position out of range")
+	}
+	if n+m != len(payload) {
+		return 0, 0, fmt.Errorf("ack: %d trailing bytes", len(payload)-n-m)
+	}
+	return int(s), int64(o), nil
 }
 
 // VerdictCode classifies a session outcome.
@@ -179,13 +298,33 @@ func (v Verdict) String() string {
 	return s + ": " + v.Msg
 }
 
-// Err returns nil for an accept and an error describing the verdict
-// otherwise, for callers adjudicating runs through the service.
+// busyPrefix marks the server's clean capacity rejection; see Busy.
+const busyPrefix = "busy: "
+
+// Busy reports whether the verdict is the server's session-capacity
+// rejection — a clean, retryable condition (the connection stays usable;
+// back off and reopen the session) as opposed to a genuine protocol
+// error.
+func (v Verdict) Busy() bool {
+	return v.Code == VerdictProtocolError && strings.HasPrefix(v.Msg, busyPrefix)
+}
+
+// VerdictError wraps a non-accept verdict as an error, so callers
+// adjudicating through the service can distinguish a delivered verdict
+// (errors.As) from a transport failure that produced no verdict at all.
+type VerdictError struct {
+	Verdict Verdict
+}
+
+func (e *VerdictError) Error() string { return "scserve: " + e.Verdict.String() }
+
+// Err returns nil for an accept and a *VerdictError describing the
+// verdict otherwise, for callers adjudicating runs through the service.
 func (v Verdict) Err() error {
 	if v.Code == VerdictAccept {
 		return nil
 	}
-	return fmt.Errorf("scserve: %s", v)
+	return &VerdictError{Verdict: v}
 }
 
 // Verdict payloads encode Symbol and Offset shifted by one so that 0

@@ -1,0 +1,154 @@
+package scserve
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/faultnet"
+)
+
+// sampleFrames covers every frame type the protocol defines, with both
+// minimal and extended payload shapes.
+func sampleFrames(t *testing.T) map[string]struct {
+	typ     byte
+	payload []byte
+} {
+	t.Helper()
+	rej, _ := SyntheticReject(2)
+	resume := Header{K: 5, Token: "resume-token", Resume: true, AckSymbol: 128, AckOffset: 900}
+	return map[string]struct {
+		typ     byte
+		payload []byte
+	}{
+		"hello-legacy":    {frameHello, appendHello(nil, SyntheticHeader())},
+		"hello-token":     {frameHello, appendHello(nil, Header{K: 5, Token: "tok"})},
+		"hello-resume":    {frameHello, appendHello(nil, resume)},
+		"symbols":         {frameSymbols, descriptor.Marshal(rej)},
+		"symbols-empty":   {frameSymbols, nil},
+		"end":             {frameEnd, nil},
+		"stats-req":       {frameStatsReq, nil},
+		"verdict":         {frameVerdict, appendVerdict(nil, Verdict{Code: VerdictAccept, Symbol: -1, Offset: -1, Msg: "ok"})},
+		"verdict-witness": {frameVerdict, appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Constraint: 5, CycleLen: 4, Msg: "cycle"})},
+		"stats-reply":     {frameStatsReply, []byte(`{"sessions_total":7}`)},
+		"ack":             {frameAck, appendAck(nil, 4096, 123456)},
+	}
+}
+
+// frameBytes renders a frame to its wire bytes.
+func frameBytes(t *testing.T, typ byte, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeFrame(bw, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	return buf.Bytes()
+}
+
+// TestFrameParserEveryBoundary delivers every frame type split at every
+// byte boundary (two writes per split point) and asserts the parser
+// reassembles it byte-exactly.
+func TestFrameParserEveryBoundary(t *testing.T) {
+	for name, fr := range sampleFrames(t) {
+		t.Run(name, func(t *testing.T) {
+			wire := frameBytes(t, fr.typ, fr.payload)
+			for cut := 0; cut <= len(wire); cut++ {
+				server, client := net.Pipe()
+				go func() {
+					client.Write(wire[:cut])
+					time.Sleep(time.Millisecond)
+					client.Write(wire[cut:])
+					client.Close()
+				}()
+				server.SetReadDeadline(time.Now().Add(5 * time.Second))
+				typ, payload, err := readFrame(bufio.NewReader(server), 1<<20)
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				if typ != fr.typ || !bytes.Equal(payload, fr.payload) {
+					t.Fatalf("cut %d: frame (%#x, %d bytes) != original (%#x, %d bytes)",
+						cut, typ, len(payload), fr.typ, len(fr.payload))
+				}
+				server.Close()
+			}
+		})
+	}
+}
+
+// TestFrameParserThroughFaultnet streams every frame type back to back
+// through a faultnet link fragmenting at single-byte granularity on both
+// sides — the worst-case partial-write/short-read schedule — and asserts
+// the whole sequence survives intact and in order.
+func TestFrameParserThroughFaultnet(t *testing.T) {
+	frames := sampleFrames(t)
+	names := make([]string, 0, len(frames))
+	var wire []byte
+	for name, fr := range frames {
+		names = append(names, name)
+		wire = append(wire, frameBytes(t, fr.typ, fr.payload)...)
+	}
+
+	server, client := net.Pipe()
+	fc := faultnet.Wrap(client, faultnet.Config{Seed: 7, WriteChunk: 1}, nil)
+	fs := faultnet.Wrap(server, faultnet.Config{Seed: 11, ReadChunk: 1}, nil)
+	go func() {
+		fc.Write(wire)
+		fc.Close()
+	}()
+
+	server.SetReadDeadline(time.Now().Add(30 * time.Second))
+	br := bufio.NewReaderSize(fs, 8) // tiny buffer: force many short fills
+	for i := range names {
+		typ, payload, err := readFrame(br, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		matched := false
+		for name, fr := range frames {
+			if typ == fr.typ && bytes.Equal(payload, fr.payload) {
+				delete(frames, name)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("frame %d (type %#x, %d bytes) matches no remaining sample", i, typ, len(payload))
+		}
+	}
+	if _, _, err := readFrame(br, 1<<20); err != io.EOF {
+		t.Fatalf("trailing read: %v, want EOF", err)
+	}
+	if fc.Stats().PartialWrites.Load() == 0 || fs.Stats().ShortReads.Load() == 0 {
+		t.Fatal("fault injection did not fire")
+	}
+}
+
+// TestSessionThroughFaultnet runs a complete client session over a
+// fragmenting fault link against a real server connection handler: the
+// verdict must be exactly the clean-link verdict.
+func TestSessionThroughFaultnet(t *testing.T) {
+	stream, rejectIdx := SyntheticReject(40)
+	for _, seed := range []int64{1, 2, 3} {
+		server, client := net.Pipe()
+		srv := New(Config{ReadTimeout: 10 * time.Second})
+		srv.wg.Add(1)
+		go srv.handleConn(server)
+
+		fc := faultnet.Wrap(client, faultnet.Config{Seed: seed, WriteChunk: 3, ReadChunk: 2}, nil)
+		c := NewClient(fc, 10*time.Second)
+		v, err := c.Check(SyntheticHeader(), stream)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v.Code != VerdictReject || v.Symbol != rejectIdx {
+			t.Fatalf("seed %d: verdict %v, want reject at %d", seed, v, rejectIdx)
+		}
+		c.Close()
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"scverify/internal/descriptor"
+	"scverify/internal/faultnet"
 )
 
 // FuzzFrameParser feeds arbitrary bytes to the frame reader: no panics,
@@ -89,6 +91,98 @@ func FuzzHelloAndVerdictParsers(f *testing.F) {
 			if err2 != nil || back != v {
 				t.Fatalf("verdict round trip: %+v -> %+v (%v)", v, back, err2)
 			}
+		}
+	})
+}
+
+// FuzzResumeFrame fuzzes the fault-tolerance wire extensions: the ack
+// frame and the token/resume hello fields. Parsers must never panic, and
+// any payload they accept must round-trip exactly. Headers without
+// fault-tolerance fields must keep the legacy encoding prefix so old
+// servers and clients interoperate byte-identically.
+func FuzzResumeFrame(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add(appendAck(nil, 0, 0), appendHello(nil, SyntheticHeader()))
+	f.Add(appendAck(nil, 1024, 1<<20),
+		appendHello(nil, Header{K: 3, Token: "resume-token", Resume: true, AckSymbol: 77, AckOffset: 512}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, []byte{1, 3, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, ap, hp []byte) {
+		if sym, off, err := parseAck(ap); err == nil {
+			s2, o2, err2 := parseAck(appendAck(nil, sym, off))
+			if err2 != nil || s2 != sym || o2 != off {
+				t.Fatalf("ack round trip: (%d, %d) -> (%d, %d), %v", sym, off, s2, o2, err2)
+			}
+			if sym < 0 || off < 0 {
+				t.Fatalf("parseAck accepted negative position (%d, %d)", sym, off)
+			}
+		}
+		if h, err := parseHello(hp); err == nil {
+			back, err2 := parseHello(appendHello(nil, h))
+			if err2 != nil || back != h {
+				t.Fatalf("hello round trip: %+v -> %+v (%v)", h, back, err2)
+			}
+			if h.Token == "" && (h.Resume || h.AckSymbol != 0 || h.AckOffset != 0) {
+				t.Fatalf("parseHello accepted resume fields without a token: %+v", h)
+			}
+			bare := h
+			bare.Token, bare.Resume, bare.AckSymbol, bare.AckOffset = "", false, 0, 0
+			legacy := appendHello(nil, bare)
+			if with := appendHello(nil, h); !bytes.HasPrefix(with, legacy[:2]) {
+				t.Fatalf("token hello does not share the legacy prefix: % x vs % x", with, legacy)
+			}
+		}
+	})
+}
+
+// FuzzRetryClient runs the retrying client against a live server through
+// a fault link that cuts the first connections at a fuzzed byte count,
+// then goes clean. Whatever the cut points, the delivered verdict must be
+// exactly correct — faults may only delay the answer, never change it.
+func FuzzRetryClient(f *testing.F) {
+	srv := New(Config{ReadTimeout: 5 * time.Second, AckInterval: 32})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	go srv.Serve(ln)
+	f.Cleanup(func() { ln.Close() })
+	addr := ln.Addr().String()
+
+	f.Add(int64(1), uint16(40), uint8(30), uint8(1))
+	f.Add(int64(42), uint16(2000), uint8(200), uint8(2))
+	f.Add(int64(7), uint16(0), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, resetAfter uint16, size, faulty uint8) {
+		stream, rejectIdx := SyntheticReject(int(size)%200 + 2)
+		nFaulty := int64(faulty%3) // at most 2 faulty dials, then clean
+
+		var dials atomic.Int64
+		dial := func(addr string, timeout time.Duration) (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) <= nFaulty {
+				return faultnet.Wrap(conn, faultnet.Config{
+					Seed:            seed,
+					WriteChunk:      7,
+					ResetAfterBytes: int64(resetAfter) + 1,
+				}, nil), nil
+			}
+			return conn, nil
+		}
+		rc := NewRetryClient(addr, RetryConfig{
+			Timeout: 5 * time.Second, MaxAttempts: 8, BaseDelay: time.Millisecond,
+			Seed: seed, PollEvery: 1 << 10, Dial: dial,
+		})
+		defer rc.Close()
+		v, err := rc.Check(SyntheticHeader(), stream)
+		if err != nil {
+			t.Fatalf("faults must degrade to retries, not errors (seed=%d reset=%d faulty=%d): %v",
+				seed, resetAfter, nFaulty, err)
+		}
+		if v.Code != VerdictReject || v.Symbol != rejectIdx || v.Offset != offsetOf(stream, rejectIdx) {
+			t.Fatalf("wrong verdict through faults: %+v, want reject at symbol %d byte %d",
+				v, rejectIdx, offsetOf(stream, rejectIdx))
 		}
 	})
 }

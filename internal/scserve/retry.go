@@ -1,0 +1,426 @@
+package scserve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"time"
+
+	"scverify/internal/descriptor"
+)
+
+// RetryConfig tunes a RetryClient. The zero value gets sane defaults.
+type RetryConfig struct {
+	// Timeout is the per-operation deadline (dial, frame read, frame
+	// write). Default 10s.
+	Timeout time.Duration
+	// MaxAttempts bounds connection attempts per operation: each
+	// SendBytes/Finish/Stats call may redial up to this many times before
+	// giving up. Default 5.
+	MaxAttempts int
+	// BaseDelay and MaxDelay bound the exponential backoff between
+	// attempts: attempt i sleeps a jittered min(BaseDelay<<i, MaxDelay).
+	// Defaults 50ms and 2s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed makes the backoff jitter deterministic for tests; 0 seeds from
+	// the wall clock.
+	Seed int64
+	// MaxBuffer caps the local replay buffer of unacked stream bytes. A
+	// session whose unacked tail outgrows it fails cleanly (the
+	// degrade-to-error invariant) rather than buffering without bound.
+	// Default 16 MiB.
+	MaxBuffer int
+	// PollEvery is the number of streamed bytes between ack polls while
+	// sending; polls trim the replay buffer. Default 32 KiB.
+	PollEvery int
+	// Dial overrides the transport, e.g. to route through a faultnet
+	// link. Defaults to net.DialTimeout("tcp", addr, timeout).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.MaxBuffer <= 0 {
+		c.MaxBuffer = 16 << 20
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = 32 << 10
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return c
+}
+
+// RetryClient is the fault-tolerant client: it wraps the session protocol
+// in bounded-backoff reconnection and transparent session resumption, so
+// transient network faults cost retries, not verdicts. Each session gets
+// a random resume token; the client buffers the unacked tail of its
+// stream locally and, after a reconnect, replays only from the server's
+// last checkpoint. The guarantee mirrors the server's: a delivered
+// verdict is always the deterministic checker's verdict over the exact
+// stream sent — faults can surface as errors, never as wrong answers.
+//
+// Not goroutine-safe; open one RetryClient per concurrent stream.
+type RetryClient struct {
+	addr string
+	cfg  RetryConfig
+	rng  *mrand.Rand
+	c    *Client // current connection, nil between attempts
+}
+
+// NewRetryClient returns a client for the server at addr. No connection
+// is made until the first operation.
+func NewRetryClient(addr string, cfg RetryConfig) *RetryClient {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &RetryClient{addr: addr, cfg: cfg, rng: mrand.New(mrand.NewSource(seed))}
+}
+
+// Close drops the current connection, if any.
+func (rc *RetryClient) Close() error {
+	if rc.c == nil {
+		return nil
+	}
+	err := rc.c.Close()
+	rc.c = nil
+	return err
+}
+
+// dropConn discards a connection after a transport error.
+func (rc *RetryClient) dropConn() {
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt.
+func (rc *RetryClient) backoff(attempt int) {
+	d := rc.cfg.BaseDelay << attempt
+	if d <= 0 || d > rc.cfg.MaxDelay {
+		d = rc.cfg.MaxDelay
+	}
+	// Jitter uniformly over [d/2, d] so a fleet of clients kicked off by
+	// the same fault doesn't reconnect in lockstep.
+	d = d/2 + time.Duration(rc.rng.Int63n(int64(d/2)+1))
+	time.Sleep(d)
+}
+
+// connect ensures a live connection, dialing if needed.
+func (rc *RetryClient) connect() error {
+	if rc.c != nil {
+		return nil
+	}
+	conn, err := rc.cfg.Dial(rc.addr, rc.cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	rc.c = NewClient(conn, rc.cfg.Timeout)
+	return nil
+}
+
+// Stats fetches the server's counters, retrying transport failures.
+func (rc *RetryClient) Stats() (Stats, error) {
+	var lastErr error
+	for attempt := 0; attempt < rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.backoff(attempt - 1)
+		}
+		if err := rc.connect(); err != nil {
+			lastErr = err
+			continue
+		}
+		st, err := rc.c.Stats()
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		rc.dropConn()
+	}
+	return Stats{}, fmt.Errorf("scserve: stats failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// newToken draws the random resume token for a session.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("scserve: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Session opens a fault-tolerant session. h.Token may be left empty (a
+// random token is drawn); h.Resume must not be set — resumption is the
+// RetrySession's business.
+func (rc *RetryClient) Session(h Header) (*RetrySession, error) {
+	if h.Resume {
+		return nil, fmt.Errorf("scserve: RetryClient manages resumption itself; do not set Header.Resume")
+	}
+	if h.Token == "" {
+		h.Token = newToken()
+	}
+	return &RetrySession{rc: rc, hdr: h}, nil
+}
+
+// RetrySession is one logical checking session that survives connection
+// loss. It buffers the unacked tail of the stream and replays it into the
+// server's checkpoint after a reconnect.
+type RetrySession struct {
+	rc  *RetryClient
+	hdr Header
+
+	buf     []byte // unacked stream tail; buf[0] is at absolute offset base
+	base    int64  // byte offset of buf[0] = highest acked offset
+	baseSym int    // symbol index at base
+	total   int64  // total stream bytes accepted from the caller
+
+	sess   *Session // nil between connections
+	sent   int64    // absolute offset streamed on the current connection
+	unpoll int      // bytes sent since the last ack poll
+	done   bool
+}
+
+// Bytes returns the total stream bytes accepted so far.
+func (s *RetrySession) Bytes() int64 { return s.total }
+
+// Acked returns the highest server-acked byte offset: bytes before it
+// have been dropped from the replay buffer.
+func (s *RetrySession) Acked() int64 { return s.base }
+
+// Buffered returns the current replay-buffer size in bytes.
+func (s *RetrySession) Buffered() int { return len(s.buf) }
+
+// trim drops acked bytes from the replay buffer.
+func (s *RetrySession) trim() {
+	if s.sess == nil {
+		return
+	}
+	sym, off := s.sess.Acked()
+	if off > s.base && off <= s.base+int64(len(s.buf)) {
+		s.buf = s.buf[off-s.base:]
+		s.base, s.baseSym = off, sym
+	}
+}
+
+// ensure establishes a connection with an open session positioned at
+// s.sent. A fresh session (nothing acked yet) re-opens with a fresh
+// hello; otherwise it resumes from the server's checkpoint, which names
+// the offset to replay from.
+func (s *RetrySession) ensure() error {
+	if s.sess != nil {
+		return nil
+	}
+	if err := s.rc.connect(); err != nil {
+		return err
+	}
+	h := s.hdr
+	if s.base > 0 {
+		h.Resume = true
+		h.AckSymbol, h.AckOffset = s.baseSym, s.base
+	}
+	sess, err := s.rc.c.Session(h)
+	if err != nil {
+		s.rc.dropConn()
+		return err
+	}
+	s.sess = sess
+	if h.Resume {
+		if sess.early != nil {
+			// The server answered the resume with a verdict: either the
+			// session already completed (replayed verdict — deliver it)
+			// or the token is gone (clean error; Finish surfaces it).
+			s.sent = s.total
+			return nil
+		}
+		_, off := sess.Acked()
+		if off < s.base || off > s.base+int64(len(s.buf)) {
+			// The server's checkpoint is outside what we can replay;
+			// treat it as a failed attempt.
+			s.rc.dropConn()
+			s.sess = nil
+			return fmt.Errorf("scserve: resume ack at offset %d outside buffered range [%d, %d]",
+				off, s.base, s.base+int64(len(s.buf)))
+		}
+		s.trim()
+	}
+	s.sent = s.base
+	return nil
+}
+
+// push streams the replay buffer's unsent tail on the current
+// connection, polling for acks as it goes. Chunks are capped at the poll
+// cadence so acks are observed (and the buffer trimmed) while streaming,
+// not just at the end.
+func (s *RetrySession) push() error {
+	chunk := maxChunk
+	if s.rc.cfg.PollEvery < chunk {
+		chunk = s.rc.cfg.PollEvery
+	}
+	for s.sent < s.base+int64(len(s.buf)) {
+		if s.sess.early != nil {
+			// Early verdict (rejection or busy): the server is draining.
+			// Stop streaming; Finish delivers the verdict.
+			s.sent = s.total
+			return nil
+		}
+		tail := s.buf[s.sent-s.base:]
+		n := len(tail)
+		if n > chunk {
+			n = chunk
+		}
+		if err := s.sess.SendBytes(tail[:n]); err != nil {
+			return err
+		}
+		s.sent += int64(n)
+		s.unpoll += n
+		if s.unpoll >= s.rc.cfg.PollEvery {
+			s.unpoll = 0
+			if err := s.sess.Flush(); err != nil {
+				return err
+			}
+			if err := s.sess.Poll(); err != nil {
+				return err
+			}
+			s.trim()
+		}
+	}
+	return nil
+}
+
+// fail records a transport error on the current connection and decides
+// whether another attempt may proceed.
+func (s *RetrySession) fail() {
+	s.rc.dropConn()
+	s.sess = nil
+}
+
+// SendBytes appends raw descriptor wire bytes to the logical stream,
+// streaming them (and any unsent replay tail) with retries. The bytes
+// need not align with symbol boundaries.
+func (s *RetrySession) SendBytes(raw []byte) error {
+	if s.done {
+		return fmt.Errorf("scserve: send after Finish")
+	}
+	if len(s.buf)+len(raw) > s.rc.cfg.MaxBuffer {
+		// One flush+poll may reveal acks that shrink the buffer before we
+		// declare the session over budget.
+		if s.sess != nil {
+			if err := s.sess.Flush(); err == nil {
+				if err := s.sess.Poll(); err == nil {
+					s.trim()
+				}
+			}
+		}
+		if len(s.buf)+len(raw) > s.rc.cfg.MaxBuffer {
+			return fmt.Errorf("scserve: unacked stream tail exceeds replay buffer limit %d", s.rc.cfg.MaxBuffer)
+		}
+	}
+	s.buf = append(s.buf, raw...)
+	s.total += int64(len(raw))
+
+	var lastErr error
+	for attempt := 0; attempt < s.rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.rc.backoff(attempt - 1)
+		}
+		if err := s.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.push(); err != nil {
+			lastErr = err
+			s.fail()
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("scserve: send failed after %d attempts: %w", s.rc.cfg.MaxAttempts, lastErr)
+}
+
+// Send encodes and streams the given symbols.
+func (s *RetrySession) Send(syms ...descriptor.Symbol) error {
+	var scratch []byte
+	for _, sym := range syms {
+		scratch = descriptor.AppendBinary(scratch, sym)
+	}
+	return s.SendBytes(scratch)
+}
+
+// Finish concludes the logical session and returns the verdict, retrying
+// transport failures (resuming and replaying the unacked tail as needed)
+// and busy rejections (with backoff, restarting the session). Every
+// verdict returned was produced by the server's checker over exactly the
+// bytes this session streamed.
+func (s *RetrySession) Finish() (Verdict, error) {
+	if s.done {
+		return Verdict{}, fmt.Errorf("scserve: session already finished")
+	}
+	var lastErr error
+	for attempt := 0; attempt < s.rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.rc.backoff(attempt - 1)
+		}
+		if err := s.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.push(); err != nil {
+			lastErr = err
+			s.fail()
+			continue
+		}
+		v, err := s.sess.Finish()
+		if err != nil {
+			lastErr = err
+			s.fail()
+			continue
+		}
+		if v.Busy() {
+			// Clean capacity rejection: the session never ran. Back off
+			// and restart it (resuming if part of it was checkpointed
+			// before the connection was lost).
+			lastErr = v.Err()
+			s.sess = nil
+			s.sent = s.base
+			continue
+		}
+		s.done = true
+		s.sess = nil
+		return v, nil
+	}
+	s.done = true
+	return Verdict{}, fmt.Errorf("scserve: session failed after %d attempts: %w", s.rc.cfg.MaxAttempts, lastErr)
+}
+
+// Check is the one-shot convenience: it opens a fault-tolerant session
+// with h, streams the whole stream, and returns the verdict.
+func (rc *RetryClient) Check(h Header, stream descriptor.Stream) (Verdict, error) {
+	s, err := rc.Session(h)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if err := s.Send(stream...); err != nil {
+		return Verdict{}, err
+	}
+	return s.Finish()
+}

@@ -7,6 +7,15 @@
 // verdict per session; each session runs a dedicated checker.Checker in
 // its own goroutine behind a bounded byte queue, so a fast producer is
 // throttled by TCP backpressure rather than buffered without bound.
+//
+// Sessions that announce a resume token are additionally fault tolerant:
+// the server clones the checker at symbol boundaries (checker.Clone),
+// retains the newest clone under the token, and acks the checkpointed
+// position; a client that loses its connection reopens the session with
+// the token and replays only its unacked tail. The invariant throughout
+// is degrade-to-error, never wrong-verdict — a fault can cost a session
+// an error, but every verdict actually delivered is the deterministic
+// checker's verdict over the exact bytes the client streamed.
 package scserve
 
 import (
@@ -37,7 +46,8 @@ var errClientGone = errors.New("scserve: client connection lost")
 // Config tunes a Server. The zero value gets sane defaults from New.
 type Config struct {
 	// MaxSessions caps concurrently open sessions; further hellos receive
-	// a protocol-error verdict. Default 256.
+	// a clean busy verdict (Verdict.Busy) and the connection stays
+	// usable. Default 256.
 	MaxSessions int
 	// MaxFrame caps a frame payload in bytes. Default 1 MiB.
 	MaxFrame int
@@ -51,6 +61,22 @@ type Config struct {
 	// ReadTimeout bounds each frame read; it doubles as the idle timeout
 	// between sessions on a kept-alive connection. 0 disables.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds each server write (verdicts, acks, stats), so a
+	// client that stops reading cannot park a handler forever. Default 1m;
+	// negative disables.
+	WriteTimeout time.Duration
+	// AckInterval is the number of symbols between checkpoints on token
+	// sessions (checker clone + ack frame). Default 1024.
+	AckInterval int
+	// ResumeMaxSessions caps retained checkpoints (resume tokens); the
+	// least recently touched is evicted first. Default 1024.
+	ResumeMaxSessions int
+	// ResumeMaxBytes caps the accounted memory of retained checkpoints.
+	// Default 64 MiB.
+	ResumeMaxBytes int64
+	// ResumeTTL expires checkpoints untouched for this long. Default 15m;
+	// negative disables.
+	ResumeTTL time.Duration
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -68,6 +94,21 @@ func (c Config) withDefaults() Config {
 	if c.QueueBytes <= 0 {
 		c.QueueBytes = 64 << 10
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = time.Minute
+	}
+	if c.AckInterval <= 0 {
+		c.AckInterval = 1024
+	}
+	if c.ResumeMaxSessions <= 0 {
+		c.ResumeMaxSessions = 1024
+	}
+	if c.ResumeMaxBytes <= 0 {
+		c.ResumeMaxBytes = 64 << 20
+	}
+	if c.ResumeTTL == 0 {
+		c.ResumeTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -80,8 +121,14 @@ type Stats struct {
 	Accepts         int64   `json:"accepts"`
 	Rejects         int64   `json:"rejects"`
 	ProtocolErrors  int64   `json:"protocol_errors"`
+	Busy            int64   `json:"busy"`
 	SymbolsTotal    int64   `json:"symbols_total"`
 	QueueBytes      int64   `json:"queue_bytes"`
+	Checkpoints     int64   `json:"checkpoints"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	Resumes         int64   `json:"resumes"`
+	ResumeReplays   int64   `json:"resume_replays"`
+	ResumeMisses    int64   `json:"resume_misses"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	SessionsPerSec  float64 `json:"sessions_per_sec"`
 	SymbolsPerSec   float64 `json:"symbols_per_sec"`
@@ -89,16 +136,18 @@ type Stats struct {
 
 // String renders the operator-facing one-liner.
 func (st Stats) String() string {
-	return fmt.Sprintf("sessions %d (%d active, %d aborted), verdicts %d/%d/%d accept/reject/error, %d symbols, queue %dB, %.0f symbols/s",
+	return fmt.Sprintf("sessions %d (%d active, %d aborted), verdicts %d/%d/%d accept/reject/error, %d busy, %d symbols, queue %dB, %d checkpoints (%dB, %d resumes/%d replays/%d misses), %.0f symbols/s",
 		st.SessionsTotal, st.SessionsActive, st.SessionsAborted,
-		st.Accepts, st.Rejects, st.ProtocolErrors, st.SymbolsTotal, st.QueueBytes, st.SymbolsPerSec)
+		st.Accepts, st.Rejects, st.ProtocolErrors, st.Busy, st.SymbolsTotal, st.QueueBytes,
+		st.Checkpoints, st.CheckpointBytes, st.Resumes, st.ResumeReplays, st.ResumeMisses, st.SymbolsPerSec)
 }
 
 // Server is the concurrent SC-checking service. Construct with New, start
 // with Serve, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	start time.Time
+	cfg    Config
+	start  time.Time
+	resume *resumeStore
 
 	mu       sync.Mutex
 	lns      map[net.Listener]bool
@@ -113,17 +162,23 @@ type Server struct {
 	accepts         atomic.Int64
 	rejects         atomic.Int64
 	protoErrs       atomic.Int64
+	busy            atomic.Int64
 	symbolsTotal    atomic.Int64
 	queueBytes      atomic.Int64
+	resumes         atomic.Int64
+	resumeReplays   atomic.Int64
+	resumeMisses    atomic.Int64
 }
 
 // New returns a server with cfg (zero fields defaulted).
 func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:   cfg.withDefaults(),
-		start: time.Now(),
-		lns:   make(map[net.Listener]bool),
-		conns: make(map[net.Conn]bool),
+		cfg:    cfg,
+		start:  time.Now(),
+		resume: newResumeStore(cfg.ResumeMaxSessions, cfg.ResumeMaxBytes, cfg.ResumeTTL),
+		lns:    make(map[net.Listener]bool),
+		conns:  make(map[net.Conn]bool),
 	}
 }
 
@@ -135,6 +190,7 @@ func (s *Server) logf(format string, args ...any) {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
+	ckN, ckB := s.resume.snapshot()
 	st := Stats{
 		SessionsTotal:   s.sessionsTotal.Load(),
 		SessionsActive:  s.sessionsActive.Load(),
@@ -142,8 +198,14 @@ func (s *Server) Stats() Stats {
 		Accepts:         s.accepts.Load(),
 		Rejects:         s.rejects.Load(),
 		ProtocolErrors:  s.protoErrs.Load(),
+		Busy:            s.busy.Load(),
 		SymbolsTotal:    s.symbolsTotal.Load(),
 		QueueBytes:      s.queueBytes.Load(),
+		Checkpoints:     ckN,
+		CheckpointBytes: ckB,
+		Resumes:         s.resumes.Load(),
+		ResumeReplays:   s.resumeReplays.Load(),
+		ResumeMisses:    s.resumeMisses.Load(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 	}
 	if st.UptimeSeconds > 0 {
@@ -237,27 +299,55 @@ func (s *Server) readFrame(conn net.Conn, br *bufio.Reader) (byte, []byte, error
 	return readFrame(br, s.cfg.MaxFrame)
 }
 
-func (s *Server) sendVerdict(bw *bufio.Writer, v Verdict) error {
-	switch v.Code {
-	case VerdictAccept:
-		s.accepts.Add(1)
-	case VerdictReject:
-		s.rejects.Add(1)
-	default:
-		s.protoErrs.Add(1)
+// armWrite refreshes the per-write deadline so a client that stops
+// reading cannot park the handler forever.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}
+}
+
+// writeVerdict emits a verdict frame without touching the verdict
+// counters (used when replaying a stored verdict to a resumed client).
+func (s *Server) writeVerdict(conn net.Conn, bw *bufio.Writer, v Verdict) error {
+	s.armWrite(conn)
 	if err := writeFrame(bw, frameVerdict, appendVerdict(nil, v)); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-func (s *Server) sendStats(bw *bufio.Writer) error {
+// sendVerdict counts and emits a fresh verdict.
+func (s *Server) sendVerdict(conn net.Conn, bw *bufio.Writer, v Verdict) error {
+	switch {
+	case v.Code == VerdictAccept:
+		s.accepts.Add(1)
+	case v.Code == VerdictReject:
+		s.rejects.Add(1)
+	case v.Busy():
+		s.busy.Add(1)
+		s.protoErrs.Add(1)
+	default:
+		s.protoErrs.Add(1)
+	}
+	return s.writeVerdict(conn, bw, v)
+}
+
+func (s *Server) sendStats(conn net.Conn, bw *bufio.Writer) error {
 	payload, err := json.Marshal(s.Stats())
 	if err != nil {
 		return err
 	}
+	s.armWrite(conn)
 	if err := writeFrame(bw, frameStatsReply, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (s *Server) sendAck(conn net.Conn, bw *bufio.Writer, sym int, off int64) error {
+	s.armWrite(conn)
+	if err := writeFrame(bw, frameAck, appendAck(nil, sym, off)); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -289,56 +379,151 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		switch typ {
 		case frameStatsReq:
-			if err := s.sendStats(bw); err != nil {
+			if err := s.sendStats(conn, bw); err != nil {
 				return
 			}
 		case frameHello:
 			h, herr := parseHello(payload)
 			switch {
 			case herr != nil:
-				s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: herr.Error()})
+				s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: herr.Error()})
 				return
 			case h.K < 1 || h.K > s.cfg.MaxK:
-				s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+				s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 					Msg: fmt.Sprintf("hello: k=%d outside 1..%d", h.K, s.cfg.MaxK)})
 				return
 			case s.sessionsActive.Load() >= int64(s.cfg.MaxSessions):
-				s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
-					Msg: fmt.Sprintf("server at session capacity (%d)", s.cfg.MaxSessions)})
-				return
+				// Clean busy rejection: deliver the verdict, absorb the
+				// session's frames, and keep the connection usable so the
+				// client can back off and retry without redialing.
+				if err := s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+					Msg: fmt.Sprintf("%sserver at session capacity (%d)", busyPrefix, s.cfg.MaxSessions)}); err != nil {
+					return
+				}
+				if !s.drainSession(conn, br, bw) {
+					return
+				}
+				continue
 			}
-			if !s.runSession(conn, br, bw, h) {
+			var seed *resumeSeed
+			if h.Token != "" {
+				if h.Resume {
+					var rerr error
+					seed, rerr = s.resume.take(h.Token, h, func() { conn.Close() })
+					if rerr != nil {
+						s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+							Msg: rerr.Error()})
+						return
+					}
+					if seed == nil {
+						s.resumeMisses.Add(1)
+						s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+							Msg: "resume: unknown or expired session token"})
+						return
+					}
+				} else {
+					// A fresh hello reusing a token restarts that session
+					// from scratch; any prior checkpoint is discarded.
+					s.resume.drop(h.Token)
+				}
+			}
+			if !s.runSession(conn, br, bw, h, seed) {
 				return
 			}
 		default:
-			s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+			s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 				Msg: fmt.Sprintf("unexpected frame type %#x", typ)})
 			return
 		}
 	}
 }
 
+// drainSession absorbs a rejected session's frames through its end frame
+// (the verdict was already sent), keeping the connection in a known-good
+// state for the next session. It reports whether the connection survives.
+func (s *Server) drainSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) bool {
+	for {
+		typ, _, err := s.readFrame(conn, br)
+		if err != nil {
+			return false
+		}
+		switch typ {
+		case frameSymbols:
+			// discard
+		case frameEnd:
+			return !s.isDraining()
+		case frameStatsReq:
+			if err := s.sendStats(conn, bw); err != nil {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// ackPos is a checkpointed position published by the checker goroutine
+// for the conn loop to ack.
+type ackPos struct {
+	sym int
+	off int64
+}
+
 // runSession drives one session to its verdict. It reports whether the
 // connection is still in a known-good state for another session.
-func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h Header) bool {
+func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h Header, seed *resumeSeed) bool {
 	s.sessionsTotal.Add(1)
 	s.sessionsActive.Add(1)
 	defer s.sessionsActive.Add(-1)
 
-	pipe := newBPipe(s.cfg.QueueBytes, &s.queueBytes)
-	resc := make(chan Verdict, 1)
-	go s.checkLoop(h, pipe, resc)
-
-	sent := false    // verdict already delivered (early rejection)
+	sent := false    // verdict already delivered (early rejection / replay)
 	discard := false // checker gone; drop further symbol payloads
+	lastAck := int64(-1)
+	var prog atomic.Pointer[ackPos]
+	var pipe *bpipe
+	var resc chan Verdict
+
+	if seed != nil {
+		// Confirm the resume position first: the client skips its buffer
+		// to this offset and replays from there.
+		s.resumes.Add(1)
+		if err := s.sendAck(conn, bw, seed.sym, seed.off); err != nil {
+			s.sessionsAborted.Add(1)
+			return false
+		}
+		lastAck = seed.off
+	}
+	if seed != nil && seed.done != nil {
+		// The session already ran to a verdict; the client evidently lost
+		// it. The checker is deterministic, so the stored verdict IS the
+		// verdict of the replayed stream — resend it and absorb the tail.
+		s.resumeReplays.Add(1)
+		if err := s.writeVerdict(conn, bw, *seed.done); err != nil {
+			s.sessionsAborted.Add(1)
+			return false
+		}
+		sent, discard = true, true
+	} else {
+		pipe = newBPipe(s.cfg.QueueBytes, &s.queueBytes)
+		resc = make(chan Verdict, 1)
+		go s.checkLoop(h, seed, pipe, resc, &prog, func() { conn.Close() })
+	}
+
+	abort := func() {
+		if pipe != nil && !discard {
+			pipe.CloseWrite(errClientGone)
+			<-resc
+		}
+		s.sessionsAborted.Add(1)
+	}
+
 	for {
 		typ, payload, err := s.readFrame(conn, br)
 		if err != nil {
-			// Client vanished mid-session: release the checker and drop
-			// its verdict.
-			pipe.CloseWrite(errClientGone)
-			<-resc
-			s.sessionsAborted.Add(1)
+			// Client vanished mid-session: release the checker and drop its
+			// verdict. Token sessions keep their newest checkpoint in the
+			// resume store, so a reconnecting client picks up from there.
+			abort()
 			s.logf("scserve: %s: session aborted: %v", conn.RemoteAddr(), err)
 			return false
 		}
@@ -351,32 +536,48 @@ func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h
 				// The checker terminated early (rejection or undecodable
 				// input). Deliver the verdict now; keep draining frames
 				// until the client's end so the connection stays usable.
-				if err := s.sendVerdict(bw, <-resc); err != nil {
+				v := <-resc
+				s.resume.finish(h.Token, v, v.Symbol, v.Offset)
+				if err := s.sendVerdict(conn, bw, v); err != nil {
+					s.sessionsAborted.Add(1)
 					return false
 				}
 				sent, discard = true, true
 			}
 		case frameEnd:
-			pipe.CloseWrite(nil)
+			if pipe != nil && !discard {
+				pipe.CloseWrite(nil)
+			}
 			if !sent {
-				if err := s.sendVerdict(bw, <-resc); err != nil {
+				v := <-resc
+				discard = true
+				s.resume.finish(h.Token, v, v.Symbol, v.Offset)
+				if err := s.sendVerdict(conn, bw, v); err != nil {
+					s.sessionsAborted.Add(1)
 					return false
 				}
 			}
 			return !s.isDraining()
 		case frameStatsReq:
-			if err := s.sendStats(bw); err != nil {
-				pipe.CloseWrite(errClientGone)
-				<-resc
-				s.sessionsAborted.Add(1)
+			if err := s.sendStats(conn, bw); err != nil {
+				abort()
 				return false
 			}
 		default:
-			pipe.CloseWrite(errClientGone)
-			<-resc
-			s.sendVerdict(bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+			abort()
+			s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 				Msg: fmt.Sprintf("unexpected frame type %#x inside session", typ)})
 			return false
+		}
+		// Ack any checkpoint the checker published since the last frame.
+		if h.Token != "" && !discard {
+			if p := prog.Load(); p != nil && p.off > lastAck {
+				if err := s.sendAck(conn, bw, p.sym, p.off); err != nil {
+					abort()
+					return false
+				}
+				lastAck = p.off
+			}
 		}
 	}
 }
@@ -395,18 +596,29 @@ func rejectVerdict(symbol int, offset int64, prefix string, err error) Verdict {
 }
 
 // checkLoop is the session's dedicated checker goroutine: it decodes
-// symbols from the bounded pipe, steps a fresh checker, and delivers
-// exactly one verdict on resc. Witness mode is on so rejections carry
+// symbols from the bounded pipe, steps a checker — fresh, or a clone of
+// the session's checkpoint when resuming — and delivers exactly one
+// verdict on resc. On token sessions it clones the checker every
+// AckInterval symbols into the resume store and publishes the position on
+// prog for the conn loop to ack. Witness mode is on so rejections carry
 // their constraint classification and cycle length back to the client.
-func (s *Server) checkLoop(h Header, pipe *bpipe, resc chan<- Verdict) {
-	chk := checker.New(h.K).EnableWitness()
-	if h.Params.Procs > 0 {
-		chk.SetParams(h.Params)
+func (s *Server) checkLoop(h Header, seed *resumeSeed, pipe *bpipe, resc chan<- Verdict, prog *atomic.Pointer[ackPos], kick func()) {
+	var chk *checker.Checker
+	var dec *descriptor.Decoder
+	if seed != nil {
+		chk = seed.chk
+		dec = descriptor.NewDecoderAt(pipe, seed.off, seed.sym)
+	} else {
+		chk = checker.New(h.K).EnableWitness()
+		if h.Params.Procs > 0 {
+			chk.SetParams(h.Params)
+		}
+		if h.NoValues {
+			chk.DisableValueCheck()
+		}
+		dec = descriptor.NewDecoder(pipe)
 	}
-	if h.NoValues {
-		chk.DisableValueCheck()
-	}
-	dec := descriptor.NewDecoder(pipe)
+	nextCkpt := dec.Count() + s.cfg.AckInterval
 	for {
 		off := dec.Offset()
 		sym, err := dec.Next()
@@ -436,6 +648,12 @@ func (s *Server) checkLoop(h Header, pipe *bpipe, resc chan<- Verdict) {
 			resc <- rejectVerdict(dec.Count()-1, off, "", serr)
 			pipe.CloseRead(errSessionOver)
 			return
+		}
+		if h.Token != "" && dec.Count() >= nextCkpt {
+			nextCkpt = dec.Count() + s.cfg.AckInterval
+			if s.resume.put(h.Token, h, chk.Clone(), dec.Count(), dec.Offset(), kick) {
+				prog.Store(&ackPos{sym: dec.Count(), off: dec.Offset()})
+			}
 		}
 	}
 }

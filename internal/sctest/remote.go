@@ -15,23 +15,31 @@ import (
 // against an scserve service at addr instead of an in-process checker:
 // the observer still runs locally alongside the recorded run, but its
 // descriptor stream is shipped over a session and the service's verdict
-// decides the run. Each call dials its own connection, so the function is
-// safe for concurrent campaign workers.
-//
-// Rejections carry the service's positioned verdict; transport failures
-// are returned as errors prefixed "sctest: remote" so they are not
-// mistaken for genuine SC violations.
+// decides the run. It is RemoteCheckerRetry with a per-operation timeout
+// as the only tuning; sessions transparently survive connection loss via
+// the fault-tolerant RetryClient.
 func RemoteChecker(addr string, timeout time.Duration) func(*protocol.Run, registry.Target) error {
+	return RemoteCheckerRetry(addr, scserve.RetryConfig{Timeout: timeout})
+}
+
+// RemoteCheckerRetry is RemoteChecker with the full retry policy exposed:
+// cfg tunes backoff, attempt budget, replay buffering, and (via cfg.Dial)
+// the transport itself — which is how the chaos tests route sessions
+// through a fault-injected link. Each call opens its own RetryClient, so
+// the function is safe for concurrent campaign workers.
+//
+// Rejections carry the service's positioned verdict (as a
+// *scserve.VerdictError); transport failures that exhausted the retry
+// budget are returned as errors prefixed "sctest: remote" so they are not
+// mistaken for genuine SC violations.
+func RemoteCheckerRetry(addr string, cfg scserve.RetryConfig) func(*protocol.Run, registry.Target) error {
 	return func(run *protocol.Run, tgt registry.Target) error {
 		// Size the observer's ID pool the same way CheckRun does: the
 		// session header must announce the bandwidth bound k up front.
 		sizing := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, nil)
-		c, err := scserve.DialTimeout(addr, timeout)
-		if err != nil {
-			return fmt.Errorf("sctest: remote: %w", err)
-		}
-		defer c.Close()
-		sess, err := c.Session(scserve.Header{K: sizing.K(), Params: run.Protocol.Params()})
+		rc := scserve.NewRetryClient(addr, cfg)
+		defer rc.Close()
+		sess, err := rc.Session(scserve.Header{K: sizing.K(), Params: run.Protocol.Params()})
 		if err != nil {
 			return fmt.Errorf("sctest: remote: %w", err)
 		}
