@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race scvet lint witness fuzz-burst smoke-serve chaos soak bench-serve clean
+.PHONY: tier1 build vet test race scvet lint witness fuzz-burst smoke-serve smoke-grid chaos chaos-grid soak bench-serve bench-grid bench-all clean
 
-tier1: build vet race scvet lint witness smoke-serve chaos fuzz-burst
+tier1: build vet race scvet lint witness smoke-serve smoke-grid chaos fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ fuzz-burst:
 smoke-serve:
 	$(GO) test -race -run='TestServerConcurrentSessions|TestGracefulShutdown' -count=1 ./internal/scserve
 
+# smoke-grid: race-enabled smoke of the scgrid dispatch fabric — three
+# backends, a campaign of mixed sessions, one backend hard-killed
+# mid-campaign. Every delivered verdict must equal the local checker's.
+# Deterministic and <5s.
+smoke-grid:
+	$(GO) test -race -run='TestGridSmokeKillBackend' -count=1 ./internal/scgrid
+
 # chaos: the fault-tolerance acceptance test — the full protocol registry
 # adjudicated through a fault-injected link (fragmented writes, short
 # reads, latency spikes, forced connection cuts every ~20 KiB). Every
@@ -63,6 +70,13 @@ smoke-serve:
 # and ~10s.
 chaos:
 	$(GO) test -run='TestChaosSoakRegistry' -count=1 ./internal/sctest
+
+# chaos-grid: the multi-backend version of chaos — the registry campaign
+# sharded across three fault-injected backends, one hard-killed and later
+# restarted mid-campaign. Asserts resumes, ejections, AND failovers
+# occurred, with zero wrong verdicts.
+chaos-grid:
+	$(GO) test -run='TestGridChaosSoakRegistry' -count=1 ./internal/sctest
 
 # soak: the long randomized version of chaos (SOAK sets the duration).
 SOAK ?= 2m
@@ -80,6 +94,16 @@ bench-serve:
 	$(GO) run ./cmd/scserve -bench -bench-sessions=$(BENCH_SESSIONS) \
 		-bench-workers=$(BENCH_WORKERS) -bench-symbols=$(BENCH_SYMBOLS) \
 		-bench-out=BENCH_scserve.json
+
+# bench-grid: aggregate sessions/s through the scgrid fabric at 1, 2 and
+# 4 backends over a simulated-latency loopback link, written to
+# BENCH_scgrid.json. Exits non-zero if 4 backends fail to reach 2x the
+# single-backend throughput.
+bench-grid:
+	$(GO) run ./cmd/scgrid -bench -bench-out=BENCH_scgrid.json
+
+# bench-all: regenerate every committed BENCH_*.json artifact.
+bench-all: bench-serve bench-grid
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/scserve"
+	"scverify/internal/trace"
+)
+
+// startServer runs an scserve backend for the exit-code tests.
+func startServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := scserve.New(scserve.Config{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// deadAddr returns an address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestExitCodes pins the documented contract for both remote modes:
+// 0 = the checker accepted, 1 = the checker rejected, 2 = the check did
+// not happen (transport failure) — never conflated.
+func TestExitCodes(t *testing.T) {
+	addr := startServer(t)
+	params := trace.Params{Procs: 1, Blocks: 1, Values: 2}
+	acceptWire := descriptor.Marshal(scserve.SyntheticAccept(64))
+	rejectStream, _ := scserve.SyntheticReject(32)
+	rejectWire := descriptor.Marshal(rejectStream)
+
+	modes := []struct {
+		name string
+		run  func(wire []byte, target string) int
+	}{
+		{"server", func(wire []byte, target string) int {
+			return remoteMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2)
+		}},
+		{"grid", func(wire []byte, target string) int {
+			return gridMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2)
+		}},
+	}
+	for _, m := range modes {
+		if got := m.run(acceptWire, addr); got != 0 {
+			t.Errorf("%s: accepting stream: exit %d, want 0", m.name, got)
+		}
+		if got := m.run(rejectWire, addr); got != 1 {
+			t.Errorf("%s: rejecting stream: exit %d, want 1", m.name, got)
+		}
+		if got := m.run(acceptWire, deadAddr(t)); got != 2 {
+			t.Errorf("%s: dead backend: exit %d, want 2 (transport, not a verdict)", m.name, got)
+		}
+	}
+}

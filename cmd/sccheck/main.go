@@ -15,12 +15,18 @@
 //	sccheck -k 12 -in run.desc -text             # also print each symbol
 //	sccheck -k 12 -in run.desc -explain          # minimized witness on rejection
 //	sccheck -k 12 -in run.desc -server host:7541 # adjudicate via scserve
+//	sccheck -k 12 -in run.desc -grid h1:7541,h2:7541 # adjudicate via a backend pool
 //
 // With -server, the stream is adjudicated by a remote scserve service
 // through the fault-tolerant RetryClient: the session survives connection
 // loss by resuming from the server's last checkpoint and replaying only
 // the unacked tail. -server-timeout bounds each network operation and
 // -server-retries the connection attempts per operation.
+//
+// With -grid, the stream is dispatched through the scgrid fabric over a
+// comma-separated pool of scserve backends: a backend blip resumes the
+// session from its checkpoint, a backend death fails it over to a live
+// backend (replaying the stream), and a saturated pool answers busy.
 //
 // With -explain, a rejection is explained rather than merely located: the
 // stream is shrunk to a 1-minimal rejecting core (delta debugging), the
@@ -37,7 +43,10 @@
 //	sccheck lint -all                            # lint every registered one
 //	sccheck lint -all -p 2 -b 2 -v 2 -states 20000
 //
-// Exit status: 0 accepted/clean, 1 rejected/findings, 2 usage/IO error.
+// Exit status: 0 accepted/clean, 1 rejected/findings, 2 usage, IO, or
+// transport error (including busy — anything that is not a checker
+// verdict). Exit 1 always means the checker itself rejected; exit 2
+// means the check did not happen.
 package main
 
 import (
@@ -47,12 +56,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"scverify/internal/checker"
 	"scverify/internal/descriptor"
 	"scverify/internal/gammalint"
 	"scverify/internal/registry"
+	"scverify/internal/scgrid"
 	"scverify/internal/scserve"
 	"scverify/internal/trace"
 	"scverify/internal/witness"
@@ -71,7 +82,8 @@ func main() {
 		blocks  = flag.Int("b", 0, "optional: blocks")
 		values  = flag.Int("v", 0, "optional: values")
 		server  = flag.String("server", "", "scserve address; adjudicate the stream remotely")
-		srvTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server mode")
+		grid    = flag.String("grid", "", "comma-separated scserve backends; adjudicate through the scgrid dispatcher")
+		srvTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server/-grid mode")
 		retries = flag.Int("server-retries", 5, "connection attempts per remote operation before giving up")
 	)
 	flag.Parse()
@@ -97,10 +109,17 @@ func main() {
 		params = trace.Params{Procs: *procs, Blocks: *blocks, Values: *values}
 	}
 
-	if *server != "" {
+	if *server != "" || *grid != "" {
 		if *text || *explain {
-			fmt.Fprintln(os.Stderr, "sccheck: -text and -explain are local-only; not available with -server")
+			fmt.Fprintln(os.Stderr, "sccheck: -text and -explain are local-only; not available with -server/-grid")
 			os.Exit(2)
+		}
+		if *server != "" && *grid != "" {
+			fmt.Fprintln(os.Stderr, "sccheck: -server and -grid are mutually exclusive")
+			os.Exit(2)
+		}
+		if *grid != "" {
+			os.Exit(gridMain(r, *grid, *k, params, *srvTO, *retries))
 		}
 		os.Exit(remoteMain(r, *server, *k, params, *srvTO, *retries))
 	}
@@ -194,6 +213,60 @@ func remoteMain(r io.Reader, addr string, k int, params trace.Params, timeout ti
 		fmt.Fprintf(os.Stderr, "sccheck: remote: %v\n", err)
 		return 2
 	}
+	return reportVerdict(v)
+}
+
+// gridMain streams the raw descriptor wire bytes through the scgrid
+// dispatcher over a pool of scserve backends: the session is tokened, so
+// a backend blip resumes from its checkpoint, a backend death fails over
+// to a live backend with a full replay, and a saturated pool answers
+// busy (exit 2) rather than hanging.
+func gridMain(r io.Reader, backends string, k int, params trace.Params, timeout time.Duration, retries int) int {
+	g, err := scgrid.New(strings.Split(backends, ","), scgrid.Config{
+		Timeout:     timeout,
+		MaxAttempts: retries,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccheck: grid: %v\n", err)
+		return 2
+	}
+	defer g.Close()
+	sess, err := g.Session(scserve.Header{K: k, Params: params, Token: scserve.NewToken()})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccheck: grid: %v\n", err)
+		return 2
+	}
+	defer sess.Close()
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if err := sess.SendBytes(buf[:n]); err != nil {
+				fmt.Fprintf(os.Stderr, "sccheck: grid: %v\n", err)
+				return 2
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "sccheck: read: %v\n", rerr)
+			return 2
+		}
+	}
+	v, err := sess.Finish()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccheck: grid: %v\n", err)
+		return 2
+	}
+	return reportVerdict(v)
+}
+
+// reportVerdict maps a service verdict onto sccheck's exit-code contract:
+// 0 accepted, 1 rejected, 2 anything that is not a checker verdict (busy,
+// protocol error) — so scripts can trust that exit 1 means an SC
+// violation and exit 2 means the check itself did not happen.
+func reportVerdict(v scserve.Verdict) int {
 	switch v.Code {
 	case scserve.VerdictAccept:
 		fmt.Printf("accepted: %s\n", v.Msg)

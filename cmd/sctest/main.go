@@ -15,15 +15,24 @@
 //
 //	scserve -addr :7541 &
 //	sctest -protocol msi -server 127.0.0.1:7541 -runs 1000
+//
+// With -grid, the campaign is sharded across a pool of scserve backends
+// through the scgrid dispatcher — each run becomes a tokened grid session
+// placed on a healthy backend, and the per-backend counters printed after
+// the campaign show the sharding:
+//
+//	sctest -protocol msi -grid h1:7541,h2:7541,h3:7541 -workers 8 -runs 1000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"scverify/internal/registry"
+	"scverify/internal/scgrid"
 	"scverify/internal/scserve"
 	"scverify/internal/sctest"
 	"scverify/internal/trace"
@@ -44,7 +53,8 @@ func main() {
 		limit   = flag.Int("exactlimit", 14, "maximum trace length for the exact cross-check")
 		workers = flag.Int("workers", 1, "parallel campaign workers")
 		server  = flag.String("server", "", "scserve address; adjudicate runs remotely instead of in-process")
-		rpcTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server mode")
+		grid    = flag.String("grid", "", "comma-separated scserve backends; shard the campaign across the pool")
+		rpcTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server/-grid mode")
 		retries = flag.Int("server-retries", 5, "connection attempts per remote operation before giving up")
 	)
 	flag.Parse()
@@ -61,6 +71,11 @@ func main() {
 		Exact: *exact, ExactLimit: *limit, Workers: *workers,
 	}
 	how := "in-process checker"
+	var g *scgrid.Grid
+	if *server != "" && *grid != "" {
+		fmt.Fprintln(os.Stderr, "sctest: -server and -grid are mutually exclusive")
+		os.Exit(2)
+	}
 	if *server != "" {
 		cfg.Check = sctest.RemoteCheckerRetry(*server, scserve.RetryConfig{
 			Timeout:     *rpcTO,
@@ -68,10 +83,29 @@ func main() {
 		})
 		how = "scserve at " + *server
 	}
+	if *grid != "" {
+		g, err = scgrid.New(strings.Split(*grid, ","), scgrid.Config{
+			Timeout:     *rpcTO,
+			MaxAttempts: *retries,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sctest: grid: %v\n", err)
+			os.Exit(2)
+		}
+		defer g.Close()
+		cfg.Check = sctest.GridChecker(g)
+		how = fmt.Sprintf("scgrid over %d backends", len(g.Stats().Backends))
+	}
 	fmt.Printf("testing %s (%s) at %s: %d runs × %d steps, adjudicated by %s\n",
 		tgt.Protocol.Name(), tgt.Note, params, *runs, *steps, how)
 	res := sctest.Campaign(tgt, cfg)
 	fmt.Println(res)
+	if g != nil {
+		// Show how the campaign sharded: per-backend session counters.
+		for _, bs := range g.Stats().Backends {
+			fmt.Printf("  %s\n", bs)
+		}
+	}
 
 	if res.SoundnessBreaks > 0 {
 		fmt.Println("FATAL: a run was accepted whose trace is not SC — method soundness bug")

@@ -1,0 +1,85 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialContextCancelMidSpike: a dial that hits an injected latency
+// spike must return promptly with the context's error when the context is
+// cancelled mid-spike, not sleep the spike out.
+func TestDialContextCancelMidSpike(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	d := NewDialer(Config{
+		Seed:        7,
+		LatencyProb: 1,
+		Latency:     30 * time.Second, // the spike dwarfs the test budget
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	conn, err := d.DialContext(ctx, "tcp", ln.Addr().String())
+	if conn != nil {
+		conn.Close()
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dial through a spike: err = %v, want context.DeadlineExceeded", err)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("cancellation took %v — the spike was slept out instead of cancelled", e)
+	}
+	if d.Stats().Latencies.Load() == 0 {
+		t.Fatal("the latency fault never fired — the test proved nothing")
+	}
+}
+
+// TestDialContextClean: with no faults configured, DialContext is a plain
+// dial returning a usable wrapped connection.
+func TestDialContextClean(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("ok"))
+		c.Close()
+	}()
+
+	d := NewDialer(Config{Seed: 1})
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 2)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := conn.Read(buf); err != nil || string(buf[:n]) != "ok" {
+		t.Fatalf("read through dialed conn: %q, %v", buf[:n], err)
+	}
+	<-done
+}

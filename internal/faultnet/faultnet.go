@@ -12,6 +12,7 @@
 package faultnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -263,6 +264,61 @@ func (d *Dialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 		return nil, err
 	}
 	return d.wrap(conn), nil
+}
+
+// DialContext connects to addr and wraps the connection, injecting the
+// dialer's latency and stall faults into the dial itself as
+// context-cancellable sleeps: a health probe dialing through a faulty
+// link observes the latency spike but its deadline still fires through
+// it. The signature matches net.Dialer.DialContext (and, partially
+// applied, scgrid.Config.Dial); a dial-time reset fault surfaces as a
+// refused connection.
+func (d *Dialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	d.mu.Lock()
+	d.seed++
+	rng := rand.New(rand.NewSource(d.seed))
+	cfg := d.cfg
+	d.mu.Unlock()
+
+	if cfg.LatencyProb > 0 && rng.Float64() < cfg.LatencyProb && cfg.Latency > 0 {
+		d.stats.Latencies.Add(1)
+		if err := sleepCtx(ctx, time.Duration(rng.Int63n(int64(cfg.Latency)+1))); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.StallProb > 0 && rng.Float64() < cfg.StallProb && cfg.Stall > 0 {
+		d.stats.Stalls.Add(1)
+		if err := sleepCtx(ctx, cfg.Stall); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ResetProb > 0 && rng.Float64() < cfg.ResetProb {
+		d.stats.Resets.Add(1)
+		return nil, fmt.Errorf("faultnet: dial %s: %w", addr, errReset)
+	}
+	var nd net.Dialer
+	conn, err := nd.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return d.wrap(conn), nil
+}
+
+// sleepCtx sleeps d or returns ctx.Err() as soon as ctx is done — the
+// cancellable half of the fault clock, so a bounded probe is not held
+// hostage by an injected spike.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // wrap applies the next fault schedule in the dialer's sequence.

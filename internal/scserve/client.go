@@ -168,6 +168,19 @@ func (s *Session) Symbols() int { return s.symbols }
 // Bytes returns the number of stream bytes sent so far.
 func (s *Session) Bytes() int64 { return s.bytes }
 
+// Early returns the verdict the server delivered before Finish — an
+// early rejection, a busy verdict, or a resume handshake answered by a
+// stored verdict — and ok when one has arrived. Like Acked, it only
+// advances as Poll, Finish, or the resume handshake read frames. Callers
+// that see an early verdict should stop streaming and call Finish, which
+// returns it.
+func (s *Session) Early() (v Verdict, ok bool) {
+	if s.early == nil {
+		return Verdict{}, false
+	}
+	return *s.early, true
+}
+
 // Acked returns the highest checkpoint position the server has acked on
 // this session: everything before byte offset off is durable server-side
 // and need not be replayed after a reconnect. Before any ack it returns

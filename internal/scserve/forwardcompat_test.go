@@ -1,0 +1,111 @@
+package scserve
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the wire format's forward-compatibility contract, which
+// the grid fabric leans on: a frame carrying flag bits this version does
+// not know is a *clean, named* parse error — never a panic, and never a
+// silent misparse that would let a proxy or client misread a future
+// peer's payload as something it isn't.
+
+// helloWithFlags builds a minimal hello payload with an arbitrary flags
+// field (bypassing appendHello, which can only emit known flags). The
+// flags field is a uvarint on the wire, so high bits must be encoded,
+// not written raw.
+func helloWithFlags(flags uint64, rest ...byte) []byte {
+	p := []byte{protocolVersion, SyntheticK, 1, 1, 2}
+	p = binary.AppendUvarint(p, flags)
+	return append(p, rest...)
+}
+
+func TestHelloUnknownFlagBitsRejected(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"bit3", helloWithFlags(1 << 3)},
+		{"bit7", helloWithFlags(1 << 7)},
+		{"known+unknown", helloWithFlags(helloFlagNoValues | 1<<4)},
+		// The unknown bit must be rejected even when it rides alongside a
+		// well-formed token — not swallowed by the token parse.
+		{"token+unknown", helloWithFlags(helloFlagToken|1<<5, 2, 'a', 'b')},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseHello(tc.payload)
+			if err == nil {
+				t.Fatal("unknown flag bits parsed without error")
+			}
+			if !strings.Contains(err.Error(), "unknown flags") {
+				t.Fatalf("error %q does not name the unknown flags", err)
+			}
+		})
+	}
+	// And the known bits alone still parse.
+	if _, err := parseHello(helloWithFlags(helloFlagNoValues)); err != nil {
+		t.Fatalf("known flags rejected: %v", err)
+	}
+}
+
+func TestVerdictUnknownFlagBitsRejected(t *testing.T) {
+	// A verdict code carrying a flag bit above the witness extension must
+	// be refused as unknown, not stripped or misread.
+	for _, code := range []byte{
+		byte(VerdictAccept) | 0x10,
+		byte(VerdictReject) | 0x20,
+		byte(VerdictReject) | verdictFlagWitness | 0x10,
+	} {
+		payload := append([]byte{code, 0, 0}, "msg"...)
+		if _, err := parseVerdict(payload); err == nil {
+			t.Fatalf("verdict code %#x with unknown flag bits parsed without error", code)
+		} else if !strings.Contains(err.Error(), "unknown code") {
+			t.Fatalf("code %#x: error %q does not name the unknown code", code, err)
+		}
+	}
+	// The witness flag itself still round-trips.
+	v := Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Constraint: 2, CycleLen: 4, Msg: "cycle"}
+	got, err := parseVerdict(appendVerdict(nil, v))
+	if err != nil || got != v {
+		t.Fatalf("witness verdict round trip: %+v, %v", got, err)
+	}
+}
+
+// TestServerAnswersUnknownHelloFlags: a live server receiving a hello
+// from the future answers with a positioned protocol-error verdict and
+// closes — the degrade path a mixed-version grid deployment takes.
+func TestServerAnswersUnknownHelloFlags(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := helloWithFlags(1 << 6)
+	frame := append([]byte{frameHello, byte(len(payload))}, payload...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil || n < 2 {
+		t.Fatalf("no answer to a future hello: n=%d err=%v", n, err)
+	}
+	if buf[0] != frameVerdict {
+		t.Fatalf("answer frame type %#x, want verdict", buf[0])
+	}
+	v, err := parseVerdict(buf[2 : 2+int(buf[1])])
+	if err != nil {
+		t.Fatalf("answer verdict unparsable: %v", err)
+	}
+	if v.Code != VerdictProtocolError || !strings.Contains(v.Msg, "unknown flags") {
+		t.Fatalf("answer %s, want protocol-error naming the unknown flags", v)
+	}
+}

@@ -301,12 +301,35 @@ func (v Verdict) String() string {
 // busyPrefix marks the server's clean capacity rejection; see Busy.
 const busyPrefix = "busy: "
 
+// resumeMissPrefix marks the server's answer to a resume whose token is
+// unknown or expired; see ResumeMiss.
+const resumeMissPrefix = "resume: "
+
 // Busy reports whether the verdict is the server's session-capacity
 // rejection — a clean, retryable condition (the connection stays usable;
 // back off and reopen the session) as opposed to a genuine protocol
 // error.
 func (v Verdict) Busy() bool {
 	return v.Code == VerdictProtocolError && strings.HasPrefix(v.Msg, busyPrefix)
+}
+
+// BusyVerdict builds the clean capacity-rejection verdict (Verdict.Busy
+// reports true for it). The server uses it when at session capacity; the
+// scgrid admission layer sheds over-deadline sessions with the same
+// verdict so clients see one retryable vocabulary either way.
+func BusyVerdict(msg string) Verdict {
+	return Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: busyPrefix + msg}
+}
+
+// ResumeMiss reports whether the verdict is the server declining a resume
+// because the token is unknown, expired, or evicted. Unlike other
+// protocol errors this one is recoverable without operator attention: the
+// client still holds the full stream (or can regenerate it), so the right
+// response is a fresh session replaying from byte zero — which is exactly
+// what the scgrid fabric does when a backend restarts and loses its
+// checkpoint store.
+func (v Verdict) ResumeMiss() bool {
+	return v.Code == VerdictProtocolError && strings.HasPrefix(v.Msg, resumeMissPrefix)
 }
 
 // VerdictError wraps a non-accept verdict as an error, so callers

@@ -11,6 +11,7 @@ import (
 
 	"scverify/internal/descriptor"
 	"scverify/internal/faultnet"
+	"scverify/internal/trace"
 )
 
 // FuzzFrameParser feeds arbitrary bytes to the frame reader: no panics,
@@ -79,6 +80,15 @@ func FuzzHelloAndVerdictParsers(f *testing.F) {
 	f.Add([]byte{}, []byte{})
 	f.Add(appendHello(nil, SyntheticHeader()), appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Msg: "x"}))
 	f.Add([]byte{}, appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Constraint: 1, CycleLen: 2, Msg: "cycle"}))
+	// Grid-relevant seeds: the payload shapes the scgrid proxy relays and
+	// the pool's probes parse — tokened and resuming hellos, the busy and
+	// resume-miss verdict vocabularies, and unknown future flag bits on
+	// both frames (which must fail cleanly, never misparse).
+	f.Add(appendHello(nil, Header{K: 3, Params: trace.Params{Procs: 1, Blocks: 1, Values: 2}, Token: NewToken()}),
+		appendVerdict(nil, BusyVerdict("server at session capacity (256)")))
+	f.Add(appendHello(nil, Header{K: 3, Token: "t", Resume: true, AckSymbol: 64, AckOffset: 4096}),
+		appendVerdict(nil, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: resumeMissPrefix + "unknown or expired session token"}))
+	f.Add([]byte{protocolVersion, 3, 1, 1, 2, 1 << 6}, []byte{0x10 | byte(VerdictAccept), 0, 0})
 	f.Fuzz(func(t *testing.T, hp, vp []byte) {
 		if h, err := parseHello(hp); err == nil {
 			back, err2 := parseHello(appendHello(nil, h))
@@ -206,6 +216,35 @@ func FuzzServerConn(f *testing.F) {
 	f.Add([]byte{frameHello, 0x00, frameEnd, 0x00})
 	f.Add([]byte{frameStatsReq, 0x00})
 	f.Add([]byte{0xff, 0xff, 0xff})
+	// Grid-relevant seeds: a tokened session (the ack/checkpoint path a
+	// grid session drives), a resume hello against an empty checkpoint
+	// store (the resume-miss answer scgrid recovers from), and a hello
+	// from the future carrying unknown flag bits.
+	tokened := func(stream descriptor.Stream) []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		h := SyntheticHeader()
+		h.Token = "fuzz-token"
+		writeFrame(bw, frameHello, appendHello(nil, h))
+		writeFrame(bw, frameSymbols, descriptor.Marshal(stream))
+		writeFrame(bw, frameEnd, nil)
+		bw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(tokened(SyntheticAccept(9)))
+	resuming := func() []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		h := SyntheticHeader()
+		h.Token, h.Resume, h.AckSymbol, h.AckOffset = "fuzz-token", true, 4, 64
+		writeFrame(bw, frameHello, appendHello(nil, h))
+		writeFrame(bw, frameEnd, nil)
+		bw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(resuming())
+	futureHello := append([]byte{frameHello, 6}, protocolVersion, SyntheticK, 1, 1, 2, 1<<5)
+	f.Add(append(futureHello, frameEnd, 0x00))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := New(Config{MaxFrame: 1 << 16, MaxK: 64, QueueBytes: 512, ReadTimeout: 2 * time.Second})

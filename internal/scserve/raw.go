@@ -1,0 +1,60 @@
+package scserve
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// This file is the raw wire surface the scgrid fabric builds on: the grid
+// proxy relays scserve frames between clients and backends without owning
+// either end of a session, so it needs frame-level I/O and hello parsing
+// that the in-package Client and Server keep private. Everything here is
+// a thin exported veneer over frame.go; the framing rules themselves are
+// documented there.
+
+// Exported frame type codes, for code that relays or inspects frames
+// (the scgrid proxy) rather than speaking sessions through Client.
+const (
+	FrameHello      = frameHello
+	FrameSymbols    = frameSymbols
+	FrameEnd        = frameEnd
+	FrameStatsReq   = frameStatsReq
+	FrameVerdict    = frameVerdict
+	FrameStatsReply = frameStatsReply
+	FrameAck        = frameAck
+)
+
+// ReadRawFrame reads one frame from br, enforcing maxPayload. A clean EOF
+// before the type byte is io.EOF; an EOF inside a frame is
+// io.ErrUnexpectedEOF.
+func ReadRawFrame(br *bufio.Reader, maxPayload int) (typ byte, payload []byte, err error) {
+	return readFrame(br, maxPayload)
+}
+
+// WriteRawFrame writes one frame to bw. The caller flushes.
+func WriteRawFrame(bw *bufio.Writer, typ byte, payload []byte) error {
+	return writeFrame(bw, typ, payload)
+}
+
+// ParseHello decodes a hello frame payload.
+func ParseHello(payload []byte) (Header, error) { return parseHello(payload) }
+
+// AppendHello appends h's hello payload encoding to dst.
+func AppendHello(dst []byte, h Header) []byte { return appendHello(dst, h) }
+
+// AppendVerdict appends v's verdict payload encoding to dst.
+func AppendVerdict(dst []byte, v Verdict) []byte { return appendVerdict(dst, v) }
+
+// ParseVerdict decodes a verdict frame payload.
+func ParseVerdict(payload []byte) (Verdict, error) { return parseVerdict(payload) }
+
+// NewToken draws a random 16-byte hex resume token, the form RetryClient
+// and the scgrid fabric use to name resumable sessions.
+func NewToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("scserve: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,8 +1,6 @@
 package scserve
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"fmt"
 	mrand "math/rand"
 	"net"
@@ -160,15 +158,6 @@ func (rc *RetryClient) Stats() (Stats, error) {
 	return Stats{}, fmt.Errorf("scserve: stats failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 
-// newToken draws the random resume token for a session.
-func newToken() string {
-	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic("scserve: crypto/rand unavailable: " + err.Error())
-	}
-	return hex.EncodeToString(b[:])
-}
-
 // Session opens a fault-tolerant session. h.Token may be left empty (a
 // random token is drawn); h.Resume must not be set — resumption is the
 // RetrySession's business.
@@ -177,7 +166,7 @@ func (rc *RetryClient) Session(h Header) (*RetrySession, error) {
 		return nil, fmt.Errorf("scserve: RetryClient manages resumption itself; do not set Header.Resume")
 	}
 	if h.Token == "" {
-		h.Token = newToken()
+		h.Token = NewToken()
 	}
 	return &RetrySession{rc: rc, hdr: h}, nil
 }

@@ -396,8 +396,8 @@ func (s *Server) handleConn(conn net.Conn) {
 				// Clean busy rejection: deliver the verdict, absorb the
 				// session's frames, and keep the connection usable so the
 				// client can back off and retry without redialing.
-				if err := s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
-					Msg: fmt.Sprintf("%sserver at session capacity (%d)", busyPrefix, s.cfg.MaxSessions)}); err != nil {
+				if err := s.sendVerdict(conn, bw,
+					BusyVerdict(fmt.Sprintf("server at session capacity (%d)", s.cfg.MaxSessions))); err != nil {
 					return
 				}
 				if !s.drainSession(conn, br, bw) {
@@ -418,7 +418,7 @@ func (s *Server) handleConn(conn net.Conn) {
 					if seed == nil {
 						s.resumeMisses.Add(1)
 						s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
-							Msg: "resume: unknown or expired session token"})
+							Msg: resumeMissPrefix + "unknown or expired session token"})
 						return
 					}
 				} else {

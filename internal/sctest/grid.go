@@ -1,0 +1,73 @@
+package sctest
+
+import (
+	"fmt"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/observer"
+	"scverify/internal/protocol"
+	"scverify/internal/registry"
+	"scverify/internal/scgrid"
+	"scverify/internal/scserve"
+)
+
+// GridChecker returns a Config.Check function that adjudicates runs
+// through a scgrid fabric instead of a single scserve endpoint: each
+// run's descriptor stream becomes one tokened grid session, placed on a
+// healthy backend by the grid's dispatcher. Campaign workers share the
+// Grid, so a campaign fans out across every backend in the pool — the
+// grid's per-backend counters afterwards show the sharding.
+//
+// Fault semantics are the grid's: a backend blip resumes the session
+// from its checkpoint, a backend death fails it over to a live backend
+// with a full replay, and saturation sheds it with the busy verdict.
+// Like RemoteChecker, rejections surface as *scserve.VerdictError and
+// everything that is not a checker verdict is an error prefixed
+// "sctest: grid".
+func GridChecker(g *scgrid.Grid) func(*protocol.Run, registry.Target) error {
+	return func(run *protocol.Run, tgt registry.Target) error {
+		// Size the observer's ID pool the same way CheckRun does: the
+		// session header must announce the bandwidth bound k up front.
+		sizing := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, nil)
+		sess, err := g.Session(scserve.Header{
+			K:      sizing.K(),
+			Params: run.Protocol.Params(),
+			Token:  scserve.NewToken(),
+		})
+		if err != nil {
+			return fmt.Errorf("sctest: grid: %w", err)
+		}
+		defer sess.Close()
+
+		// Batch the observer's symbols into frame-sized chunks.
+		var buf []byte
+		emit := func(sym descriptor.Symbol) error {
+			buf = descriptor.AppendBinary(buf, sym)
+			if len(buf) >= 16<<10 {
+				err := sess.SendBytes(buf)
+				buf = buf[:0]
+				return err
+			}
+			return nil
+		}
+		obs := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, emit)
+		for _, step := range run.Steps {
+			if err := obs.Step(step.Transition); err != nil {
+				return err
+			}
+		}
+		if err := obs.Finish(); err != nil {
+			return err
+		}
+		if len(buf) > 0 {
+			if err := sess.SendBytes(buf); err != nil {
+				return fmt.Errorf("sctest: grid: %w", err)
+			}
+		}
+		v, err := sess.Finish()
+		if err != nil {
+			return fmt.Errorf("sctest: grid: %w", err)
+		}
+		return v.Err()
+	}
+}
