@@ -3,15 +3,20 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race scvet lint witness fuzz-burst smoke-serve smoke-grid chaos chaos-grid soak bench-serve bench-grid bench-all clean
+.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid chaos chaos-grid soak bench-serve bench-grid bench-all clean
 
-tier1: build vet race scvet lint witness smoke-serve smoke-grid chaos fuzz-burst
+tier1: build vet-full race witness smoke-serve smoke-grid chaos fuzz-burst
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# vet-full: the whole static-verification surface in one target — the
+# toolchain's vet, the repo's own scvet suite (SV001–SV007) self-applied,
+# and Γ-membership linting of every registered protocol.
+vet-full: vet scvet lint
 
 test:
 	$(GO) test ./...
@@ -20,7 +25,9 @@ race:
 	$(GO) test -race ./...
 
 # scvet: the repo's own soundness analyzers (map order in encodings,
-# clone completeness) applied to the repo itself.
+# clone completeness, lock discipline, wire-flag hygiene, verdict
+# transparency, atomic/plain mixing) applied to the repo itself. Fails
+# with a rule-tagged summary line on any finding.
 scvet:
 	$(GO) run ./cmd/scvet ./...
 

@@ -42,6 +42,8 @@
 //	sccheck lint msi lazy                        # lint named protocols
 //	sccheck lint -all                            # lint every registered one
 //	sccheck lint -all -p 2 -b 2 -v 2 -states 20000
+//	sccheck lint -all -json                      # machine-readable reports
+//	sccheck lint -all -overk                     # also warn on over-declared k (GL012)
 //
 // Exit status: 0 accepted/clean, 1 rejected/findings, 2 usage, IO, or
 // transport error (including busy — anything that is not a checker
@@ -51,6 +53,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -293,6 +296,8 @@ func lintMain(args []string) int {
 		runs     = fs.Int("runs", 10, "bandwidth-pass runs per protocol (negative disables)")
 		steps    = fs.Int("steps", 60, "length of each bandwidth run")
 		seed     = fs.Int64("seed", 1, "seed offset for the bandwidth pass")
+		jsonOut  = fs.Bool("json", false, "emit reports as a JSON array")
+		overK    = fs.Bool("overk", false, "warn when the declared k is never approached (GL012)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccheck lint [-all] [flags] [protocol...]\nknown protocols: %v\n", registry.Names())
@@ -314,6 +319,7 @@ func lintMain(args []string) int {
 		QueueCap: *queueCap,
 	}
 	dirty := false
+	var reports []*gammalint.Report
 	for _, name := range names {
 		t, err := registry.Build(name, opts)
 		if err != nil {
@@ -327,11 +333,26 @@ func lintMain(args []string) int {
 			BandwidthRuns:  *runs,
 			BandwidthSteps: *steps,
 			Seed:           *seed,
+			CheckOverK:     *overK,
 		})
+		reports = append(reports, rep)
+		if len(rep.Findings) > 0 {
+			dirty = true
+		}
+		if *jsonOut {
+			continue
+		}
 		fmt.Println(rep)
 		for _, f := range rep.Findings {
 			fmt.Printf("  %s\n", f)
-			dirty = true
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "sccheck lint: %v\n", err)
+			return 2
 		}
 	}
 	if dirty {

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	scvet [-json] dir [dir...]
+//	scvet [-json] [-rules sel] dir [dir...]
 //
 // Each argument is a package directory, or a "dir/..." pattern walked
 // recursively (testdata, vendor and hidden directories are skipped).
+// -rules selects a comma-separated subset of analyzers by name or rule ID
+// ("guardedby,SV005"); the default is the full suite. When findings are
+// reported, the final stderr line is a rule-tagged summary
+// ("scvet: 3 findings [SV004 x2, SV007 x1]") so build logs show at a
+// glance which invariants broke.
 // Exit status: 0 clean, 1 findings reported, 2 usage or parse error.
 package main
 
@@ -21,8 +26,12 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	rules := flag.String("rules", "", "comma-separated analyzer names or rule IDs to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: scvet [-json] dir [dir/...]\n")
+		fmt.Fprintf(os.Stderr, "usage: scvet [-json] [-rules sel] dir [dir/...]\nanalyzers:\n")
+		for _, a := range scvet.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %v  %s\n", a.Name, a.Rules, a.Doc)
+		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,7 +40,12 @@ func main() {
 		args = []string{"./..."}
 	}
 
-	findings, err := scvet.Run(args)
+	as, err := scvet.SelectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := scvet.RunAnalyzers(args, as)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scvet: %v\n", err)
 		os.Exit(2)
@@ -49,6 +63,7 @@ func main() {
 		}
 	}
 	if len(findings) > 0 {
+		fmt.Fprintln(os.Stderr, scvet.Summary(findings))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,68 @@
+package descriptor
+
+// This file is the repository's central wire-flag registry: the single
+// place any flag bit carried by a scverify wire frame (scserve hello,
+// verdict, ack) may be allocated. Wire compatibility across the fleet
+// rests on flag bits never colliding — a bit reused for two meanings
+// parses cleanly on both ends and silently changes a session's semantics,
+// which is exactly the class of bug no dynamic test reliably catches
+// (both peers agree, just on the wrong thing). Allocating every bit here,
+// and aliasing it from the package that encodes it, makes collisions a
+// compile-time/static-analysis failure instead.
+//
+// The scvet wireflag analyzer (SV004-family rule SV005) enforces the
+// contract around this block:
+//
+//   - every flag-named constant outside a marked registry must alias a
+//     registry constant (no locally invented bits);
+//   - within the registry, bits of one family must be pairwise distinct;
+//   - every parser of a flag field must mask-and-reject bits it does not
+//     handle, and every encoder may set declared bits only.
+//
+// Declared does not mean handled: a bit may be reserved here before any
+// parser accepts it (the *Reserved* constants below). Parsers keep
+// rejecting reserved bits until the release that implements them — that
+// is the forward-compatibility contract the scserve fuzz seeds pin down —
+// but the allocation here guarantees the next wire-compatible extension
+// cannot collide with a bit already in flight.
+//
+//scvet:wireflag-registry
+const (
+	// HelloFlagNoValues asks the server for a value-blind checker (the
+	// Section 4.4 optimization); the client runs its own valuecheck pass.
+	HelloFlagNoValues = 1 << 0
+	// HelloFlagToken marks a resumable session: the hello payload
+	// continues with a length-prefixed client-chosen resume token.
+	HelloFlagToken = 1 << 1
+	// HelloFlagResume (requires HelloFlagToken) resumes the token's
+	// checkpointed session; the payload continues with the client's last
+	// acked symbol index and byte offset.
+	HelloFlagResume = 1 << 2
+	// HelloFlagTiered is RESERVED for the tiered-verdict extension
+	// (ROADMAP item 4): a client opting into re-adjudication of rejected
+	// streams against weaker memory models. No parser handles it yet;
+	// hellos carrying it are rejected until the extension ships.
+	HelloFlagTiered = 1 << 3
+
+	// VerdictFlagWitness marks a verdict payload carrying the witness
+	// extension: constraint code and cycle length between the offset
+	// field and the message. The bit sits above the verdict-code value
+	// space (codes 0..2), so pre-extension payloads parse unchanged.
+	VerdictFlagWitness = 0x08
+	// VerdictFlagTier is RESERVED for the tiered-verdict extension: a
+	// rejection annotated with the strongest weaker model the trace still
+	// satisfies. No parser handles it yet.
+	VerdictFlagTier = 0x10
+)
+
+// Per-family masks of the bits current parsers HANDLE. Reserved bits are
+// deliberately absent: a parser must reject them until implemented, so a
+// peer from the future degrades to a clean error, never to a silently
+// misread session.
+const (
+	HelloFlagMask   = HelloFlagNoValues | HelloFlagToken | HelloFlagResume
+	VerdictFlagMask = VerdictFlagWitness
+	// AckFlagMask: ack frames carry no flag field today; the zero mask
+	// records that so the first ack flag is allocated here, not ad hoc.
+	AckFlagMask = 0
+)

@@ -18,6 +18,13 @@ import (
 // downstream checker is built for (Section 3.2).
 func lintBandwidth(p protocol.Protocol, opts Options, rep *Report) {
 	name := p.Name()
+	// Across clean runs, remember the declared bound and the highest peak
+	// of simultaneously live nodes for the opt-in GL012 over-declaration
+	// warning. Dirty runs invalidate the sample: a rejected run's peak
+	// says nothing about the protocol's real needs.
+	declaredK := 0
+	maxPeak := 0
+	cleanRuns := 0
 	for r := 0; r < opts.BandwidthRuns && !rep.full(opts); r++ {
 		run := protocol.RandomRun(p, opts.BandwidthSteps, opts.Seed+int64(r))
 
@@ -76,7 +83,17 @@ func lintBandwidth(p protocol.Protocol, opts Options, rep *Report) {
 			rep.add(opts, Finding{Rule: RuleBandwidth, Severity: Error, Protocol: name,
 				Path: runPrefixIndices(p, run, len(run.Steps)),
 				Msg:  fmt.Sprintf("descriptor tracker held %d live nodes, above the declared bound k=%d", peak, k)})
+			continue
 		}
+		declaredK = k
+		cleanRuns++
+		if peak > maxPeak {
+			maxPeak = peak
+		}
+	}
+	if opts.CheckOverK && cleanRuns == opts.BandwidthRuns && cleanRuns > 0 && maxPeak < declaredK {
+		rep.add(opts, Finding{Rule: RuleOverK, Severity: Warning, Protocol: name,
+			Msg: fmt.Sprintf("declared bandwidth bound k=%d, but %d clean runs never held more than %d live nodes; k may be over-declared", declaredK, cleanRuns, maxPeak)})
 	}
 }
 

@@ -22,6 +22,7 @@
 package gammalint
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -68,6 +69,13 @@ const (
 	// a reason other than bandwidth — the run left the class the observer
 	// was generated for.
 	RuleObserver = "GL011"
+	// RuleOverK: the declared node-bandwidth bound k was never approached —
+	// no bandwidth run held more than some peak < k live nodes. An
+	// over-declared k is not unsound, but it inflates every downstream
+	// cost that scales with k (observer ID pool, checker graph width), so
+	// this is an opt-in warning (Options.CheckOverK); the sampled runs are
+	// a lower bound on the true peak, not a proof of it.
+	RuleOverK = "GL012"
 )
 
 // Severity ranks a finding.
@@ -89,6 +97,29 @@ func (s Severity) String() string {
 	return "error"
 }
 
+// MarshalJSON renders the severity as its name, so machine-readable
+// reports say "warning"/"error" rather than a bare enum ordinal.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the name form produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	return nil
+}
+
 // StateDeclarer is optionally implemented by protocols that can enumerate
 // states they expect to be reachable; Lint reports declared states the
 // exhaustive exploration never visited.
@@ -97,16 +128,17 @@ type StateDeclarer interface {
 }
 
 // Finding is one rule violation, positioned by the path that exhibits it.
+// The JSON field names are a stable machine interface (sccheck lint -json).
 type Finding struct {
-	Rule     string
-	Severity Severity
-	Protocol string
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Protocol string   `json:"protocol"`
 	// Path is the sequence of transition indices from the initial state
 	// that reaches the offending state (replayable via
 	// protocol.ReplayIndices); nil when no single path applies.
-	Path []int
+	Path []int `json:"path,omitempty"`
 	// Msg describes the violation.
-	Msg string
+	Msg string `json:"msg"`
 }
 
 // String renders the finding in a grep-able single line.
@@ -140,6 +172,11 @@ type Options struct {
 	BandwidthSteps int
 	// Seed offsets the bandwidth pass's run seeds.
 	Seed int64
+	// CheckOverK enables the GL012 warning: after a fully clean bandwidth
+	// pass, report when no run held more than peak < k live nodes — the
+	// declared bound may be larger than the protocol needs. Opt-in
+	// because the sampled runs only lower-bound the true peak.
+	CheckOverK bool
 }
 
 func (o Options) withDefaults() Options {
@@ -161,18 +198,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Report is the outcome of linting one protocol.
+// Report is the outcome of linting one protocol. The JSON field names
+// are a stable machine interface (sccheck lint -json); Elapsed marshals
+// as nanoseconds.
 type Report struct {
-	Protocol string
-	Findings []Finding
+	Protocol string    `json:"protocol"`
+	Findings []Finding `json:"findings"`
 	// States is the number of distinct (state, shadow) pairs visited.
-	States int
+	States int `json:"states"`
 	// Transitions is the number of protocol transitions examined.
-	Transitions int
+	Transitions int `json:"transitions"`
 	// Complete reports that the reachable state space was exhausted within
 	// the configured bounds (unreachability findings are only sound then).
-	Complete bool
-	Elapsed  time.Duration
+	Complete bool          `json:"complete"`
+	Elapsed  time.Duration `json:"elapsed"`
 }
 
 // Errors counts error-severity findings.

@@ -1,6 +1,7 @@
 package gammalint_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 
@@ -305,5 +306,65 @@ func TestFindingsAreReplayable(t *testing.T) {
 		if _, err := protocol.ReplayIndices(p, f.Path); err != nil {
 			t.Errorf("finding path %v does not replay: %v", f.Path, err)
 		}
+	}
+}
+
+// TestOverDeclaredKWarns exercises the opt-in GL012 pass: the one-cell
+// protocol never holds more than a couple of live nodes, so declaring a
+// pool of 9 IDs is waste the bandwidth pass can measure. The finding
+// must be a warning — an over-declared k is a cost problem, not a
+// soundness problem.
+func TestOverDeclaredKWarns(t *testing.T) {
+	rep := lint(t, goodCell(), gammalint.Options{PoolSize: 9, CheckOverK: true})
+	wantRule(t, rep, gammalint.RuleOverK)
+	for _, f := range rep.Findings {
+		if f.Rule == gammalint.RuleOverK && f.Severity != gammalint.Warning {
+			t.Errorf("GL012 severity = %s, want warning", f.Severity)
+		}
+	}
+	if rep.Errors() != 0 {
+		t.Errorf("over-declared k produced %d errors; want warnings only", rep.Errors())
+	}
+}
+
+// TestOverDeclaredKIsOptIn pins GL012's default-off contract: the same
+// over-declared pool is silent without CheckOverK, so existing clean
+// gates (the registry conformance test among them) stay clean.
+func TestOverDeclaredKIsOptIn(t *testing.T) {
+	rep := lint(t, goodCell(), gammalint.Options{PoolSize: 9})
+	wantClean(t, rep)
+}
+
+// TestReportJSONShape pins the machine-readable report shape emitted by
+// `sccheck lint -json`: field names, severity as its name, and paths
+// omitted when absent. A hand-built report keeps the bytes exact.
+func TestReportJSONShape(t *testing.T) {
+	rep := &gammalint.Report{
+		Protocol: "cell-ok",
+		Findings: []gammalint.Finding{
+			{Rule: gammalint.RuleBandwidth, Severity: gammalint.Error, Protocol: "cell-ok", Path: []int{0, 2}, Msg: "boom"},
+			{Rule: gammalint.RuleOverK, Severity: gammalint.Warning, Protocol: "cell-ok", Msg: "lazy"},
+		},
+		States:      7,
+		Transitions: 21,
+		Complete:    true,
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"protocol":"cell-ok","findings":[` +
+		`{"rule":"GL008","severity":"error","protocol":"cell-ok","path":[0,2],"msg":"boom"},` +
+		`{"rule":"GL012","severity":"warning","protocol":"cell-ok","msg":"lazy"}],` +
+		`"states":7,"transitions":21,"complete":true,"elapsed":0}`
+	if string(got) != want {
+		t.Errorf("JSON shape changed\n got: %s\nwant: %s", got, want)
+	}
+	var back gammalint.Report
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Findings[0].Severity != gammalint.Error || back.Findings[1].Severity != gammalint.Warning {
+		t.Errorf("severity did not round-trip: %+v", back.Findings)
 	}
 }

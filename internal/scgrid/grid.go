@@ -140,6 +140,8 @@ func (g *Grid) Check(h scserve.Header, stream descriptor.Stream) (scserve.Verdic
 // checkpoint), backend death (failing over to a live backend and
 // replaying from byte zero), and backend restart (a resume miss restarts
 // fresh on the same backend). Not goroutine-safe.
+//
+//scvet:single-goroutine
 type Session struct {
 	g   *Grid
 	hdr scserve.Header

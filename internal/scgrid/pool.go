@@ -143,9 +143,9 @@ type backend struct {
 	ejections atomic.Int64
 
 	mu        sync.Mutex
-	healthy   bool
-	downSince time.Time
-	nextProbe time.Time // for ejected backends: earliest re-admission probe
+	healthy   bool      // guarded by mu
+	downSince time.Time // guarded by mu
+	nextProbe time.Time // guarded by mu; for ejected backends: earliest re-admission probe
 }
 
 func (b *backend) isHealthy() bool {
@@ -208,7 +208,7 @@ type pool struct {
 	hashSeed maphash.Seed
 
 	rngMu sync.Mutex
-	rng   *rand.Rand
+	rng   *rand.Rand // guarded by rngMu
 
 	waiters atomic.Int64
 	sheds   atomic.Int64

@@ -36,8 +36,8 @@ type Proxy struct {
 	g *Grid
 
 	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
+	ln     net.Listener          // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu
 	closed atomic.Bool
 	active atomic.Int64
 }
@@ -167,6 +167,20 @@ func (p *Proxy) handleConn(conn net.Conn) {
 	if err := bebw.Flush(); err != nil {
 		return
 	}
+	p.splice(conn, br, bw, be, b)
+}
+
+// splice relays session bytes between client and backend until either
+// side ends: upstream as a raw copy, downstream frame-aware so verdicts
+// can be counted per backend. This is the path PR 5's "the proxy
+// structurally cannot alter a verdict" claim lives on, so it is marked
+// verdict-transparent: scvet's SV006 fails the build if any
+// verdict-constructing or verdict-mutating call — deliver, protoVerdict,
+// scserve.AppendVerdict, a Verdict literal — is ever introduced here.
+// Parsing verdicts (read-only) is the one allowed touch.
+//
+//scvet:verdict-transparent
+func (p *Proxy) splice(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, be net.Conn, b *backend) {
 	conn.SetReadDeadline(time.Time{})
 
 	done := make(chan struct{})

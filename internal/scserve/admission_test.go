@@ -1,0 +1,125 @@
+package scserve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSessionCapHardUnderConcurrentHellos is the regression test for the
+// admission race scvet's guarded/atomic audit surfaced: admission used to
+// compare sessionsActive.Load() against MaxSessions in handleConn while
+// the matching Add(1) happened later in runSession, so N hellos racing
+// through the window together were all admitted — the cap was a
+// suggestion exactly when it mattered. Admission now claims the slot
+// with a CAS (reserveSession) at the comparison point.
+//
+// The test storms the server with simultaneous hellos while no slot is
+// ever released (admitted sessions are held open until measured), so the
+// number of admitted sessions must be exactly MaxSessions, and the
+// active gauge must never exceed the cap at any sampled instant. Run
+// with -race this also exercises the handler-side session table.
+func TestSessionCapHardUnderConcurrentHellos(t *testing.T) {
+	const maxSessions = 3
+	const clients = 24
+	srv, addr := startServer(t, Config{MaxSessions: maxSessions})
+
+	// Watermark sampler: the gauge must never be observed above the cap.
+	var maxSeen int64
+	stopSample := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stopSample:
+				return
+			default:
+			}
+			if n := srv.sessionsActive.Load(); n > maxSeen {
+				maxSeen = n
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var admitted, busyCount atomic.Int64
+	errs := make(chan error, clients)
+	start := make(chan struct{})
+	measured := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := DialTimeout(addr, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			<-start
+			s, err := cli.Session(SyntheticHeader())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := s.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			// Give the hello time to be admitted or busied, then look.
+			time.Sleep(100 * time.Millisecond)
+			if err := s.Poll(); err != nil {
+				errs <- err
+				return
+			}
+			if v, ok := s.Early(); ok {
+				if !v.Busy() {
+					errs <- fmt.Errorf("unexpected early verdict: %s", v)
+					return
+				}
+				busyCount.Add(1)
+				return
+			}
+			admitted.Add(1)
+			<-measured // hold the slot until the storm is measured
+			if v, err := s.Finish(); err != nil {
+				errs <- err
+			} else if v.Code != VerdictAccept {
+				errs <- fmt.Errorf("empty session verdict: %s", v)
+			}
+		}()
+	}
+	close(start)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for admitted.Load()+busyCount.Load() < clients {
+		if time.Now().After(deadline) {
+			close(measured)
+			t.Fatalf("storm did not settle: %d admitted, %d busy of %d",
+				admitted.Load(), busyCount.Load(), clients)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := admitted.Load(); n != maxSessions {
+		t.Errorf("admitted %d sessions with no slot ever released; cap is %d", n, maxSessions)
+	}
+	if n := srv.sessionsActive.Load(); n > maxSessions {
+		t.Errorf("sessionsActive %d exceeds cap %d", n, maxSessions)
+	}
+	close(measured)
+	wg.Wait()
+	close(stopSample)
+	<-samplerDone
+	if maxSeen > maxSessions {
+		t.Errorf("sessionsActive watermark %d exceeded cap %d during the storm", maxSeen, maxSessions)
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -26,17 +26,20 @@ var errHeaderMismatch = errors.New("resume: header does not match the checkpoint
 // resumeEntry is one token's newest checkpoint, or — once the session
 // delivered its verdict — the verdict itself, retained so a client that
 // lost the connection just before reading it can recover it on resume.
+// Entries are owned by the resumeStore and only ever reachable through
+// it, so every field is guarded by the store's lock, not a lock of its
+// own.
 type resumeEntry struct {
-	token string
-	hdr   Header // bare: the checker-shaping fields a resume must match
-	chk   *checker.Checker
-	sym   int
-	off   int64
-	done  *Verdict // non-nil once the session's verdict was determined
-	cost  int64
-	kick  func() // closes the conn of the session currently feeding this entry
-	elem  *list.Element
-	last  time.Time
+	token string           // guarded by resumeStore.mu
+	hdr   Header           // guarded by resumeStore.mu; bare: the checker-shaping fields a resume must match
+	chk   *checker.Checker // guarded by resumeStore.mu
+	sym   int              // guarded by resumeStore.mu
+	off   int64            // guarded by resumeStore.mu
+	done  *Verdict         // guarded by resumeStore.mu; non-nil once the session's verdict was determined
+	cost  int64            // guarded by resumeStore.mu
+	kick  func()           // guarded by resumeStore.mu; closes the conn of the session currently feeding this entry
+	elem  *list.Element    // guarded by resumeStore.mu
+	last  time.Time        // guarded by resumeStore.mu
 }
 
 // resumeSeed is what a resuming session starts from: a private clone of
@@ -55,9 +58,9 @@ type resumeStore struct {
 	maxBytes int64
 	ttl      time.Duration
 
-	bytes   int64
-	entries map[string]*resumeEntry
-	lru     *list.List // front = least recently touched
+	bytes   int64                   // guarded by mu
+	entries map[string]*resumeEntry // guarded by mu
+	lru     *list.List              // guarded by mu; front = least recently touched
 }
 
 func newResumeStore(max int, maxBytes int64, ttl time.Duration) *resumeStore {

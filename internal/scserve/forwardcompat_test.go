@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"scverify/internal/descriptor"
 )
 
 // These tests pin the wire format's forward-compatibility contract, which
@@ -73,6 +75,34 @@ func TestVerdictUnknownFlagBitsRejected(t *testing.T) {
 	got, err := parseVerdict(appendVerdict(nil, v))
 	if err != nil || got != v {
 		t.Fatalf("witness verdict round trip: %+v, %v", got, err)
+	}
+}
+
+// TestReservedFlagBitsStillRejected pins the parser side of the wire-flag
+// registry contract: a bit may be *declared* in the descriptor registry
+// (reserving its value so the next extension cannot collide) long before
+// any parser *handles* it. Until the implementing release, parsers must
+// keep rejecting reserved bits exactly like undeclared ones — a peer from
+// the future degrades to a clean error, never to a misread session. When
+// the tiered-verdict extension ships, this test is the checklist of
+// parser sites it must update.
+func TestReservedFlagBitsStillRejected(t *testing.T) {
+	if _, err := parseHello(helloWithFlags(descriptor.HelloFlagTiered)); err == nil ||
+		!strings.Contains(err.Error(), "unknown flags") {
+		t.Fatalf("reserved hello bit HelloFlagTiered not rejected: %v", err)
+	}
+	if _, err := parseHello(helloWithFlags(helloFlagToken|descriptor.HelloFlagTiered, 2, 'a', 'b')); err == nil ||
+		!strings.Contains(err.Error(), "unknown flags") {
+		t.Fatalf("reserved hello bit alongside a token not rejected: %v", err)
+	}
+	for _, code := range []byte{
+		byte(VerdictReject) | descriptor.VerdictFlagTier,
+		byte(VerdictReject) | verdictFlagWitness | descriptor.VerdictFlagTier,
+	} {
+		payload := append([]byte{code, 4, 18}, "msg"...)
+		if _, err := parseVerdict(payload); err == nil || !strings.Contains(err.Error(), "unknown code") {
+			t.Fatalf("reserved verdict bit %#x not rejected: %v", code, err)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"scverify/internal/checker"
+	"scverify/internal/descriptor"
 	"scverify/internal/trace"
 )
 
@@ -41,16 +42,21 @@ const (
 // protocolVersion is the hello version this package speaks.
 const protocolVersion = 1
 
+// Hello flag bits are allocated in the central wire-flag registry
+// (internal/descriptor/flags.go) and aliased here; the scvet wireflag
+// analyzer rejects flag bits invented outside the registry, so the next
+// wire-compatible extension cannot silently collide with one in flight.
+//
 // helloFlagNoValues asks the server to skip the value-equality side of
 // constraint 4 (the Section 4.4 optimization); the client is expected to
 // run its own valuecheck pass.
-const helloFlagNoValues = 1 << 0
+const helloFlagNoValues = descriptor.HelloFlagNoValues
 
 // helloFlagToken marks a session the server should checkpoint for later
 // resumption: the payload continues with a length-prefixed client-chosen
 // token, and the server emits ack frames as checkpoints are taken. Hellos
 // without the flag encode byte-identically to the pre-resume format.
-const helloFlagToken = 1 << 1
+const helloFlagToken = descriptor.HelloFlagToken
 
 // helloFlagResume (requires helloFlagToken) asks the server to resume the
 // token's checkpointed session instead of starting fresh: the payload
@@ -58,7 +64,7 @@ const helloFlagToken = 1 << 1
 // The server answers with an ack naming the checkpoint it actually
 // resumed from (always at or past the client's position), and the client
 // replays its buffered tail from there.
-const helloFlagResume = 1 << 2
+const helloFlagResume = descriptor.HelloFlagResume
 
 // maxTokenLen bounds the resume token a client may choose.
 const maxTokenLen = 64
@@ -249,8 +255,9 @@ const (
 // bit sits above the code value space, so pre-extension payloads parse
 // unchanged (Constraint = 0, CycleLen = 0) and pre-extension parsers
 // reject extended payloads as an unknown code rather than misreading
-// witness bytes as part of the message.
-const verdictFlagWitness = 0x08
+// witness bytes as part of the message. Allocated in the descriptor
+// wire-flag registry, like the hello bits.
+const verdictFlagWitness = descriptor.VerdictFlagWitness
 
 func (c VerdictCode) String() string {
 	switch c {

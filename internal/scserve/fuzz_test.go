@@ -89,6 +89,16 @@ func FuzzHelloAndVerdictParsers(f *testing.F) {
 	f.Add(appendHello(nil, Header{K: 3, Token: "t", Resume: true, AckSymbol: 64, AckOffset: 4096}),
 		appendVerdict(nil, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: resumeMissPrefix + "unknown or expired session token"}))
 	f.Add([]byte{protocolVersion, 3, 1, 1, 2, 1 << 6}, []byte{0x10 | byte(VerdictAccept), 0, 0})
+	// Declared-but-unhandled bits: the wire-flag registry reserves
+	// HelloFlagTiered and VerdictFlagTier for the tiered-verdict
+	// extension, but no parser handles them yet. Until the extension
+	// ships, these payloads must keep failing exactly like undeclared
+	// bits do — the registry allocates the value, the parser contract
+	// stays mask-and-reject.
+	f.Add([]byte{protocolVersion, 3, 1, 1, 2, descriptor.HelloFlagTiered},
+		[]byte{descriptor.VerdictFlagTier | byte(VerdictReject), 4, 18})
+	f.Add([]byte{protocolVersion, 3, 1, 1, 2, descriptor.HelloFlagTiered | helloFlagNoValues},
+		[]byte{descriptor.VerdictFlagTier | verdictFlagWitness | byte(VerdictReject), 4, 18, 2, 3})
 	f.Fuzz(func(t *testing.T, hp, vp []byte) {
 		if h, err := parseHello(hp); err == nil {
 			back, err2 := parseHello(appendHello(nil, h))

@@ -14,12 +14,12 @@ import (
 type bpipe struct {
 	mu   sync.Mutex
 	cond sync.Cond
-	buf  []byte
-	off  int // read position within buf
+	buf  []byte // guarded by mu
+	off  int    // guarded by mu; read position within buf
 	max  int
 
-	werr error // write side closed; io.EOF means a clean close
-	rerr error // read side closed; writes fail with this error
+	werr error // guarded by mu; write side closed; io.EOF means a clean close
+	rerr error // guarded by mu; read side closed; writes fail with this error
 
 	// depth, when non-nil, tracks the server-wide total of queued bytes.
 	depth *atomic.Int64
@@ -31,7 +31,7 @@ func newBPipe(max int, depth *atomic.Int64) *bpipe {
 	return p
 }
 
-func (p *bpipe) pending() int { return len(p.buf) - p.off }
+func (p *bpipe) pendingLocked() int { return len(p.buf) - p.off }
 
 // Write appends b, blocking while the pipe is full. It returns the read
 // side's close error if the consumer is gone, and io.ErrClosedPipe after
@@ -41,7 +41,7 @@ func (p *bpipe) Write(b []byte) (int, error) {
 	defer p.mu.Unlock()
 	written := 0
 	for len(b) > 0 {
-		for p.rerr == nil && p.werr == nil && p.pending() >= p.max {
+		for p.rerr == nil && p.werr == nil && p.pendingLocked() >= p.max {
 			p.cond.Wait()
 		}
 		if p.rerr != nil {
@@ -50,7 +50,7 @@ func (p *bpipe) Write(b []byte) (int, error) {
 		if p.werr != nil {
 			return written, io.ErrClosedPipe
 		}
-		n := p.max - p.pending()
+		n := p.max - p.pendingLocked()
 		if n > len(b) {
 			n = len(b)
 		}
@@ -75,13 +75,13 @@ func (p *bpipe) Write(b []byte) (int, error) {
 func (p *bpipe) Read(b []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for p.pending() == 0 && p.werr == nil && p.rerr == nil {
+	for p.pendingLocked() == 0 && p.werr == nil && p.rerr == nil {
 		p.cond.Wait()
 	}
 	if p.rerr != nil {
 		return 0, p.rerr
 	}
-	if p.pending() == 0 {
+	if p.pendingLocked() == 0 {
 		return 0, p.werr
 	}
 	n := copy(b, p.buf[p.off:])
@@ -120,7 +120,7 @@ func (p *bpipe) CloseRead(err error) {
 	if p.rerr == nil {
 		p.rerr = err
 		if p.depth != nil {
-			p.depth.Add(int64(-p.pending()))
+			p.depth.Add(int64(-p.pendingLocked()))
 		}
 		p.buf = nil
 		p.off = 0

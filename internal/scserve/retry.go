@@ -76,6 +76,8 @@ func (c RetryConfig) withDefaults() RetryConfig {
 // stream sent — faults can surface as errors, never as wrong answers.
 //
 // Not goroutine-safe; open one RetryClient per concurrent stream.
+//
+//scvet:single-goroutine
 type RetryClient struct {
 	addr string
 	cfg  RetryConfig

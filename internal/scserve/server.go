@@ -150,9 +150,9 @@ type Server struct {
 	resume *resumeStore
 
 	mu       sync.Mutex
-	lns      map[net.Listener]bool
-	conns    map[net.Conn]bool
-	draining bool
+	lns      map[net.Listener]bool // guarded by mu
+	conns    map[net.Conn]bool     // guarded by mu
+	draining bool                  // guarded by mu
 
 	wg sync.WaitGroup // one per connection handler
 
@@ -213,6 +213,25 @@ func (s *Server) Stats() Stats {
 		st.SymbolsPerSec = float64(st.SymbolsTotal) / st.UptimeSeconds
 	}
 	return st
+}
+
+// reserveSession atomically claims one of the MaxSessions slots,
+// reporting false at capacity. The claim is a CAS loop rather than a
+// load-compare-add: with the check and the increment apart, N concurrent
+// hellos racing past the check together would all be admitted, and the
+// cap would be a suggestion exactly when it matters (at capacity under
+// load). The slot is released by runSession's deferred Add(-1), or by
+// the caller on paths that bail out before runSession.
+func (s *Server) reserveSession() bool {
+	for {
+		n := s.sessionsActive.Load()
+		if n >= int64(s.cfg.MaxSessions) {
+			return false
+		}
+		if s.sessionsActive.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
 }
 
 func (s *Server) isDraining() bool {
@@ -392,7 +411,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 					Msg: fmt.Sprintf("hello: k=%d outside 1..%d", h.K, s.cfg.MaxK)})
 				return
-			case s.sessionsActive.Load() >= int64(s.cfg.MaxSessions):
+			case !s.reserveSession():
 				// Clean busy rejection: deliver the verdict, absorb the
 				// session's frames, and keep the connection usable so the
 				// client can back off and retry without redialing.
@@ -405,17 +424,22 @@ func (s *Server) handleConn(conn net.Conn) {
 				}
 				continue
 			}
+			// From here the hello owns a reserved session slot; every
+			// path that does not reach runSession (whose defer releases
+			// it) must hand the slot back itself.
 			var seed *resumeSeed
 			if h.Token != "" {
 				if h.Resume {
 					var rerr error
 					seed, rerr = s.resume.take(h.Token, h, func() { conn.Close() })
 					if rerr != nil {
+						s.sessionsActive.Add(-1)
 						s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 							Msg: rerr.Error()})
 						return
 					}
 					if seed == nil {
+						s.sessionsActive.Add(-1)
 						s.resumeMisses.Add(1)
 						s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 							Msg: resumeMissPrefix + "unknown or expired session token"})
@@ -472,8 +496,9 @@ type ackPos struct {
 // runSession drives one session to its verdict. It reports whether the
 // connection is still in a known-good state for another session.
 func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h Header, seed *resumeSeed) bool {
+	// The caller reserved the sessionsActive slot (reserveSession); this
+	// defer releases it.
 	s.sessionsTotal.Add(1)
-	s.sessionsActive.Add(1)
 	defer s.sessionsActive.Add(-1)
 
 	sent := false    // verdict already delivered (early rejection / replay)

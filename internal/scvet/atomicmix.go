@@ -1,0 +1,184 @@
+package scvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// SV007 atomicmix: a field accessed through sync/atomic anywhere in the
+// package must never be accessed plainly elsewhere — a plain read beside
+// atomic.AddInt64 is a data race the race detector only catches when a
+// test happens to interleave it. Two field styles are covered:
+//
+//   - plain-typed fields (int64 etc.) passed to atomic.* by address:
+//     every other selector access to the same (type, field) pair in the
+//     package must also go through sync/atomic;
+//   - atomic.Int64 / atomic.Bool / atomic.Pointer[T]-typed fields:
+//     method calls and address-taking are the only legal uses; copying
+//     the value or reassigning the field defeats the type's guarantee
+//     (and copies its internal state, which `go vet` copylocks also
+//     hates — this rule fires at the field granularity with the owning
+//     type named).
+//
+// As everywhere in scvet, base expressions that do not resolve to a
+// package-local struct type are skipped, not guessed.
+
+type fieldKey struct {
+	typ, field string
+}
+
+// isAtomicType reports whether a declared field type is one of the
+// sync/atomic value types (atomic.Int64, atomic.Pointer[T], ...) held
+// BY VALUE. A *atomic.Int64 field is excluded: copying it copies a
+// pointer, which is fine — the shared counter it points at is intact.
+func isAtomicType(t ast.Expr) bool {
+	for {
+		pp, ok := t.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		t = pp.X
+	}
+	if _, isPtr := t.(*ast.StarExpr); isPtr {
+		return false
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // atomic.Pointer[T]
+		t = ix.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "atomic"
+}
+
+// isAtomicCall reports a call of the form atomic.Fn(...).
+func isAtomicCall(c *ast.CallExpr) bool {
+	sel, ok := unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "atomic"
+}
+
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func analyzeAtomicMix(p *Package) []Finding {
+	typedAtomic := make(map[fieldKey]bool)
+	for t, fields := range p.Structs {
+		for fname, ft := range fields {
+			if isAtomicType(ft) {
+				typedAtomic[fieldKey{t, fname}] = true
+			}
+		}
+	}
+
+	type access struct {
+		pos token.Pos
+		fn  string
+	}
+	atomicOps := make(map[fieldKey][]access)
+	plainOps := make(map[fieldKey][]access)
+	var out []Finding
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			env := newTypeEnv(p, fd)
+			parents := buildParents(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				bt := env.baseType(sel.X)
+				if bt == "" {
+					return true
+				}
+				if _, isField := p.Structs[bt][sel.Sel.Name]; !isField {
+					return true
+				}
+				key := fieldKey{bt, sel.Sel.Name}
+				par := parents[sel]
+
+				// &x.f — address-taking: the atomic access style for
+				// plain fields, and a legal use of atomic-typed ones.
+				if ue, ok := par.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					if call, ok := parents[ue].(*ast.CallExpr); ok && isAtomicCall(call) {
+						if !typedAtomic[key] {
+							atomicOps[key] = append(atomicOps[key], access{sel.Sel.Pos(), fd.Name.Name})
+						}
+						return true
+					}
+					if typedAtomic[key] {
+						return true // sharing a pointer to the atomic value
+					}
+					plainOps[key] = append(plainOps[key], access{sel.Sel.Pos(), fd.Name.Name})
+					return true
+				}
+
+				if typedAtomic[key] {
+					// Method call on the field: x.f.Load() — the parent
+					// selector is the callee of a call expression.
+					if psel, ok := par.(*ast.SelectorExpr); ok && psel.X == sel {
+						if call, ok := parents[psel].(*ast.CallExpr); ok && call.Fun == psel {
+							return true
+						}
+					}
+					msg := fmt.Sprintf("atomic-typed field %s.%s copied by value; only method calls and & are safe", bt, sel.Sel.Name)
+					if as, ok := par.(*ast.AssignStmt); ok {
+						for _, l := range as.Lhs {
+							if l == ast.Expr(sel) {
+								msg = fmt.Sprintf("atomic-typed field %s.%s reassigned; use its Store method", bt, sel.Sel.Name)
+							}
+						}
+					}
+					out = append(out, Finding{
+						Rule: RuleAtomicMix,
+						Pos:  p.Fset.Position(sel.Sel.Pos()),
+						Msg:  msg,
+					})
+					return true
+				}
+
+				plainOps[key] = append(plainOps[key], access{sel.Sel.Pos(), fd.Name.Name})
+				return true
+			})
+		}
+	}
+
+	for key, accs := range plainOps {
+		if len(atomicOps[key]) == 0 {
+			continue
+		}
+		for _, a := range accs {
+			out = append(out, Finding{
+				Rule: RuleAtomicMix,
+				Pos:  p.Fset.Position(a.pos),
+				Msg:  fmt.Sprintf("%s.%s is accessed with sync/atomic elsewhere in the package; plain access in %s races with it", key.typ, key.field, a.fn),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package scvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// SV004 guardedby: struct fields annotated `// guarded by <mu>` may only
+// be read or written while the named mutex is held.
+//
+// The annotation names either a mutex field of the same struct
+// (`// guarded by mu`) or, for satellite structs whose instances are
+// owned by a container that carries the lock, a mutex on another
+// package-local struct (`// guarded by resumeStore.mu`). The analysis is
+// intra-procedural and deliberately simple: within one function body (a
+// func literal is its own body, sharing the enclosing scope), lock and
+// unlock calls are ordered by source position, and an access to a
+// guarded field is clean when the nearest preceding event on the guard
+// is a Lock/RLock of the same instance path (same-struct guards) or of
+// the owning type (cross-struct guards). Recognized idioms that would
+// otherwise misfire:
+//
+//   - `defer x.mu.Unlock()` does not emit an unlock event — the unlock
+//     happens at return, after every access in the body;
+//   - an Unlock whose statement block ends in a return or branch (the
+//     early-exit `mu.Unlock(); return err` shape) is skipped, since
+//     control leaves the scan range with it;
+//   - functions named `...Locked` or `locked...` are lock-transfer
+//     helpers called with the guard held; their bodies are exempt, and
+//     the analyzer checks their call sites' discipline instead (the
+//     caller must itself hold the lock to touch the fields it passes).
+//
+// Unresolvable receiver/base expressions are skipped, not guessed.
+
+var guardRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardSpec is one parsed annotation: the guarding mutex field, and the
+// struct that owns it ("" when it is a field of the annotated struct
+// itself).
+type guardSpec struct {
+	owner string
+	mu    string
+}
+
+type lockEvent struct {
+	pos    token.Pos
+	path   string // instance path of the mutex's owner ("b", "s.resume")
+	typ    string // package-local type of the owner, "" if unresolved
+	mu     string // mutex field name
+	unlock bool
+}
+
+type guardedAccess struct {
+	pos   token.Pos
+	path  string
+	typ   string
+	field string
+	spec  guardSpec
+}
+
+// isLockedHelper reports the naming idiom for functions that require the
+// caller to hold the lock.
+func isLockedHelper(name string) bool {
+	return strings.HasSuffix(name, "Locked") || strings.HasPrefix(name, "locked")
+}
+
+func isMutexType(t ast.Expr) bool {
+	t = stripRefs(t)
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+func analyzeGuardedBy(p *Package) []Finding {
+	var out []Finding
+	guards := make(map[string]map[string]guardSpec) // type -> field -> spec
+
+	// Collect annotations by walking struct declarations directly, so
+	// malformed annotations can be reported at the field's position.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				m := guardRE.FindStringSubmatch(fieldCommentText(fl))
+				if m == nil {
+					continue
+				}
+				spec, msg := parseGuardSpec(p, ts.Name.Name, m[1])
+				if msg != "" {
+					out = append(out, Finding{
+						Rule: RuleGuardedBy,
+						Pos:  p.Fset.Position(fl.Pos()),
+						Msg:  msg,
+					})
+					continue
+				}
+				if guards[ts.Name.Name] == nil {
+					guards[ts.Name.Name] = make(map[string]guardSpec)
+				}
+				for _, nm := range fl.Names {
+					guards[ts.Name.Name][nm.Name] = spec
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return out
+	}
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			env := newTypeEnv(p, fd)
+			out = append(out, checkGuardedBody(p, env, guards, fd.Body, fd.Name.Name)...)
+		}
+	}
+	return out
+}
+
+// parseGuardSpec validates one annotation against the package's structs.
+// It returns a non-empty message when the annotation is unusable — an
+// annotation that silently checks nothing is worse than none.
+func parseGuardSpec(p *Package, owner, ref string) (guardSpec, string) {
+	parts := strings.Split(ref, ".")
+	switch len(parts) {
+	case 1:
+		mt, ok := p.Structs[owner][parts[0]]
+		if !ok {
+			return guardSpec{}, fmt.Sprintf("guarded-by annotation names %q, which is not a field of %s", parts[0], owner)
+		}
+		if !isMutexType(mt) {
+			return guardSpec{}, fmt.Sprintf("guarded-by annotation names %s.%s, which is not a sync.Mutex or sync.RWMutex", owner, parts[0])
+		}
+		return guardSpec{mu: parts[0]}, ""
+	case 2:
+		flds, ok := p.Structs[parts[0]]
+		if !ok {
+			return guardSpec{}, fmt.Sprintf("guarded-by annotation names unknown type %q", parts[0])
+		}
+		mt, ok := flds[parts[1]]
+		if !ok || !isMutexType(mt) {
+			return guardSpec{}, fmt.Sprintf("guarded-by annotation names %s.%s, which is not a sync.Mutex or sync.RWMutex field", parts[0], parts[1])
+		}
+		return guardSpec{owner: parts[0], mu: parts[1]}, ""
+	}
+	return guardSpec{}, fmt.Sprintf("guarded-by annotation %q is not <mu> or <Type>.<mu>", ref)
+}
+
+// checkGuardedBody analyzes one lock context: a function or func literal
+// body. Func literals found inside are queued and analyzed as their own
+// contexts with the same scope environment, because they run on other
+// goroutines (or at defer time) and inherit no lock state.
+func checkGuardedBody(p *Package, env *typeEnv, guards map[string]map[string]guardSpec, body *ast.BlockStmt, funcName string) []Finding {
+	var (
+		out      []Finding
+		events   []lockEvent
+		accesses []guardedAccess
+		literals []*ast.BlockStmt
+		deferred = make(map[*ast.CallExpr]bool)
+	)
+
+	// Parent links for the terminating-block test on unlock events.
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			literals = append(literals, v.Body)
+			return false
+		case *ast.DeferStmt:
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				literals = append(literals, lit.Body)
+				// Arguments are evaluated at defer time; walk them.
+				for _, a := range v.Call.Args {
+					ast.Inspect(a, walk)
+				}
+				return false
+			}
+			deferred[v.Call] = true
+			return true
+		case *ast.CallExpr:
+			if ev, ok := lockEventOf(env, v); ok {
+				if deferred[v] {
+					return true // runs at return, after every access
+				}
+				if ev.unlock && inTerminatingBlock(parents, v, body) {
+					return true // control exits with this unlock
+				}
+				events = append(events, ev)
+				return true
+			}
+		case *ast.SelectorExpr:
+			typ := env.baseType(v.X)
+			if typ == "" {
+				return true
+			}
+			if spec, ok := guards[typ][v.Sel.Name]; ok {
+				accesses = append(accesses, guardedAccess{
+					pos: v.Sel.Pos(), path: exprPath(v.X), typ: typ,
+					field: v.Sel.Name, spec: spec,
+				})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	if !isLockedHelper(funcName) {
+		for _, a := range accesses {
+			if held(events, a) {
+				continue
+			}
+			guard := a.spec.mu
+			if a.spec.owner != "" {
+				guard = a.spec.owner + "." + a.spec.mu
+			}
+			out = append(out, Finding{
+				Rule: RuleGuardedBy,
+				Pos:  p.Fset.Position(a.pos),
+				Msg:  fmt.Sprintf("%s.%s accessed in %s without holding %s", a.typ, a.field, funcName, guard),
+			})
+		}
+	}
+
+	for _, lit := range literals {
+		out = append(out, checkGuardedBody(p, env, guards, lit, funcName+" (func literal)")...)
+	}
+	return out
+}
+
+// lockEventOf recognizes x.mu.Lock / RLock / Unlock / RUnlock.
+func lockEventOf(env *typeEnv, c *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var unlock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return lockEvent{}, false
+	}
+	owner, ok := unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{
+		pos:    c.Pos(),
+		path:   exprPath(owner.X),
+		typ:    env.baseType(owner.X),
+		mu:     owner.Sel.Name,
+		unlock: unlock,
+	}, true
+}
+
+// inTerminatingBlock reports whether the node's innermost statement list
+// (other than the context body itself) ends with a return or branch
+// statement — the `mu.Unlock(); return err` early-exit shape.
+func inTerminatingBlock(parents map[ast.Node]ast.Node, n ast.Node, body *ast.BlockStmt) bool {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		var list []ast.Stmt
+		switch b := cur.(type) {
+		case *ast.BlockStmt:
+			if b == body {
+				return false
+			}
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		if len(list) == 0 {
+			return false
+		}
+		switch list[len(list)-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// held reports whether the nearest preceding event on the access's guard
+// is a lock. Same-struct guards match on the instance path; cross-struct
+// guards match on the owning type, since the satellite's fields are
+// only reachable through the owner that holds the lock.
+func held(events []lockEvent, a guardedAccess) bool {
+	var last *lockEvent
+	for i := range events {
+		ev := &events[i]
+		if ev.pos >= a.pos {
+			break
+		}
+		if ev.mu != a.spec.mu {
+			continue
+		}
+		if a.spec.owner == "" {
+			if ev.path != a.path || ev.typ != a.typ {
+				continue
+			}
+		} else if ev.typ != a.spec.owner {
+			continue
+		}
+		last = ev
+	}
+	return last != nil && !last.unlock
+}

@@ -1,0 +1,367 @@
+package scvet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the shared syntactic type resolver behind the guardedby
+// (SV004) and atomicmix (SV007) analyzers. Both need to answer "which
+// package-local struct type does this expression have?" for receiver
+// fields, locals, call results and range variables — without the type
+// checker, which would drag in full import resolution the analyzer
+// deliberately avoids. The resolver is best-effort and sound in one
+// direction only: an expression it cannot resolve yields "", and callers
+// skip it rather than guess, keeping findings high-confidence.
+
+// envEntry records how one in-scope variable got its type: an explicit
+// declaration, a single-value initializer, one result of a multi-result
+// call, or a range clause. Resolution is lazy so entries may reference
+// variables declared later in the source (rare, but harmless).
+type envEntry struct {
+	typ       ast.Expr      // declared type expression
+	val       ast.Expr      // single-value initializer expression
+	call      *ast.CallExpr // multi-result call initializer
+	idx       int           // result index within call
+	rangeOver ast.Expr      // expression ranged over
+	rangeKey  bool          // range key (index/map key) rather than value
+}
+
+// typeEnv resolves expressions to declared type expressions within one
+// function's scope. Block shadowing is approximated by first-wins: the
+// first declaration of a name in source order sticks, which matches this
+// codebase's style (redeclarations of one name with different types in
+// one function do not occur).
+type typeEnv struct {
+	pkg  *Package
+	vars map[string]*envEntry
+}
+
+const maxResolveDepth = 24
+
+// newTypeEnv builds the scope environment for a function declaration:
+// receiver, parameters, named results, and every var/:=/range binding in
+// the body (including func literal bodies, which inherit the scope).
+func newTypeEnv(p *Package, fd *ast.FuncDecl) *typeEnv {
+	e := &typeEnv{pkg: p, vars: make(map[string]*envEntry)}
+	addField := func(fl *ast.Field) {
+		for _, nm := range fl.Names {
+			e.declare(nm.Name, &envEntry{typ: fl.Type})
+		}
+	}
+	if fd.Recv != nil {
+		for _, fl := range fd.Recv.List {
+			addField(fl)
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			addField(fl)
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, fl := range fd.Type.Results.List {
+			addField(fl)
+		}
+	}
+	if fd.Body != nil {
+		e.collect(fd.Body)
+	}
+	return e
+}
+
+func (e *typeEnv) declare(name string, ent *envEntry) {
+	if name == "" || name == "_" {
+		return
+	}
+	if _, ok := e.vars[name]; ok {
+		return // first declaration wins
+	}
+	e.vars[name] = ent
+}
+
+// collect walks a body recording every binding form.
+func (e *typeEnv) collect(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok != token.DEFINE {
+				return true
+			}
+			if len(v.Rhs) == len(v.Lhs) {
+				for i, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						e.declare(id.Name, &envEntry{val: v.Rhs[i]})
+					}
+				}
+			} else if len(v.Rhs) == 1 {
+				if call, ok := v.Rhs[0].(*ast.CallExpr); ok {
+					for i, lhs := range v.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							e.declare(id.Name, &envEntry{call: call, idx: i})
+						}
+					}
+				} else if ta, ok := v.Rhs[0].(*ast.TypeAssertExpr); ok && ta.Type != nil && len(v.Lhs) > 0 {
+					if id, ok := v.Lhs[0].(*ast.Ident); ok {
+						e.declare(id.Name, &envEntry{typ: ta.Type})
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if v.Type != nil {
+				for _, nm := range v.Names {
+					e.declare(nm.Name, &envEntry{typ: v.Type})
+				}
+			} else if len(v.Values) == len(v.Names) {
+				for i, nm := range v.Names {
+					e.declare(nm.Name, &envEntry{val: v.Values[i]})
+				}
+			} else if len(v.Values) == 1 {
+				if call, ok := v.Values[0].(*ast.CallExpr); ok {
+					for i, nm := range v.Names {
+						e.declare(nm.Name, &envEntry{call: call, idx: i})
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Literal parameters and named results join the scope: the
+			// literal's body is analyzed in the enclosing environment.
+			if v.Type.Params != nil {
+				for _, fl := range v.Type.Params.List {
+					for _, nm := range fl.Names {
+						e.declare(nm.Name, &envEntry{typ: fl.Type})
+					}
+				}
+			}
+			if v.Type.Results != nil {
+				for _, fl := range v.Type.Results.List {
+					for _, nm := range fl.Names {
+						e.declare(nm.Name, &envEntry{typ: fl.Type})
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if v.Tok == token.DEFINE {
+				if id, ok := v.Key.(*ast.Ident); ok {
+					e.declare(id.Name, &envEntry{rangeOver: v.X, rangeKey: true})
+				}
+				if id, ok := v.Value.(*ast.Ident); ok {
+					e.declare(id.Name, &envEntry{rangeOver: v.X})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}
+
+// stripRefs peels pointers and parens off a *type* expression.
+func stripRefs(t ast.Expr) ast.Expr {
+	for {
+		switch v := t.(type) {
+		case *ast.ParenExpr:
+			t = v.X
+		case *ast.StarExpr:
+			t = v.X
+		default:
+			return t
+		}
+	}
+}
+
+// typeOf resolves a value expression to its declared type expression, or
+// nil when the type is not syntactically derivable.
+func (e *typeEnv) typeOf(x ast.Expr) ast.Expr {
+	return e.typeOfDepth(x, 0)
+}
+
+func (e *typeEnv) typeOfDepth(x ast.Expr, depth int) ast.Expr {
+	if depth > maxResolveDepth {
+		return nil
+	}
+	depth++
+	switch v := unparen(x).(type) {
+	case *ast.Ident:
+		ent, ok := e.vars[v.Name]
+		if !ok {
+			return nil
+		}
+		return e.entryType(ent, depth)
+	case *ast.SelectorExpr:
+		base := baseTypeIdent0(e.typeOfDepth(v.X, depth))
+		if base == "" {
+			return nil
+		}
+		if ft, ok := e.pkg.Structs[base][v.Sel.Name]; ok {
+			return ft
+		}
+		return nil
+	case *ast.StarExpr: // dereference
+		t := e.typeOfDepth(v.X, depth)
+		if st, ok := t.(*ast.StarExpr); ok {
+			return st.X
+		}
+		return t
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			// &x has the base type of x for our purposes.
+			return e.typeOfDepth(v.X, depth)
+		}
+		return nil
+	case *ast.IndexExpr:
+		t := stripRefs(e.typeOfDepth(v.X, depth))
+		switch tt := t.(type) {
+		case *ast.ArrayType:
+			return tt.Elt
+		case *ast.MapType:
+			return tt.Value
+		}
+		return nil
+	case *ast.CallExpr:
+		// A conversion to a package struct type: T(x).
+		if id, ok := unparen(v.Fun).(*ast.Ident); ok {
+			if _, isType := e.pkg.Structs[id.Name]; isType {
+				return id
+			}
+		}
+		fd := e.calleeDecl(v, depth)
+		if fd == nil {
+			return nil
+		}
+		return resultType(fd, 0)
+	case *ast.TypeAssertExpr:
+		return v.Type
+	case *ast.CompositeLit:
+		return v.Type
+	}
+	return nil
+}
+
+// entryType resolves an environment entry to a type expression.
+func (e *typeEnv) entryType(ent *envEntry, depth int) ast.Expr {
+	switch {
+	case ent.typ != nil:
+		return ent.typ
+	case ent.rangeOver != nil:
+		t := stripRefs(e.typeOfDepth(ent.rangeOver, depth))
+		switch tt := t.(type) {
+		case *ast.ArrayType:
+			if ent.rangeKey {
+				return nil // int index
+			}
+			return tt.Elt
+		case *ast.MapType:
+			if ent.rangeKey {
+				return tt.Key
+			}
+			return tt.Value
+		case *ast.ChanType:
+			if !ent.rangeKey {
+				return nil
+			}
+			return tt.Value
+		}
+		return nil
+	case ent.call != nil:
+		fd := e.calleeDecl(ent.call, depth)
+		if fd == nil {
+			return nil
+		}
+		return resultType(fd, ent.idx)
+	case ent.val != nil:
+		return e.typeOfDepth(ent.val, depth)
+	}
+	return nil
+}
+
+// calleeDecl resolves a call to a same-package function or method
+// declaration, when the callee is syntactically identifiable.
+func (e *typeEnv) calleeDecl(c *ast.CallExpr, depth int) *ast.FuncDecl {
+	switch f := unparen(c.Fun).(type) {
+	case *ast.Ident:
+		return e.pkg.Funcs[f.Name]
+	case *ast.SelectorExpr:
+		base := baseTypeIdent0(e.typeOfDepth(f.X, depth))
+		if base == "" {
+			return nil
+		}
+		return e.pkg.Methods[base][f.Sel.Name]
+	}
+	return nil
+}
+
+// resultType returns the idx-th result type of a function declaration,
+// flattening multi-name result fields.
+func resultType(fd *ast.FuncDecl, idx int) ast.Expr {
+	if fd.Type.Results == nil {
+		return nil
+	}
+	i := 0
+	for _, fl := range fd.Type.Results.List {
+		n := len(fl.Names)
+		if n == 0 {
+			n = 1
+		}
+		if idx < i+n {
+			return fl.Type
+		}
+		i += n
+	}
+	return nil
+}
+
+// baseType resolves a value expression to the identifier of its
+// package-local base type ("" when unknown).
+func (e *typeEnv) baseType(x ast.Expr) string {
+	return baseTypeIdent0(e.typeOf(x))
+}
+
+// baseTypeIdent0 is baseTypeIdent tolerating nil.
+func baseTypeIdent0(t ast.Expr) string {
+	if t == nil {
+		return ""
+	}
+	return baseTypeIdent(stripRefs(t))
+}
+
+// exprPath renders a selector chain as a dotted path ("s.resume",
+// "p.backends[]"); "" when the expression is not a plain chain. Index
+// operations collapse to "[]" so two accesses through the same
+// collection compare equal.
+func exprPath(x ast.Expr) string {
+	switch v := x.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		p := exprPath(v.X)
+		if p == "" {
+			return ""
+		}
+		return p + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(v.X)
+	case *ast.StarExpr:
+		return exprPath(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return exprPath(v.X)
+		}
+		return ""
+	case *ast.IndexExpr:
+		p := exprPath(v.X)
+		if p == "" {
+			return ""
+		}
+		return p + "[]"
+	}
+	return ""
+}

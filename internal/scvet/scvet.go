@@ -7,17 +7,31 @@
 // function, or a struct field missing from a clone, is a soundness bug
 // that no unit test reliably catches (Go randomizes map order per run).
 //
-// Two analyses are provided, purely syntactic (go/ast, no type checker):
+// Since PRs 2–5 grew the repo into a distributed checking service, the
+// invariants worth machine-checking are no longer only the checker's: the
+// serving and grid layers rest on lock discipline, wire-flag hygiene, and
+// the proxy's structural inability to alter verdicts. scvet v2 is a
+// multichecker of named analyzers, purely syntactic (go/ast, no type
+// checker):
 //
-//   - SV001 map-range-encoding: a `for ... range` over a map whose body
-//     feeds a canonical encoding or a transition list. The sorted-keys
-//     idiom (collect keys into a slice, sort, then iterate) is recognized
-//     and not flagged; a collected-but-never-sorted slice is.
-//   - SV002 clone-incomplete: a composite literal inside a Clone/clone
+//   - SV001 maprange: a `for ... range` over a map whose body feeds a
+//     canonical encoding or a transition list. The sorted-keys idiom
+//     (collect keys into a slice, sort, then iterate) is recognized and
+//     not flagged; a collected-but-never-sorted slice is.
+//   - SV002 clone (incomplete): a composite literal inside a Clone/clone
 //     function that, together with later field assignments to the same
 //     variable, does not cover every field of its struct type.
-//   - SV003 clone-unread-field: a field of a Clone method's receiver type
-//     that the method body never mentions at all.
+//   - SV003 clone (unread field): a field of a Clone method's receiver
+//     type that the method body never mentions at all.
+//   - SV004 guardedby: struct fields annotated `// guarded by <mu>` must
+//     only be touched while the named mutex is held (see guardedby.go).
+//   - SV005 wireflag: wire flag bits live in the internal/descriptor
+//     registry; parsers mask-and-reject, encoders set declared bits only
+//     (see wireflag.go).
+//   - SV006 verdictpurity: functions marked `//scvet:verdict-transparent`
+//     must not reference verdict-constructing APIs (see verdictpurity.go).
+//   - SV007 atomicmix: a field accessed via sync/atomic anywhere must
+//     never be accessed plainly elsewhere (see atomicmix.go).
 //
 // Being syntactic, the analyses resolve types only as far as receiver,
 // parameter and local declarations allow; unresolvable expressions are
@@ -46,7 +60,46 @@ const (
 	// RuleCloneUnread flags receiver fields never mentioned in a Clone
 	// method.
 	RuleCloneUnread = "SV003"
+	// RuleGuardedBy flags accesses to `// guarded by <mu>` fields outside
+	// the named mutex's critical section.
+	RuleGuardedBy = "SV004"
+	// RuleWireFlag flags wire flag bits invented outside the registry,
+	// registry collisions, parsers that do not mask-and-reject, and
+	// encoders that set raw bits.
+	RuleWireFlag = "SV005"
+	// RuleVerdictPurity flags verdict-constructing references inside code
+	// marked verdict-transparent.
+	RuleVerdictPurity = "SV006"
+	// RuleAtomicMix flags plain accesses to fields that are elsewhere
+	// accessed through sync/atomic, and by-value copies of atomic.* typed
+	// fields.
+	RuleAtomicMix = "SV007"
 )
+
+// An Analyzer is one named analysis pass over a parsed package.
+type Analyzer struct {
+	// Name is the short analyzer name used for -rules selection.
+	Name string
+	// Rules lists the rule IDs the analyzer can emit.
+	Rules []string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Package) []Finding
+}
+
+// Analyzers returns the full multichecker suite in rule order. The slice
+// is freshly allocated; callers may filter it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		{Name: "maprange", Rules: []string{RuleMapRange}, Doc: "map iteration feeding canonical encodings or transition lists", Run: analyzeMapRange},
+		{Name: "clone", Rules: []string{RuleCloneIncomplete, RuleCloneUnread}, Doc: "Clone methods that miss or never mention receiver fields", Run: analyzeClones},
+		{Name: "guardedby", Rules: []string{RuleGuardedBy}, Doc: "guarded-by annotated fields accessed without the named mutex", Run: analyzeGuardedBy},
+		{Name: "wireflag", Rules: []string{RuleWireFlag}, Doc: "wire flag bits outside the descriptor registry; parsers/encoders off contract", Run: analyzeWireFlag},
+		{Name: "verdictpurity", Rules: []string{RuleVerdictPurity}, Doc: "verdict-constructing references in verdict-transparent code", Run: analyzeVerdictPurity},
+		{Name: "atomicmix", Rules: []string{RuleAtomicMix}, Doc: "fields accessed both atomically and plainly", Run: analyzeAtomicMix},
+	}
+}
 
 // Finding is one rule violation at a source position.
 type Finding struct {
@@ -71,6 +124,15 @@ type Package struct {
 	Structs map[string]map[string]ast.Expr
 	// FieldOrder preserves declaration order for stable messages.
 	FieldOrder map[string][]string
+	// FieldDocs carries the comment text attached to each struct field
+	// (doc comment and line comment joined), for annotation-driven
+	// analyzers: type name -> field name -> comment text.
+	FieldDocs map[string]map[string]string
+	// Funcs indexes package-level functions by name; Methods indexes
+	// methods by receiver base type then name. Both feed the syntactic
+	// call-result type resolution in resolve.go.
+	Funcs   map[string]*ast.FuncDecl
+	Methods map[string]map[string]*ast.FuncDecl
 }
 
 // LoadDir parses every non-test Go file of a directory into a Package.
@@ -85,6 +147,9 @@ func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
 		Dir:        dir,
 		Structs:    make(map[string]map[string]ast.Expr),
 		FieldOrder: make(map[string][]string),
+		FieldDocs:  make(map[string]map[string]string),
+		Funcs:      make(map[string]*ast.FuncDecl),
+		Methods:    make(map[string]map[string]*ast.FuncDecl),
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -102,7 +167,31 @@ func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
 		return nil, nil
 	}
 	pkg.indexStructs()
+	pkg.indexFuncs()
 	return pkg, nil
+}
+
+func (p *Package) indexFuncs() {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil || len(fd.Recv.List) == 0 {
+				p.Funcs[fd.Name.Name] = fd
+				continue
+			}
+			recv := baseTypeIdent(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			if p.Methods[recv] == nil {
+				p.Methods[recv] = make(map[string]*ast.FuncDecl)
+			}
+			p.Methods[recv][fd.Name.Name] = fd
+		}
+	}
 }
 
 func (p *Package) indexStructs() {
@@ -117,23 +206,32 @@ func (p *Package) indexStructs() {
 				return true
 			}
 			fields := make(map[string]ast.Expr)
+			docs := make(map[string]string)
 			var order []string
 			for _, fl := range st.Fields.List {
+				doc := fieldCommentText(fl)
 				if len(fl.Names) == 0 {
 					// Embedded field: named by its type's identifier.
 					if id := baseTypeIdent(fl.Type); id != "" {
 						fields[id] = fl.Type
 						order = append(order, id)
+						if doc != "" {
+							docs[id] = doc
+						}
 					}
 					continue
 				}
 				for _, nm := range fl.Names {
 					fields[nm.Name] = fl.Type
 					order = append(order, nm.Name)
+					if doc != "" {
+						docs[nm.Name] = doc
+					}
 				}
 			}
 			p.Structs[ts.Name.Name] = fields
 			p.FieldOrder[ts.Name.Name] = order
+			p.FieldDocs[ts.Name.Name] = docs
 			return true
 		})
 	}
@@ -161,11 +259,45 @@ func isMapType(t ast.Expr) bool {
 	return ok
 }
 
+// hasDirective reports whether a comment group contains a `//scvet:name`
+// directive line. CommentGroup.Text() strips directive-shaped lines, so
+// markers must be searched in the raw comment list.
+func hasDirective(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "scvet:"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldCommentText joins a struct field's doc comment and trailing line
+// comment into one searchable string.
+func fieldCommentText(fl *ast.Field) string {
+	var parts []string
+	if fl.Doc != nil {
+		parts = append(parts, fl.Doc.Text())
+	}
+	if fl.Comment != nil {
+		parts = append(parts, fl.Comment.Text())
+	}
+	return strings.Join(parts, "\n")
+}
+
 // Analyze runs every analyzer over the package.
 func Analyze(p *Package) []Finding {
+	return AnalyzeWith(p, Analyzers())
+}
+
+// AnalyzeWith runs the given analyzers over the package.
+func AnalyzeWith(p *Package, as []*Analyzer) []Finding {
 	var out []Finding
-	out = append(out, analyzeMapRange(p)...)
-	out = append(out, analyzeClones(p)...)
+	for _, a := range as {
+		out = append(out, a.Run(p)...)
+	}
 	sortFindings(out)
 	return out
 }
@@ -186,11 +318,77 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// Run analyzes the packages named by the arguments: each argument is a
-// directory, or a "dir/..." pattern analyzed recursively. Directories
-// named testdata, vendor, or starting with "." or "_" are skipped during
-// recursion.
+// SelectAnalyzers resolves a comma-separated selection of analyzer names
+// and/or rule IDs ("guardedby,SV005") into the matching analyzers; the
+// empty selection means all of them.
+func SelectAnalyzers(sel string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(sel) == "" {
+		return all, nil
+	}
+	want := make(map[string]bool)
+	for _, s := range strings.Split(sel, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			want[s] = true
+		}
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		keep := want[a.Name]
+		for _, r := range a.Rules {
+			if want[r] {
+				keep = true
+			}
+			delete(want, r)
+		}
+		delete(want, a.Name)
+		if keep {
+			out = append(out, a)
+		}
+	}
+	for s := range want {
+		return nil, fmt.Errorf("unknown analyzer or rule %q", s)
+	}
+	return out, nil
+}
+
+// Summary renders the one-line rule-tagged tally used as the final
+// stderr line when scvet fails the build, e.g.
+// "scvet: 3 findings [SV004 x2, SV007 x1]".
+func Summary(fs []Finding) string {
+	if len(fs) == 0 {
+		return "scvet: clean"
+	}
+	counts := make(map[string]int)
+	for _, f := range fs {
+		counts[f.Rule]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = fmt.Sprintf("%s x%d", r, counts[r])
+	}
+	noun := "findings"
+	if len(fs) == 1 {
+		noun = "finding"
+	}
+	return fmt.Sprintf("scvet: %d %s [%s]", len(fs), noun, strings.Join(parts, ", "))
+}
+
+// Run analyzes the packages named by the arguments with every analyzer:
+// each argument is a directory, or a "dir/..." pattern analyzed
+// recursively. Directories named testdata, vendor, or starting with "."
+// or "_" are skipped during recursion.
 func Run(args []string) ([]Finding, error) {
+	return RunAnalyzers(args, Analyzers())
+}
+
+// RunAnalyzers is Run restricted to the given analyzers.
+func RunAnalyzers(args []string, as []*Analyzer) ([]Finding, error) {
 	fset := token.NewFileSet()
 	var dirs []string
 	seen := make(map[string]struct{})
@@ -238,7 +436,7 @@ func Run(args []string) ([]Finding, error) {
 		if pkg == nil {
 			continue
 		}
-		out = append(out, Analyze(pkg)...)
+		out = append(out, AnalyzeWith(pkg, as)...)
 	}
 	sortFindings(out)
 	return out, nil

@@ -1,0 +1,53 @@
+// Package atomicmixpkg seeds SV007 atomicmix violations: fields touched
+// both through sync/atomic and plainly, and by-value uses of
+// atomic-typed fields, next to the legal uses (method calls,
+// address-taking, and pointer-to-atomic fields).
+package atomicmixpkg
+
+import "sync/atomic"
+
+type gauge struct {
+	hits   int64 // updated via atomic.AddInt64, read plainly below
+	misses int64 // atomic-only: clean
+	total  atomic.Int64
+	depth  *atomic.Int64 // pointer to atomic: copying the pointer is fine
+}
+
+func (g *gauge) hit()  { atomic.AddInt64(&g.hits, 1) }
+func (g *gauge) miss() { atomic.AddInt64(&g.misses, 1) }
+
+func (g *gauge) missCount() int64 { return atomic.LoadInt64(&g.misses) }
+
+// snapshot reads a counter plainly that hit() updates atomically.
+func (g *gauge) snapshot() int64 {
+	return g.hits // want "plain access in snapshot races with it"
+}
+
+// reset writes the same counter plainly.
+func (g *gauge) reset() {
+	g.hits = 0 // want "plain access in reset races with it"
+}
+
+// bump and share are the legal uses of an atomic-typed field: method
+// calls and address-taking.
+func (g *gauge) bump() { g.total.Add(1) }
+
+func (g *gauge) share() *atomic.Int64 { return &g.total }
+
+// leak copies the atomic value out, snapshotting its internal state.
+func (g *gauge) leak() atomic.Int64 {
+	return g.total // want "atomic-typed field gauge.total copied by value"
+}
+
+// clobber replaces the atomic value wholesale.
+func (g *gauge) clobber() {
+	g.total = atomic.Int64{} // want "atomic-typed field gauge.total reassigned; use its Store method"
+}
+
+// swap moves the pointer-to-atomic field around; both the copy and the
+// reassignment are pointer operations, not state copies.
+func (g *gauge) swap(d *atomic.Int64) *atomic.Int64 {
+	old := g.depth
+	g.depth = d
+	return old
+}

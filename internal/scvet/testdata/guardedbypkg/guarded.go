@@ -1,0 +1,92 @@
+// Package guardedbypkg seeds SV004 guardedby violations next to the
+// locking idioms the analyzer must accept: defer-unlock, early-exit
+// unlock, Locked-suffix lock-transfer helpers, and cross-struct owner
+// guards.
+package guardedbypkg
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// inc touches the guarded field with no lock in sight.
+func (c *counter) inc() {
+	c.n++ // want "counter.n accessed in inc without holding mu"
+}
+
+// incLocked is the lock-transfer idiom: the caller holds mu, so the
+// helper body is exempt.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+// get is the defer idiom: the unlock fires at return, after the read.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// drain is the early-exit idiom: the first unlock leaves the function
+// with its return, so the accesses below it are still under the lock.
+func (c *counter) drain() int {
+	c.mu.Lock()
+	if c.n == 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.n = 0
+	c.mu.Unlock()
+	return n
+}
+
+// stale reads the field again after releasing the lock.
+func (c *counter) stale() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n + c.n // want "counter.n accessed in stale without holding mu"
+}
+
+// spawn hands the field to a goroutine: the literal runs outside the
+// critical section even though it is spawned inside one.
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "counter.n accessed in spawn .func literal. without holding mu"
+	}()
+}
+
+// store owns items; elements are only reachable under store.mu.
+type store struct {
+	mu    sync.Mutex
+	items map[string]*item // guarded by mu
+}
+
+// item fields are guarded by the owning store's lock.
+type item struct {
+	hits int // guarded by store.mu
+}
+
+// bump holds the owner's lock: the map and the element field are both
+// legally touched, the latter through the cross-struct guard.
+func (s *store) bump(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k].hits++
+}
+
+// bumpRaw touches an element with no owner lock anywhere in scope.
+func bumpRaw(it *item) {
+	it.hits++ // want "item.hits accessed in bumpRaw without holding store.mu"
+}
+
+// wonky's annotation names a guard that does not exist; the annotation
+// itself is the finding.
+type wonky struct {
+	x int // guarded by missing -- want "not a field of wonky"
+}

@@ -1,0 +1,84 @@
+// Package verdictpuritypkg seeds SV006 verdictpurity violations: a
+// miniature of the scgrid proxy, with verdict-transparent relays that
+// construct, encode, or mutate verdicts next to one that only parses.
+package verdictpuritypkg
+
+import "io"
+
+type Verdict struct {
+	Code int
+	Note string
+}
+
+// ParseVerdict decodes a verdict frame. Parse-named functions build the
+// value they return, but calling them is reading — they neither taint
+// their callers nor trip the transparent relays below.
+func ParseVerdict(p []byte) (Verdict, bool) {
+	if len(p) == 0 {
+		return Verdict{}, false
+	}
+	return Verdict{Code: int(p[0])}, true
+}
+
+// AppendVerdict encodes a verdict onto a frame.
+func AppendVerdict(dst []byte, v Verdict) []byte {
+	return append(dst, byte(v.Code))
+}
+
+// deliver writes a synthesized verdict frame: tainted through
+// AppendVerdict.
+func deliver(w io.Writer, v Verdict) {
+	w.Write(AppendVerdict(nil, v))
+}
+
+// notify is tainted transitively: it builds a Verdict and hands it to
+// deliver.
+func notify(w io.Writer, code int) {
+	deliver(w, Verdict{Code: code})
+}
+
+// relay is the allowed shape: forward frames verbatim, parse verdicts
+// read-only for accounting.
+//
+//scvet:verdict-transparent
+func relay(dst io.Writer, frames [][]byte, accepts *int) {
+	for _, f := range frames {
+		if v, ok := ParseVerdict(f); ok && v.Code == 0 {
+			*accepts++
+		}
+		dst.Write(f)
+	}
+}
+
+// relayInjecting answers for the backend through an innocently-named
+// helper — the taint closure catches it.
+//
+//scvet:verdict-transparent
+func relayInjecting(dst io.Writer, frames [][]byte) {
+	for _, f := range frames {
+		if len(f) == 0 {
+			notify(dst, 2) // want "calls notify, which constructs or encodes verdicts"
+			continue
+		}
+		dst.Write(f)
+	}
+}
+
+// relayConstructing manufactures and encodes a verdict inline.
+//
+//scvet:verdict-transparent
+func relayConstructing(dst io.Writer) {
+	v := Verdict{Code: 1}            // want "constructs a Verdict literal"
+	dst.Write(AppendVerdict(nil, v)) // want "calls verdict-constructing AppendVerdict"
+}
+
+// relayMutating rewrites a parsed verdict before forwarding it.
+//
+//scvet:verdict-transparent
+func relayMutating(dst io.Writer, f []byte) {
+	v, ok := ParseVerdict(f)
+	if ok {
+		v.Note = "scrubbed" // want "mutates verdict field v.Note"
+	}
+	dst.Write(f)
+}

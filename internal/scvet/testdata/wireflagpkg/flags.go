@@ -1,0 +1,70 @@
+// Package wireflagpkg seeds SV005 wireflag violations around a local
+// flag registry, next to conforming masks, aliases, parsers and
+// encoders.
+package wireflagpkg
+
+// The package's bit registry: one family may not reuse a bit.
+//
+//scvet:wireflag-registry
+const (
+	HelloFlagToken  = 1 << 0
+	HelloFlagResume = 1 << 1
+	HelloFlagEcho   = 0x02 // want "registry flag HelloFlagEcho .0x2. shares bits with HelloFlagResume"
+	VerdictFlagTier = 1 << 0
+)
+
+// Masks are compositions of registry bits, not allocations.
+const (
+	HelloFlagMask   = HelloFlagToken | HelloFlagResume | HelloFlagEcho
+	VerdictFlagMask = VerdictFlagTier
+)
+
+// Aliasing a registry name is fine; minting a bit outside the registry
+// is not.
+const (
+	helloFlagDefault = HelloFlagToken
+	helloFlagRogue   = 1 << 5 // want "flag constant helloFlagRogue declares its own bit"
+)
+
+// parseHelloFlags is the conforming parser shape: keep what the
+// registry declares, reject everything else.
+func parseHelloFlags(v uint64) (uint64, bool) {
+	if v&^HelloFlagMask != 0 {
+		return 0, false
+	}
+	return v & HelloFlagMask, true
+}
+
+// parseVerdictFlags takes its family's bits without ever rejecting
+// undeclared ones.
+func parseVerdictFlags(v uint64) uint64 { // want "parseVerdictFlags parses verdict flags but never masks-and-rejects"
+	return v & VerdictFlagTier
+}
+
+// encodeHello sets declared bits only.
+func encodeHello(token, resume bool) uint64 {
+	var f uint64
+	if token {
+		f |= HelloFlagToken
+	}
+	if resume {
+		f |= HelloFlagResume
+	}
+	return f
+}
+
+// encodeHelloSneaky ORs an unregistered bit into a flag variable.
+func encodeHelloSneaky(token bool) uint64 {
+	var f uint64
+	if token {
+		f |= HelloFlagToken
+	}
+	f |= 1 << 6 // want "encodeHelloSneaky ORs a raw bit into flag variable"
+	return f
+}
+
+// encodeHelloMixed mixes a raw bit into a flag expression in one shot.
+func encodeHelloMixed(v uint64) uint64 {
+	f := HelloFlagToken | 1<<6 // want "encodeHelloMixed mixes a raw bit into a wire-flag expression"
+	return v | uint64(f)
+}

@@ -1,0 +1,227 @@
+package scvet
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// SV006 verdictpurity: a function marked `//scvet:verdict-transparent`
+// relays verdicts without the ability to manufacture or alter one. PR 5's
+// scgrid proxy claims exactly this — "the proxy structurally cannot
+// change a verdict" — and this analyzer turns the claim into a build
+// property: inject a verdict-constructing call into the marked splice
+// path and scvet fails.
+//
+// Within a marked function (func literals included), three shapes are
+// findings:
+//
+//  1. a composite literal of a type whose name ends in "Verdict"
+//     (scserve.Verdict{...} and friends) — constructing a verdict;
+//  2. a call whose callee name ends in "Verdict" — except Parse-prefixed
+//     names, which read one off the wire and are exactly what a
+//     transparent relay does for accounting;
+//  3. a call to a same-package function that is itself verdict-tainted:
+//     it constructs a verdict literal, calls an Append*/appendVerdict
+//     encoder, or (transitively) calls another tainted function. The
+//     taint closure is what catches an innocently-named helper like
+//     deliver() that writes a synthesized verdict frame.
+//
+// Writes through a selector whose base resolves to a *Verdict-typed
+// variable are also flagged (mutating a parsed verdict before relaying
+// it); reads are allowed.
+
+const verdictTransparentMarker = "verdict-transparent"
+
+// lastTypeName returns the final identifier of a (possibly qualified,
+// pointered, generic) type or callee expression.
+func lastTypeName(x ast.Expr) string {
+	switch v := x.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.StarExpr:
+		return lastTypeName(v.X)
+	case *ast.ParenExpr:
+		return lastTypeName(v.X)
+	case *ast.IndexExpr:
+		return lastTypeName(v.X)
+	}
+	return ""
+}
+
+func isVerdictName(name string) bool {
+	return strings.HasSuffix(name, "Verdict") && name != "Verdict"
+}
+
+func isParseName(name string) bool {
+	return strings.HasPrefix(name, "Parse") || strings.HasPrefix(name, "parse")
+}
+
+// verdictConstructingName: a callee name that manufactures or encodes a
+// verdict. Type names themselves ("Verdict") used as conversions count.
+func verdictConstructingName(name string) bool {
+	if isParseName(name) {
+		return false
+	}
+	return strings.HasSuffix(name, "Verdict") || strings.HasPrefix(name, "appendVerdict") || strings.HasPrefix(name, "AppendVerdict")
+}
+
+// directlyTainted reports whether a function body constructs a verdict
+// on its own: a Verdict composite literal or a verdict-constructing
+// call by name.
+func directlyTainted(fd *ast.FuncDecl) bool {
+	tainted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CompositeLit:
+			if name := lastTypeName(v.Type); name == "Verdict" || isVerdictName(name) {
+				tainted = true
+			}
+		case *ast.CallExpr:
+			if verdictConstructingName(lastTypeName(v.Fun)) {
+				tainted = true
+			}
+		}
+		return !tainted
+	})
+	return tainted
+}
+
+func analyzeVerdictPurity(p *Package) []Finding {
+	var out []Finding
+
+	// Find marked functions; nothing to do in packages without them.
+	var marked []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, verdictTransparentMarker) {
+				marked = append(marked, fd)
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+
+	// Package-level taint closure over same-package calls, by name: an
+	// ident call resolves to the package function; a method call taints
+	// if any package type has a tainted method of that name (the
+	// over-approximation keeps the check sound for the marked path).
+	tainted := make(map[string]bool) // function or method name -> tainted
+	var all []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				all = append(all, fd)
+				if directlyTainted(fd) {
+					tainted[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range all {
+			if tainted[fd.Name.Name] {
+				continue
+			}
+			hit := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// Parse-named callees never propagate taint: parsing a
+				// verdict is reading, even though the parser's own body
+				// constructs the value it returns.
+				switch fun := unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if _, local := p.Funcs[fun.Name]; local && tainted[fun.Name] && !isParseName(fun.Name) {
+						hit = true
+					}
+				case *ast.SelectorExpr:
+					// Same-package method by name, any receiver type.
+					for _, ms := range p.Methods {
+						if _, ok := ms[fun.Sel.Name]; ok && tainted[fun.Sel.Name] && !isParseName(fun.Sel.Name) {
+							hit = true
+						}
+					}
+				}
+				return !hit
+			})
+			if hit {
+				tainted[fd.Name.Name] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range marked {
+		env := newTypeEnv(p, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CompositeLit:
+				if name := lastTypeName(v.Type); name == "Verdict" || isVerdictName(name) {
+					out = append(out, Finding{
+						Rule: RuleVerdictPurity,
+						Pos:  p.Fset.Position(v.Pos()),
+						Msg:  fmt.Sprintf("verdict-transparent %s constructs a %s literal", fd.Name.Name, name),
+					})
+				}
+			case *ast.CallExpr:
+				name := lastTypeName(v.Fun)
+				if verdictConstructingName(name) {
+					out = append(out, Finding{
+						Rule: RuleVerdictPurity,
+						Pos:  p.Fset.Position(v.Pos()),
+						Msg:  fmt.Sprintf("verdict-transparent %s calls verdict-constructing %s", fd.Name.Name, name),
+					})
+					return true
+				}
+				if name != "" && tainted[name] && !isParseName(name) {
+					// Only same-package callees can be tainted.
+					local := false
+					switch fun := unparen(v.Fun).(type) {
+					case *ast.Ident:
+						_, local = p.Funcs[fun.Name]
+					case *ast.SelectorExpr:
+						for _, ms := range p.Methods {
+							if _, ok := ms[fun.Sel.Name]; ok {
+								local = true
+							}
+						}
+					}
+					if local {
+						out = append(out, Finding{
+							Rule: RuleVerdictPurity,
+							Pos:  p.Fset.Position(v.Pos()),
+							Msg:  fmt.Sprintf("verdict-transparent %s calls %s, which constructs or encodes verdicts", fd.Name.Name, name),
+						})
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					sel, ok := unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if bt := env.baseType(sel.X); bt == "Verdict" || isVerdictName(bt) {
+						out = append(out, Finding{
+							Rule: RuleVerdictPurity,
+							Pos:  p.Fset.Position(lhs.Pos()),
+							Msg:  fmt.Sprintf("verdict-transparent %s mutates verdict field %s", fd.Name.Name, exprPath(sel)),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package scvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// SV005 wireflag: wire-format flag bits are allocated exactly once, in a
+// registry const block marked `//scvet:wireflag-registry` (the block in
+// internal/descriptor). A bit reused for two meanings parses cleanly on
+// both ends of a connection and silently changes session semantics — the
+// failure mode no dynamic test catches, because both peers agree. Four
+// checks enforce the contract:
+//
+//  1. registry hygiene: within a marked block, constants of one family
+//     (hello / verdict / ack, by naming convention <family>Flag<Name>)
+//     must not share bits;
+//  2. no invented bits: a flag-named constant declared outside a marked
+//     block must alias a flag-named constant (registry bit or mask), not
+//     carry its own numeric value;
+//  3. parsers mask-and-reject: a function named parse* that references a
+//     family's flag constants must contain an `&^` (or `&^=`) masking
+//     expression over that family — the shape of "strip what I handle,
+//     reject the rest";
+//  4. encoders set declared bits only: in a function that ORs flag
+//     constants into a variable, ORing a raw numeric bit into the same
+//     variable (or mixing a literal into a flag expression) is flagged.
+//
+// Constant values are evaluated for literals, shifts, ors and in-scope
+// const references; unresolvable values are skipped, not guessed.
+
+var (
+	flagNameRE = regexp.MustCompile(`(?i)^(hello|verdict|ack)flag`)
+	maskNameRE = regexp.MustCompile(`(?i)flagmask$`)
+	parseFnRE  = regexp.MustCompile(`(?i)^parse`)
+)
+
+// flagFamily returns the lowercased wire family of a flag-named
+// identifier, or "".
+func flagFamily(name string) string {
+	m := flagNameRE.FindStringSubmatch(name)
+	if m == nil {
+		return ""
+	}
+	return strings.ToLower(m[1])
+}
+
+// isWireFlagRef reports whether an expression is built purely from
+// references to flag-named constants (possibly or-ed together), and if
+// so which families it touches.
+func isWireFlagRef(x ast.Expr, fams map[string]bool) bool {
+	switch v := unparen(x).(type) {
+	case *ast.Ident:
+		f := flagFamily(v.Name)
+		if f == "" {
+			return false
+		}
+		fams[f] = true
+		return true
+	case *ast.SelectorExpr:
+		f := flagFamily(v.Sel.Name)
+		if f == "" {
+			return false
+		}
+		fams[f] = true
+		return true
+	case *ast.BinaryExpr:
+		if v.Op != token.OR {
+			return false
+		}
+		return isWireFlagRef(v.X, fams) && isWireFlagRef(v.Y, fams)
+	case *ast.CallExpr:
+		// A conversion like byte(flag) keeps the reference.
+		if len(v.Args) == 1 {
+			return isWireFlagRef(v.Args[0], fams)
+		}
+	}
+	return false
+}
+
+// containsRawBit reports whether an expression contains a nonzero
+// integer literal or a shift — a bit not named by any constant.
+func containsRawBit(x ast.Expr) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+			if v, err := strconv.ParseUint(lit.Value, 0, 64); err == nil && v != 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// touchesFlag reports which flag families an arbitrary expression
+// references, without requiring the whole expression to be flag-pure.
+func touchesFlag(x ast.Expr, fams map[string]bool) {
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if f := flagFamily(v.Name); f != "" {
+				fams[f] = true
+			}
+		case *ast.SelectorExpr:
+			if f := flagFamily(v.Sel.Name); f != "" {
+				fams[f] = true
+			}
+			return false // don't double-count the base
+		}
+		return true
+	})
+}
+
+func analyzeWireFlag(p *Package) []Finding {
+	var out []Finding
+
+	// Pass 1: registries and package-level flag constants.
+	consts := make(map[string]uint64) // resolvable const values, for eval
+	type regConst struct {
+		name  string
+		val   uint64
+		known bool
+		pos   token.Pos
+	}
+	var registry []regConst
+	inRegistry := make(map[string]bool)
+
+	evalConst := func(x ast.Expr) (uint64, bool) {
+		var eval func(x ast.Expr) (uint64, bool)
+		eval = func(x ast.Expr) (uint64, bool) {
+			switch v := unparen(x).(type) {
+			case *ast.BasicLit:
+				if v.Kind != token.INT {
+					return 0, false
+				}
+				n, err := strconv.ParseUint(v.Value, 0, 64)
+				return n, err == nil
+			case *ast.Ident:
+				n, ok := consts[v.Name]
+				return n, ok
+			case *ast.BinaryExpr:
+				a, okA := eval(v.X)
+				b, okB := eval(v.Y)
+				if !okA || !okB {
+					return 0, false
+				}
+				switch v.Op {
+				case token.SHL:
+					return a << b, true
+				case token.OR:
+					return a | b, true
+				case token.AND:
+					return a & b, true
+				case token.ADD:
+					return a + b, true
+				}
+			}
+			return 0, false
+		}
+		return eval(x)
+	}
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			marked := hasDirective(gd.Doc, "wireflag-registry")
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, nm := range vs.Names {
+					var val ast.Expr
+					if i < len(vs.Values) {
+						val = vs.Values[i]
+					}
+					if val != nil {
+						if v, ok := evalConst(val); ok {
+							consts[nm.Name] = v
+						}
+					}
+					if flagFamily(nm.Name) == "" {
+						continue
+					}
+					if marked {
+						inRegistry[nm.Name] = true
+						if maskNameRE.MatchString(nm.Name) {
+							continue
+						}
+						v, known := uint64(0), false
+						if val != nil {
+							v, known = evalConst(val)
+						}
+						registry = append(registry, regConst{name: nm.Name, val: v, known: known, pos: nm.Pos()})
+						continue
+					}
+					// Outside a registry: masks are compositions, not
+					// allocations; anything else must alias a flag name.
+					if maskNameRE.MatchString(nm.Name) {
+						continue
+					}
+					fams := make(map[string]bool)
+					if val == nil || !isWireFlagRef(val, fams) {
+						out = append(out, Finding{
+							Rule: RuleWireFlag,
+							Pos:  p.Fset.Position(nm.Pos()),
+							Msg:  fmt.Sprintf("flag constant %s declares its own bit; allocate it in the wireflag registry (internal/descriptor) and alias it here", nm.Name),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Registry family-collision check.
+	for i, rc := range registry {
+		if !rc.known {
+			continue
+		}
+		fam := flagFamily(rc.name)
+		for _, prev := range registry[:i] {
+			if prev.known && flagFamily(prev.name) == fam && prev.val&rc.val != 0 {
+				out = append(out, Finding{
+					Rule: RuleWireFlag,
+					Pos:  p.Fset.Position(rc.pos),
+					Msg:  fmt.Sprintf("registry flag %s (%#x) shares bits with %s (%#x) in the %s family", rc.name, rc.val, prev.name, prev.val, fam),
+				})
+			}
+		}
+	}
+
+	// Pass 2: parser and encoder discipline, per function.
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkFlagFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+func checkFlagFunc(p *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+
+	used := make(map[string]bool)   // families referenced anywhere
+	masked := make(map[string]bool) // families appearing in &^ masking
+	type orAssign struct {
+		lhs  string
+		rhs  ast.Expr
+		pos  token.Pos
+		fams map[string]bool
+	}
+	var ors []orAssign
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if f := flagFamily(v.Name); f != "" {
+				used[f] = true
+			}
+		case *ast.SelectorExpr:
+			if f := flagFamily(v.Sel.Name); f != "" {
+				used[f] = true
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.AND_NOT {
+				touchesFlag(v.Y, masked)
+				touchesFlag(v.X, masked)
+			}
+		case *ast.AssignStmt:
+			switch v.Tok {
+			case token.AND_NOT_ASSIGN:
+				for _, r := range v.Rhs {
+					touchesFlag(r, masked)
+				}
+			case token.OR_ASSIGN:
+				if len(v.Lhs) == 1 && len(v.Rhs) == 1 {
+					fams := make(map[string]bool)
+					touchesFlag(v.Rhs[0], fams)
+					ors = append(ors, orAssign{lhs: exprPath(v.Lhs[0]), rhs: v.Rhs[0], pos: v.Pos(), fams: fams})
+				}
+			case token.ASSIGN, token.DEFINE:
+				// Mixing a raw bit into a flag expression in one shot:
+				// flags = helloFlagToken | 1<<6.
+				for _, r := range v.Rhs {
+					if be, ok := unparen(r).(*ast.BinaryExpr); ok && be.Op == token.OR {
+						fams := make(map[string]bool)
+						touchesFlag(be, fams)
+						if len(fams) > 0 && containsRawBit(be) {
+							out = append(out, Finding{
+								Rule: RuleWireFlag,
+								Pos:  p.Fset.Position(r.Pos()),
+								Msg:  fmt.Sprintf("%s mixes a raw bit into a wire-flag expression; declare the bit in the wireflag registry", fd.Name.Name),
+							})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Parser contract: parse* functions referencing a family must mask
+	// that family with &^ somewhere.
+	if parseFnRE.MatchString(fd.Name.Name) {
+		for fam := range used {
+			if !masked[fam] {
+				out = append(out, Finding{
+					Rule: RuleWireFlag,
+					Pos:  p.Fset.Position(fd.Pos()),
+					Msg:  fmt.Sprintf("%s parses %s flags but never masks-and-rejects undeclared bits (no &^ over the %s family)", fd.Name.Name, fam, fam),
+				})
+			}
+		}
+	}
+
+	// Encoder contract: a variable that receives flag constants by |=
+	// must never receive a raw numeric bit by |=.
+	flagVars := make(map[string]bool)
+	for _, o := range ors {
+		if len(o.fams) > 0 && o.lhs != "" {
+			flagVars[o.lhs] = true
+		}
+	}
+	for _, o := range ors {
+		if o.lhs != "" && flagVars[o.lhs] && containsRawBit(o.rhs) {
+			out = append(out, Finding{
+				Rule: RuleWireFlag,
+				Pos:  p.Fset.Position(o.pos),
+				Msg:  fmt.Sprintf("%s ORs a raw bit into flag variable %q; declare the bit in the wireflag registry", fd.Name.Name, o.lhs),
+			})
+		}
+	}
+	return out
+}
