@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid chaos chaos-grid soak bench-serve bench-grid bench-all clean
+.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid smoke-history chaos chaos-grid soak bench-serve bench-grid bench-hist bench-all clean
 
-tier1: build vet-full race witness smoke-serve smoke-grid chaos fuzz-burst
+tier1: build vet-full race witness smoke-serve smoke-grid smoke-history chaos fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,8 @@ fuzz-burst:
 	$(GO) test -run='^$$' -fuzz=FuzzResumeFrame -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzRetryClient -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzMinimizer -fuzztime=$(FUZZTIME) ./internal/witness
+	$(GO) test -run='^$$' -fuzz=FuzzHistoryJSONL -fuzztime=$(FUZZTIME) ./internal/history
+	$(GO) test -run='^$$' -fuzz=FuzzHistoryEDN -fuzztime=$(FUZZTIME) ./internal/history
 
 # smoke-serve: race-enabled client↔server smoke of the scserve session
 # service — 64 concurrent sessions with exact verdict positions, plus the
@@ -68,6 +70,17 @@ smoke-serve:
 # Deterministic and <5s.
 smoke-grid:
 	$(GO) test -race -run='TestGridSmokeKillBackend' -count=1 ./internal/scgrid
+
+# smoke-history: race-enabled smoke of the operation-history pipeline —
+# a deterministic campaign of generated replicated-KV histories where
+# every anomaly-free history must be accepted and every injected anomaly
+# (stale read, read-your-writes, partition ⊥, phantom read) must be
+# rejected with its expected constraint code, adjudicated in-process AND
+# through a three-backend scgrid fabric; plus the history exit-code
+# contract (0/1/2) across local, -server, and -grid modes.
+smoke-history:
+	$(GO) test -race -run='TestHistorySmokeCampaign|TestHistoryRemoteChecker' -count=1 ./internal/sctest
+	$(GO) test -race -run='TestHistoryExitCodes' -count=1 ./cmd/sccheck
 
 # chaos: the fault-tolerance acceptance test — the full protocol registry
 # adjudicated through a fault-injected link (fragmented writes, short
@@ -109,8 +122,18 @@ bench-serve:
 bench-grid:
 	$(GO) run ./cmd/scgrid -bench -bench-out=BENCH_scgrid.json
 
+# bench-hist: end-to-end history-ingestion throughput (parse canonical
+# JSONL → lower → check; histories/s and ops/s for a clean and an
+# anomalous arm), written to BENCH_schist.json.
+BENCH_HISTORIES ?= 2000
+BENCH_HIST_OPS  ?= 200
+
+bench-hist:
+	$(GO) run ./cmd/sccheck history -bench -bench-histories=$(BENCH_HISTORIES) \
+		-bench-ops=$(BENCH_HIST_OPS) -bench-out=BENCH_schist.json
+
 # bench-all: regenerate every committed BENCH_*.json artifact.
-bench-all: bench-serve bench-grid
+bench-all: bench-serve bench-grid bench-hist
 
 clean:
 	$(GO) clean ./...

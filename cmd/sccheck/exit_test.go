@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"net"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -74,5 +76,53 @@ func TestExitCodes(t *testing.T) {
 		if got := m.run(acceptWire, deadAddr(t)); got != 2 {
 			t.Errorf("%s: dead backend: exit %d, want 2 (transport, not a verdict)", m.name, got)
 		}
+	}
+}
+
+// TestHistoryExitCodes pins the same contract for the history subcommand
+// across all three adjudication modes: 0 = the history is SC-accepted,
+// 1 = the checker rejected it, 2 = the check did not happen (malformed
+// input or transport failure).
+func TestHistoryExitCodes(t *testing.T) {
+	addr := startServer(t)
+	clean := "../../examples/histories/clean.jsonl"
+	stale := "../../examples/histories/stale-read.jsonl"
+	malformed := filepath.Join(t.TempDir(), "malformed.jsonl")
+	if err := os.WriteFile(malformed, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	modes := []struct {
+		name  string
+		extra []string
+	}{
+		{"local", nil},
+		{"server", []string{"-server", addr, "-server-timeout", "2s", "-server-retries", "2"}},
+		{"grid", []string{"-grid", addr, "-server-timeout", "2s", "-server-retries", "2"}},
+	}
+	for _, m := range modes {
+		run := func(in string) int {
+			return historyMain(append([]string{"-in", in, "-q"}, m.extra...))
+		}
+		if got := run(clean); got != 0 {
+			t.Errorf("%s: clean history: exit %d, want 0", m.name, got)
+		}
+		if got := run(stale); got != 1 {
+			t.Errorf("%s: stale-read history: exit %d, want 1", m.name, got)
+		}
+		if got := run(malformed); got != 2 {
+			t.Errorf("%s: malformed input: exit %d, want 2", m.name, got)
+		}
+	}
+
+	// Transport failure must be exit 2, not a verdict.
+	dead := deadAddr(t)
+	if got := historyMain([]string{"-in", clean, "-q", "-server", dead, "-server-timeout", "500ms", "-server-retries", "1"}); got != 2 {
+		t.Errorf("dead backend: exit %d, want 2 (transport, not a verdict)", got)
+	}
+
+	// The explain path keeps the rejection exit code.
+	if got := historyMain([]string{"-in", "../../examples/histories/partition.edn", "-explain"}); got != 1 {
+		t.Errorf("explain on anomalous EDN history: exit %d, want 1", got)
 	}
 }

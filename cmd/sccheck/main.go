@@ -36,6 +36,14 @@
 // -explain trades sccheck's default bounded-memory streaming for
 // explanatory power.
 //
+// The history subcommand adjudicates black-box operation histories
+// (Jepsen-style invoke/ok/fail/info records in JSONL or an EDN subset)
+// by lowering them onto descriptor streams — see historyMain:
+//
+//	sccheck history -in run.jsonl                # local check
+//	sccheck history -in run.edn -explain         # witness in history vocabulary
+//	sccheck history -in run.jsonl -grid h1:7541,h2:7541
+//
 // The lint subcommand instead runs the Γ-membership linter (package
 // gammalint) over registered protocols:
 //
@@ -75,6 +83,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		os.Exit(lintMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "history" {
+		os.Exit(historyMain(os.Args[2:]))
 	}
 	var (
 		k       = flag.Int("k", 0, "bandwidth bound (required; IDs range over 1..k+1)")

@@ -22,6 +22,17 @@
 // the campaign show the sharding:
 //
 //	sctest -protocol msi -grid h1:7541,h2:7541,h3:7541 -workers 8 -runs 1000
+//
+// With -hist, the campaign tests the history-ingestion pipeline instead
+// of a protocol: for each of -runs seeds, one anomaly-free replicated-KV
+// history plus one history per injectable anomaly kind is generated,
+// lowered, and adjudicated (locally, or via -server/-grid like protocol
+// campaigns). Anomaly-free histories must be accepted; every injected
+// anomaly must be rejected with its expected constraint code. -p and -b
+// set the history's process and key counts, -hist-ops its length:
+//
+//	sctest -hist -runs 50 -p 4 -b 3 -workers 8
+//	sctest -hist -runs 50 -grid h1:7541,h2:7541
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"scverify/internal/history"
 	"scverify/internal/registry"
 	"scverify/internal/scgrid"
 	"scverify/internal/scserve"
@@ -56,8 +68,15 @@ func main() {
 		grid    = flag.String("grid", "", "comma-separated scserve backends; shard the campaign across the pool")
 		rpcTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server/-grid mode")
 		retries = flag.Int("server-retries", 5, "connection attempts per remote operation before giving up")
+		hist    = flag.Bool("hist", false, "campaign over generated operation histories instead of protocol runs")
+		histOps = flag.Int("hist-ops", 60, "base operations per generated history (-hist mode)")
 	)
 	flag.Parse()
+
+	if *hist {
+		os.Exit(histMain(*runs, *seed, *procs, *blocks, *histOps, *workers,
+			*server, *grid, *rpcTO, *retries))
+	}
 
 	params := trace.Params{Procs: *procs, Blocks: *blocks, Values: *values}
 	tgt, err := registry.Build(*name, registry.Options{Params: params, QueueCap: *qcap})
@@ -122,4 +141,64 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// histMain runs the -hist campaign: seeds × (1 clean + one history per
+// anomaly kind), adjudicated locally or through the chosen service, with
+// the first unexpected outcome rendered as an annotated witness.
+func histMain(seeds int, seed int64, procs, keys, ops, workers int,
+	server, grid string, rpcTO time.Duration, retries int) int {
+	cfg := sctest.HistoryConfig{
+		Seeds: seeds, Seed: seed, Workers: workers,
+		Gen: history.GenConfig{Processes: procs, Keys: keys, Ops: ops},
+	}
+	how := "in-process checker"
+	if server != "" && grid != "" {
+		fmt.Fprintln(os.Stderr, "sctest: -server and -grid are mutually exclusive")
+		return 2
+	}
+	var g *scgrid.Grid
+	if server != "" {
+		cfg.Check = sctest.HistoryRemoteCheckerRetry(server, scserve.RetryConfig{
+			Timeout:     rpcTO,
+			MaxAttempts: retries,
+		})
+		how = "scserve at " + server
+	}
+	if grid != "" {
+		var err error
+		g, err = scgrid.New(strings.Split(grid, ","), scgrid.Config{
+			Timeout:     rpcTO,
+			MaxAttempts: retries,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sctest: grid: %v\n", err)
+			return 2
+		}
+		defer g.Close()
+		cfg.Check = sctest.HistoryGridChecker(g)
+		how = fmt.Sprintf("scgrid over %d backends", len(g.Stats().Backends))
+	}
+	kinds := history.AllAnomalies()
+	fmt.Printf("testing history ingestion: %d seeds × (1 clean + %d anomalies), %d processes × %d keys × %d ops, adjudicated by %s\n",
+		seeds, len(kinds), procs, keys, ops, how)
+	res := sctest.HistoryCampaign(cfg)
+	fmt.Println(res)
+	if g != nil {
+		for _, bs := range g.Stats().Backends {
+			fmt.Printf("  %s\n", bs)
+		}
+	}
+	if res.Passed() {
+		return 0
+	}
+	if f := res.FirstUnexpected; f != nil {
+		fmt.Printf("first unexpected outcome:\n  %s\n", f)
+		if f.Lowering != nil {
+			if w := f.Lowering.Explain(); w != nil {
+				fmt.Print(w.Render())
+			}
+		}
+	}
+	return 1
 }

@@ -1,0 +1,368 @@
+package history
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The EDN subset: the shape Jepsen writes its histories in —
+//
+//	[{:process 0, :type :invoke, :f :write, :key "x", :value 3}
+//	 {:process 0, :type :ok,     :f :write, :key "x", :value 3}
+//	 {:process 1, :type :invoke, :f :read,  :key "x", :value nil}
+//	 {:process 1, :type :ok,     :f :read,  :key "x", :value 3}]
+//
+// Supported: maps, vectors, keywords, integers, strings (Go/EDN escape
+// syntax), nil, true/false, symbols, commas-as-whitespace, and ";"
+// line comments. The surrounding vector is optional — a bare sequence of
+// maps parses the same. Jepsen's independent-register convention, where
+// :key is absent and :value is a [key value] pair, is recognized and
+// destructured. Events whose :process is not an integer (:nemesis) are
+// skipped. Everything else of EDN (sets, tagged literals, floats,
+// character literals) is outside the subset and rejected with a
+// positioned error.
+
+// ednValue is a parsed EDN datum: int64, string, ednKw (keyword), bool,
+// nil, []ednValue (vector), or map[string]ednValue (keyed by keyword
+// name, colon included).
+type ednValue any
+
+// ednKw is a keyword token, stored with its leading ':'.
+type ednKw string
+
+type ednParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *ednParser) errf(format string, args ...any) error {
+	return errLine(p.line, format, args...)
+}
+
+// skip advances past whitespace, commas, and ; comments.
+func (p *ednParser) skip() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r' || c == ',':
+			p.pos++
+		case c == ';':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *ednParser) eof() bool {
+	p.skip()
+	return p.pos >= len(p.src)
+}
+
+func (p *ednParser) peek() byte { return p.src[p.pos] }
+
+// value parses one EDN datum.
+func (p *ednParser) value() (ednValue, error) {
+	if p.eof() {
+		return nil, p.errf("unexpected end of input")
+	}
+	switch c := p.peek(); {
+	case c == '{':
+		return p.mapValue()
+	case c == '[':
+		return p.vector()
+	case c == '"':
+		return p.stringValue()
+	case c == ':':
+		return p.keyword()
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	case c == '(' || c == '#' || c == '\\':
+		return nil, p.errf("EDN %q syntax is outside the history subset", string(c))
+	default:
+		return p.symbol()
+	}
+}
+
+func (p *ednParser) mapValue() (ednValue, error) {
+	p.pos++ // '{'
+	m := make(map[string]ednValue)
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated map")
+		}
+		if p.peek() == '}' {
+			p.pos++
+			return m, nil
+		}
+		k, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		kw, ok := k.(ednKw)
+		if !ok {
+			return nil, p.errf("map key must be a keyword, got %v", k)
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		m[string(kw)] = v
+	}
+}
+
+func (p *ednParser) vector() (ednValue, error) {
+	p.pos++ // '['
+	var vec []ednValue
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated vector")
+		}
+		if p.peek() == ']' {
+			p.pos++
+			return vec, nil
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		vec = append(vec, v)
+	}
+}
+
+func (p *ednParser) stringValue() (ednValue, error) {
+	start := p.pos
+	p.pos++ // opening quote
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '\\':
+			p.pos += 2
+		case '"':
+			p.pos++
+			s, err := strconv.Unquote(p.src[start:p.pos])
+			if err != nil {
+				return nil, p.errf("bad string %s", p.src[start:p.pos])
+			}
+			return s, nil
+		case '\n':
+			return nil, p.errf("newline in string")
+		default:
+			p.pos++
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+func ednSymbolChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		strings.IndexByte("-_.*+!?$%&=<>/#'", c) >= 0
+}
+
+func (p *ednParser) keyword() (ednValue, error) {
+	start := p.pos
+	p.pos++ // ':'
+	for p.pos < len(p.src) && ednSymbolChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start+1 {
+		return nil, p.errf("bare ':' is not a keyword")
+	}
+	return ednKw(p.src[start:p.pos]), nil
+}
+
+func (p *ednParser) number() (ednValue, error) {
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	tok := p.src[start:p.pos]
+	if p.pos < len(p.src) && (p.src[p.pos] == '.' || p.src[p.pos] == 'e' || p.src[p.pos] == 'E' || p.src[p.pos] == '/') {
+		return nil, p.errf("non-integer number at %q: the history subset is integers only", tok)
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad integer %q", tok)
+	}
+	return n, nil
+}
+
+// ednSym wraps a bare symbol so it cannot be confused with a string.
+type ednSym string
+
+func (p *ednParser) symbol() (ednValue, error) {
+	start := p.pos
+	for p.pos < len(p.src) && ednSymbolChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("unexpected character %q", string(p.peek()))
+	}
+	switch tok := p.src[start:p.pos]; tok {
+	case "nil":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	default:
+		return ednSym(tok), nil
+	}
+}
+
+// ParseEDN reads a history in the EDN subset.
+func ParseEDN(r io.Reader) (*History, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, errLine(0, "read: %v", err)
+	}
+	p := &ednParser{src: string(src), line: 1}
+	var maps []ednValue
+	if !p.eof() && p.peek() == '[' {
+		v, err := p.vector()
+		if err != nil {
+			return nil, err
+		}
+		maps = v.([]ednValue)
+	} else {
+		for !p.eof() {
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			maps = append(maps, v)
+		}
+	}
+	if !p.eof() {
+		return nil, p.errf("trailing data after history vector")
+	}
+	h := &History{}
+	for i, mv := range maps {
+		m, ok := mv.(map[string]ednValue)
+		if !ok {
+			return nil, errAt(i, "history element is %T, want a map", mv)
+		}
+		e, keep, err := ednEvent(m, i)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			h.Events = append(h.Events, e)
+		}
+	}
+	return h, nil
+}
+
+// ednEvent converts one parsed map to an Event; keep=false skips
+// non-integer-process (nemesis/system) entries.
+func ednEvent(m map[string]ednValue, idx int) (Event, bool, error) {
+	var e Event
+	proc, ok := m[":process"].(int64)
+	if !ok {
+		return e, false, nil
+	}
+	e.Process = int(proc)
+	kindStr, err := ednKeywordField(m, ":type", idx)
+	if err != nil {
+		return e, false, err
+	}
+	if e.Kind, err = parseKind(kindStr); err != nil {
+		return e, false, errAt(idx, "%v", err)
+	}
+	fStr, err := ednKeywordField(m, ":f", idx)
+	if err != nil {
+		return e, false, err
+	}
+	if e.F, err = parseFunc(fStr); err != nil {
+		return e, false, errAt(idx, "%v", err)
+	}
+
+	val, hasVal := m[":value"]
+	key, hasKey := m[":key"]
+	if !hasKey {
+		// Independent-register convention: :value is a [key value] pair.
+		pair, ok := val.([]ednValue)
+		if !ok || len(pair) != 2 {
+			return e, false, errAt(idx, "no :key and :value is not a [key value] pair")
+		}
+		key, val = pair[0], pair[1]
+		hasKey, hasVal = true, true
+	}
+	if e.Key, err = ednKeyString(key); err != nil {
+		return e, false, errAt(idx, "key: %v", err)
+	}
+	if hasVal && val != nil {
+		n, ok := val.(int64)
+		if !ok {
+			return e, false, errAt(idx, "value %v is not an integer", val)
+		}
+		e.Value, e.HasValue = n, true
+	}
+	return e, true, nil
+}
+
+func ednKeywordField(m map[string]ednValue, field string, idx int) (string, error) {
+	v, ok := m[field]
+	if !ok {
+		return "", errAt(idx, "missing %s", field)
+	}
+	switch t := v.(type) {
+	case ednKw:
+		return string(t), nil // parseKind/parseFunc strip the leading ':'
+	case ednSym:
+		return string(t), nil
+	default:
+		return "", errAt(idx, "%s is %T, want a keyword", field, v)
+	}
+}
+
+// ednKeyString canonicalizes a key datum: strings stay themselves,
+// keywords drop the colon, integers render decimally.
+func ednKeyString(v ednValue) (string, error) {
+	switch t := v.(type) {
+	case string:
+		return t, nil
+	case ednKw:
+		return strings.TrimPrefix(string(t), ":"), nil
+	case int64:
+		return strconv.FormatInt(t, 10), nil
+	case ednSym:
+		return string(t), nil
+	default:
+		return "", fmt.Errorf("%v (%T) is not a usable key", v, v)
+	}
+}
+
+// WriteEDN renders the history as one canonical EDN vector, one event map
+// per line. ParseEDN of the output reproduces the exact event sequence.
+func (h *History) WriteEDN(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i, e := range h.Events {
+		if i > 0 {
+			sb.WriteString("\n ")
+		}
+		fmt.Fprintf(&sb, "{:process %d, :type :%s, :f :%s, :key %s",
+			e.Process, e.Kind, e.F, strconv.Quote(e.Key))
+		switch {
+		case e.HasValue:
+			fmt.Fprintf(&sb, ", :value %d", e.Value)
+		case e.Kind == OK && e.F == Read:
+			sb.WriteString(", :value nil")
+		}
+		sb.WriteString("}")
+	}
+	sb.WriteString("]\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,45 @@
+package history
+
+import (
+	"scverify/internal/trace"
+	"scverify/internal/witness"
+)
+
+// Explain builds a minimized, certified witness for the lowering's
+// descriptor stream and annotates it with history vocabulary, or returns
+// nil if the checker accepts the stream.
+func (l *Lowering) Explain() *witness.Witness {
+	w := witness.FromStream(l.Stream, l.K, witness.Options{Minimize: true, Params: l.Params})
+	if w == nil {
+		return nil
+	}
+	l.Annotate(w)
+	return w
+}
+
+// Annotate installs a Labeler on the witness that renders each trace
+// position as its source history operation. The witness trace may be a
+// ddmin-minimized subsequence of the full lowered trace; minimization
+// preserves order, so a greedy first-match alignment recovers each
+// position's original operation. Positions that fail to align (they
+// cannot, for streams produced by Lower) are left unlabeled.
+func (l *Lowering) Annotate(w *witness.Witness) {
+	align := make([]int, len(w.Trace))
+	j := 0
+	for i, op := range w.Trace {
+		align[i] = -1
+		for ; j < len(l.Trace); j++ {
+			if l.Trace[j] == op {
+				align[i] = j
+				j++
+				break
+			}
+		}
+	}
+	w.Labeler = func(i int, _ trace.Op) string {
+		if i < 0 || i >= len(align) || align[i] < 0 {
+			return ""
+		}
+		return l.Describe(align[i])
+	}
+}

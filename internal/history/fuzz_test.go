@@ -1,0 +1,111 @@
+package history
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedHistories is the shared seed corpus: well-formed, anomalous,
+// and structurally odd inputs in both serializations.
+var fuzzSeedJSONL = []string{
+	`{"process":0,"type":"invoke","f":"write","key":"x","value":3}
+{"process":0,"type":"ok","f":"write","key":"x","value":3}
+{"process":1,"type":"invoke","f":"read","key":"x"}
+{"process":1,"type":"ok","f":"read","key":"x","value":3}`,
+	`{"process":0,"type":"invoke","f":"r","key":7}
+{"process":0,"type":"ok","f":"r","key":7,"value":null}`,
+	`{"process":"nemesis","type":"info","f":"start"}`,
+	`{"process":0,"type":"invoke","f":"write","key":"x","value":1}
+{"process":0,"type":"info","f":"write","key":"x","value":1}`,
+	`{}`,
+	`not json at all`,
+}
+
+var fuzzSeedEDN = []string{
+	`[{:process 0, :type :invoke, :f :write, :key "x", :value 3}
+ {:process 0, :type :ok, :f :write, :key "x", :value 3}]`,
+	`{:process 1, :type :invoke, :f :read, :value ["x" nil]}
+{:process 1, :type :ok, :f :read, :value ["x" 3]}`,
+	`[{:process :nemesis, :type :info, :f :start, :value nil}]`,
+	`; just a comment`,
+	`[{:process 0, :type :invoke, :f :read, :key :x, :value nil}
+ {:process 0, :type :ok, :f :read, :key :x, :value nil}]`,
+	`[[]]`,
+	`[}`,
+}
+
+// fuzzHistory exercises the shared downstream surface on a parsed
+// history: pairing, lowering, and checking must never panic.
+func fuzzHistory(t *testing.T, h *History) {
+	if len(h.Events) > 2000 {
+		return // keep the burst budget on parsing, not giant lowerings
+	}
+	if _, err := h.Ops(true); err != nil {
+		_ = err
+	}
+	l, err := Lower(h)
+	if err != nil {
+		return
+	}
+	if err := l.Check(); err != nil {
+		// Rejections are fine; Explain must also hold up.
+		if w := l.Explain(); w != nil {
+			_ = w.Render()
+			_ = w.Summary()
+		}
+	}
+	_ = l.Summary()
+}
+
+// FuzzHistoryJSONL fuzzes the JSONL parser: no panics, and accepted
+// inputs round-trip exactly through the canonical renderer.
+func FuzzHistoryJSONL(f *testing.F) {
+	for _, s := range fuzzSeedJSONL {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := h.WriteJSONL(&buf); err != nil {
+			t.Fatalf("render parsed history: %v", err)
+		}
+		h2, err := ParseJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse rendered history: %v\n%s", err, buf.String())
+		}
+		if len(h.Events)+len(h2.Events) > 0 && !reflect.DeepEqual(h.Events, h2.Events) {
+			t.Fatalf("JSONL round trip changed events:\n in: %v\nout: %v", h.Events, h2.Events)
+		}
+		fuzzHistory(t, h)
+	})
+}
+
+// FuzzHistoryEDN fuzzes the EDN subset parser: no panics, and accepted
+// inputs round-trip exactly through the canonical renderer.
+func FuzzHistoryEDN(f *testing.F) {
+	for _, s := range fuzzSeedEDN {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseEDN(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := h.WriteEDN(&buf); err != nil {
+			t.Fatalf("render parsed history: %v", err)
+		}
+		h2, err := ParseEDN(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse rendered history: %v\n%s", err, buf.String())
+		}
+		if len(h.Events)+len(h2.Events) > 0 && !reflect.DeepEqual(h.Events, h2.Events) {
+			t.Fatalf("EDN round trip changed events:\n in: %v\nout: %v", h.Events, h2.Events)
+		}
+		fuzzHistory(t, h)
+	})
+}

@@ -1,0 +1,403 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scverify/internal/checker"
+)
+
+// The generator simulates a replicated key-value store with a single
+// write order and lagging replicas, producing histories that are
+// sequentially consistent by construction — and, on request, histories
+// seeded with specific consistency anomalies whose expected rejection is
+// known in advance.
+//
+// Model: writes append to one global log (the primary applies them in
+// invocation order, which is what makes per-key invocation order a valid
+// ST order for clean histories). Each process reads through its own
+// replica, modelled as a monotonically advancing prefix of the global
+// log: a read serves the newest write to its key within the prefix, or ⊥
+// if the prefix holds none. Replica lag (a prefix short of the log head)
+// yields stale-but-monotonic reads, which sequential consistency — unlike
+// linearizability — permits. After a process writes, its replica prefix
+// advances through its own write (read-your-writes). Every read is
+// therefore consistent with the single log order, so the serial
+// reordering "log position, then invocation order" witnesses SC.
+
+// AnomalyKind names an injectable consistency anomaly.
+type AnomalyKind uint8
+
+const (
+	// AnomalyStaleRead makes a process re-read a key and observe a value
+	// older than one it already observed: a monotonic-reads violation.
+	AnomalyStaleRead AnomalyKind = iota
+	// AnomalyReadYourWrites makes a process read its own key right after
+	// writing it and miss the write (observing the previous value or ⊥).
+	AnomalyReadYourWrites
+	// AnomalyPartitionBottom models a partitioned, state-losing replica:
+	// a process that already observed data for a key reads ⊥ — the
+	// "fresh replica behind a partition" anomaly.
+	AnomalyPartitionBottom
+	// AnomalyPhantomRead makes a read return a value no write ever
+	// produced (a corrupt or fabricated response).
+	AnomalyPhantomRead
+
+	numAnomalyKinds
+)
+
+// AllAnomalies lists every injectable anomaly kind.
+func AllAnomalies() []AnomalyKind {
+	out := make([]AnomalyKind, numAnomalyKinds)
+	for i := range out {
+		out[i] = AnomalyKind(i)
+	}
+	return out
+}
+
+// String names the anomaly.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalyStaleRead:
+		return "stale-read"
+	case AnomalyReadYourWrites:
+		return "read-your-writes"
+	case AnomalyPartitionBottom:
+		return "partition-bottom"
+	case AnomalyPhantomRead:
+		return "phantom-read"
+	default:
+		return fmt.Sprintf("AnomalyKind(%d)", uint8(k))
+	}
+}
+
+// ParseAnomaly resolves a name produced by String.
+func ParseAnomaly(name string) (AnomalyKind, error) {
+	for _, k := range AllAnomalies() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("history: unknown anomaly %q", name)
+}
+
+// Constraint is the checker rejection the anomaly lowers to: the three
+// ordering anomalies close a happens-before cycle (Lemma 3.3), while a
+// phantom read leaves a load with no inheritance edge (§3.1 constraint 4).
+func (k AnomalyKind) Constraint() checker.Constraint {
+	if k == AnomalyPhantomRead {
+		return checker.Constraint4
+	}
+	return checker.ConstraintCycle
+}
+
+// Anomaly records one injected anomaly: its kind, where its witnessing
+// read sits in the history, and the rejection it must produce.
+type Anomaly struct {
+	Kind    AnomalyKind
+	Process int    // external process id of the anomalous read
+	Key     string // key it misread
+	Event   int    // event index of the anomalous read's invocation
+	Expect  checker.Constraint
+}
+
+// String renders the injection record.
+func (a Anomaly) String() string {
+	return fmt.Sprintf("%s on process %d key %s at event %d (expect %s)",
+		a.Kind, a.Process, a.Key, a.Event, a.Expect)
+}
+
+// GenConfig tunes the replicated-KV workload generator.
+type GenConfig struct {
+	Seed      int64
+	Processes int     // client processes; default 3
+	Keys      int     // register keys; default 2
+	Ops       int     // base logical operations; default 40
+	WriteRate float64 // fraction of ops that are writes; default 0.4
+	MaxLag    int     // max replica lag, in global log entries; default 3
+	// OverlapRate is the chance an invocation's return is deferred past
+	// other processes' events, making the history visibly concurrent;
+	// default 0.3.
+	OverlapRate float64
+	// FailEvery fails every Nth write (invoke/fail, no effect); 0 = none.
+	FailEvery int
+	// InfoEvery turns every Nth operation's return into info
+	// (indeterminate); an indeterminate write still takes effect with
+	// probability ½. 0 = none.
+	InfoEvery int
+	// Anomalies are injected in order as scripted operation blocks
+	// appended after the base workload, each on fresh values.
+	Anomalies []AnomalyKind
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Processes <= 0 {
+		c.Processes = 3
+	}
+	if c.Keys <= 0 {
+		c.Keys = 2
+	}
+	if c.Ops <= 0 {
+		c.Ops = 40
+	}
+	if c.WriteRate <= 0 {
+		c.WriteRate = 0.4
+	}
+	if c.MaxLag < 0 {
+		c.MaxLag = 0
+	} else if c.MaxLag == 0 {
+		c.MaxLag = 3
+	}
+	if c.OverlapRate <= 0 {
+		c.OverlapRate = 0.3
+	}
+	return c
+}
+
+// Generated is a generator output: the history and the injection record.
+type Generated struct {
+	History   *History
+	Anomalies []Anomaly
+}
+
+// logEntry is one applied write in the simulated store's single order.
+type logEntry struct {
+	key string
+	val int64
+}
+
+// kvSim is the replicated-KV simulation state.
+type kvSim struct {
+	rng  *rand.Rand
+	cfg  GenConfig
+	h    *History
+	log  []logEntry // the single write order
+	pos  []int      // per-process replica prefix into log
+	next int64      // unique-value counter
+
+	// lastIdx tracks, per process per key, the index (1-based position
+	// among the key's log entries) of the newest version the process has
+	// observed — the monotonic floor clean reads must respect and the
+	// eligibility state anomaly injection consults.
+	lastIdx []map[string]int
+
+	// pendingReturn holds deferred return events (concurrent ops).
+	pending map[int]Event
+
+	writes, infos int // counters for FailEvery / InfoEvery
+}
+
+// keyVersions returns the 1-based positions in the log holding key's
+// writes, newest last.
+func (s *kvSim) keyIndex(key string, prefix int) (idx int, val int64) {
+	for i := prefix - 1; i >= 0; i-- {
+		if s.log[i].key == key {
+			n := 0
+			for j := 0; j <= i; j++ {
+				if s.log[j].key == key {
+					n++
+				}
+			}
+			return n, s.log[i].val
+		}
+	}
+	return 0, 0
+}
+
+func (s *kvSim) emit(e Event) int {
+	s.h.Events = append(s.h.Events, e)
+	return len(s.h.Events) - 1
+}
+
+// flush returns any pending operation of process p (or all, p < 0).
+func (s *kvSim) flush(p int) {
+	if p >= 0 {
+		if e, ok := s.pending[p]; ok {
+			s.emit(e)
+			delete(s.pending, p)
+		}
+		return
+	}
+	for len(s.pending) > 0 {
+		// Deterministic drain order: lowest process first.
+		min := -1
+		for q := range s.pending {
+			if min < 0 || q < min {
+				min = q
+			}
+		}
+		s.emit(s.pending[min])
+		delete(s.pending, min)
+	}
+}
+
+// finish emits or defers the return event of the op just invoked.
+func (s *kvSim) finish(e Event) {
+	if s.rng.Float64() < s.cfg.OverlapRate {
+		s.pending[e.Process] = e
+		return
+	}
+	s.emit(e)
+}
+
+// doWrite performs one write by process p to key: invoke, apply (unless
+// failed), return.
+func (s *kvSim) doWrite(p int, key string) {
+	s.flush(p)
+	v := s.next
+	s.next++
+	s.writes++
+	s.emit(Event{Process: p, Kind: Invoke, F: Write, Key: key, Value: v, HasValue: true})
+
+	if s.cfg.FailEvery > 0 && s.writes%s.cfg.FailEvery == 0 {
+		s.finish(Event{Process: p, Kind: Fail, F: Write, Key: key, Value: v, HasValue: true})
+		return
+	}
+	kind := OK
+	applied := true
+	s.infos++
+	if s.cfg.InfoEvery > 0 && s.infos%s.cfg.InfoEvery == 0 {
+		kind = Info
+		applied = s.rng.Intn(2) == 0 // indeterminate: maybe took effect
+	}
+	if applied {
+		s.log = append(s.log, logEntry{key: key, val: v})
+		// Read-your-writes: the writer's replica catches up through its
+		// own write (only meaningful if it actually applied).
+		s.pos[p] = len(s.log)
+		if idx, _ := s.keyIndex(key, len(s.log)); idx > s.lastIdx[p][key] {
+			s.lastIdx[p][key] = idx
+		}
+	}
+	s.finish(Event{Process: p, Kind: kind, F: Write, Key: key, Value: v, HasValue: true})
+}
+
+// doRead performs one clean read by process p of key: the replica prefix
+// advances to a lagged position no older than the process floor, and the
+// read serves the newest version of key within it.
+func (s *kvSim) doRead(p int, key string) {
+	s.flush(p)
+	s.emit(Event{Process: p, Kind: Invoke, F: Read, Key: key})
+
+	s.infos++
+	if s.cfg.InfoEvery > 0 && s.infos%s.cfg.InfoEvery == 0 {
+		s.finish(Event{Process: p, Kind: Info, F: Read, Key: key})
+		return
+	}
+	// Advance the replica with lag, never backwards.
+	target := len(s.log) - s.rng.Intn(s.cfg.MaxLag+1)
+	if target < s.pos[p] {
+		target = s.pos[p]
+	}
+	// The prefix must also cover the process's per-key floor; it does by
+	// construction (the floor was set under a prefix ≤ pos[p]).
+	s.pos[p] = target
+	idx, val := s.keyIndex(key, target)
+	if idx > s.lastIdx[p][key] {
+		s.lastIdx[p][key] = idx
+	}
+	ret := Event{Process: p, Kind: OK, F: Read, Key: key}
+	if idx > 0 {
+		ret.Value, ret.HasValue = val, true
+	}
+	s.finish(ret)
+}
+
+// Generate produces a seeded replicated-KV history. Without anomalies
+// the result is sequentially consistent by construction and the lowering
+// accepts it; each requested anomaly is injected as a scripted block on
+// fresh values and recorded with the constraint code its rejection must
+// carry.
+func Generate(cfg GenConfig) (*Generated, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Anomalies) > 0 && cfg.Processes < 2 {
+		return nil, fmt.Errorf("history: anomaly injection needs at least 2 processes")
+	}
+	s := &kvSim{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		h:       &History{},
+		pos:     make([]int, cfg.Processes),
+		next:    1,
+		lastIdx: make([]map[string]int, cfg.Processes),
+		pending: make(map[int]Event),
+	}
+	for p := range s.lastIdx {
+		s.lastIdx[p] = make(map[string]int)
+	}
+	keyName := func(i int) string { return fmt.Sprintf("k%d", i) }
+
+	for i := 0; i < cfg.Ops; i++ {
+		p := s.rng.Intn(cfg.Processes)
+		key := keyName(s.rng.Intn(cfg.Keys))
+		if s.rng.Float64() < cfg.WriteRate {
+			s.doWrite(p, key)
+		} else {
+			s.doRead(p, key)
+		}
+	}
+	s.flush(-1)
+
+	g := &Generated{History: s.h}
+	for i, kind := range cfg.Anomalies {
+		key := keyName(i % cfg.Keys)
+		a, writer, reader := Anomaly{Kind: kind, Key: key, Expect: kind.Constraint()}, 0, 1
+		a.Process = reader
+		readOK := func(p int, v int64, has bool) int {
+			s.emit(Event{Process: p, Kind: Invoke, F: Read, Key: key})
+			return s.emit(Event{Process: p, Kind: OK, F: Read, Key: key, Value: v, HasValue: has}) - 1
+		}
+		switch kind {
+		case AnomalyStaleRead:
+			// writer: k := v1; k := v2. reader: reads v2, then v1 again —
+			// its view of k runs backwards.
+			v1, v2 := s.next, s.next+1
+			s.next += 2
+			s.doScriptedWrite(writer, key, v1)
+			s.doScriptedWrite(writer, key, v2)
+			readOK(reader, v2, true)
+			a.Event = readOK(reader, v1, true)
+		case AnomalyReadYourWrites:
+			// reader writes k, then immediately misses its own write,
+			// observing the previous value (or ⊥ on a fresh key).
+			a.Process = reader
+			_, prev := s.keyIndex(key, len(s.log))
+			hadPrev := false
+			if idx, _ := s.keyIndex(key, len(s.log)); idx > 0 {
+				hadPrev = true
+			}
+			v := s.next
+			s.next++
+			s.doScriptedWrite(reader, key, v)
+			a.Event = readOK(reader, prev, hadPrev)
+		case AnomalyPartitionBottom:
+			// writer seeds the key; reader observes the value, then its
+			// replica partitions away and serves the initial state ⊥.
+			v := s.next
+			s.next++
+			s.doScriptedWrite(writer, key, v)
+			readOK(reader, v, true)
+			a.Event = readOK(reader, 0, false)
+		case AnomalyPhantomRead:
+			// reader returns a value no write ever produced.
+			phantom := s.next
+			s.next++ // consumed but never written
+			a.Event = readOK(reader, phantom, true)
+		default:
+			return nil, fmt.Errorf("history: unknown anomaly kind %d", kind)
+		}
+		g.Anomalies = append(g.Anomalies, a)
+	}
+	return g, nil
+}
+
+// doScriptedWrite is an always-OK write used by anomaly blocks.
+func (s *kvSim) doScriptedWrite(p int, key string, v int64) {
+	s.emit(Event{Process: p, Kind: Invoke, F: Write, Key: key, Value: v, HasValue: true})
+	s.log = append(s.log, logEntry{key: key, val: v})
+	s.pos[p] = len(s.log)
+	if idx, _ := s.keyIndex(key, len(s.log)); idx > s.lastIdx[p][key] {
+		s.lastIdx[p][key] = idx
+	}
+	s.emit(Event{Process: p, Kind: OK, F: Write, Key: key, Value: v, HasValue: true})
+}

@@ -1,0 +1,152 @@
+package history
+
+import (
+	"errors"
+	"testing"
+
+	"scverify/internal/checker"
+)
+
+// TestGenerateCleanAccepts is the generator's soundness contract: a
+// history with no injected anomalies is sequentially consistent by
+// construction and the lowering pipeline accepts it, across seeds and
+// shapes (including failed and indeterminate operations).
+func TestGenerateCleanAccepts(t *testing.T) {
+	cfgs := []GenConfig{
+		{},
+		{Processes: 1, Keys: 1, Ops: 20},
+		{Processes: 5, Keys: 4, Ops: 120, WriteRate: 0.6, MaxLag: 6},
+		{Processes: 4, Keys: 2, Ops: 80, FailEvery: 5, InfoEvery: 7},
+		{Processes: 2, Keys: 3, Ops: 60, OverlapRate: 0.9},
+	}
+	for _, base := range cfgs {
+		for seed := int64(0); seed < 20; seed++ {
+			cfg := base
+			cfg.Seed = seed
+			g, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("Generate(%+v): %v", cfg, err)
+			}
+			if len(g.Anomalies) != 0 {
+				t.Fatalf("clean config produced anomaly records: %v", g.Anomalies)
+			}
+			l, err := Lower(g.History)
+			if err != nil {
+				t.Fatalf("seed %d: Lower: %v", seed, err)
+			}
+			if err := l.Check(); err != nil {
+				t.Errorf("seed %d cfg %+v: clean history rejected: %v\n%s",
+					seed, cfg, err, l.Summary())
+			}
+		}
+	}
+}
+
+// TestGenerateAnomaliesReject checks every anomaly kind injects a
+// violation the checker rejects with the kind's expected constraint code.
+func TestGenerateAnomaliesReject(t *testing.T) {
+	for _, kind := range AllAnomalies() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				g, err := Generate(GenConfig{Seed: seed, Anomalies: []AnomalyKind{kind}})
+				if err != nil {
+					t.Fatalf("Generate: %v", err)
+				}
+				if len(g.Anomalies) != 1 {
+					t.Fatalf("want 1 anomaly record, got %d", len(g.Anomalies))
+				}
+				a := g.Anomalies[0]
+				if a.Kind != kind || a.Expect != kind.Constraint() {
+					t.Fatalf("anomaly record mismatch: %v", a)
+				}
+				err = Check(g.History)
+				if err == nil {
+					t.Fatalf("seed %d: %s history accepted", seed, kind)
+				}
+				var re *checker.RejectError
+				if !errors.As(err, &re) {
+					t.Fatalf("seed %d: rejection is %T, want *checker.RejectError: %v", seed, err, err)
+				}
+				if re.Constraint != a.Expect {
+					t.Errorf("seed %d: %s rejected with %v, want %v", seed, kind, re.Constraint, a.Expect)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic pins the generator to its seed: same config,
+// same history.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42, Ops: 50, FailEvery: 6, InfoEvery: 9,
+		Anomalies: AllAnomalies()}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.History.Events) != len(b.History.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.History.Events), len(b.History.Events))
+	}
+	for i := range a.History.Events {
+		if a.History.Events[i] != b.History.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.History.Events[i], b.History.Events[i])
+		}
+	}
+}
+
+// TestAnomalyKindStrings round-trips kind names through ParseAnomaly.
+func TestAnomalyKindStrings(t *testing.T) {
+	for _, k := range AllAnomalies() {
+		got, err := ParseAnomaly(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseAnomaly(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseAnomaly("nope"); err == nil {
+		t.Error("ParseAnomaly accepted an unknown name")
+	}
+}
+
+// TestGenerateExplain checks an anomalous generated history yields an
+// annotated witness whose rendering speaks history vocabulary.
+func TestGenerateExplain(t *testing.T) {
+	g, err := Generate(GenConfig{Seed: 7, Ops: 0, Anomalies: []AnomalyKind{AnomalyStaleRead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Lower(g.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := l.Explain()
+	if w == nil {
+		t.Fatal("Explain returned nil for an anomalous history")
+	}
+	out := w.Render()
+	if !containsAll(out, "process", "read", "write") {
+		t.Errorf("witness render lacks history vocabulary:\n%s", out)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

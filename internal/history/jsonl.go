@@ -1,0 +1,175 @@
+package history
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The JSONL format: one JSON object per line, e.g.
+//
+//	{"process":0,"type":"invoke","f":"write","key":"x","value":3}
+//	{"process":0,"type":"ok","f":"write","key":"x","value":3}
+//	{"process":1,"type":"invoke","f":"read","key":"x"}
+//	{"process":1,"type":"ok","f":"read","key":"x","value":3}
+//
+// Fields: "process" (non-negative integer), "type" (invoke|ok|fail|info),
+// "f" (read|write, or the aliases r|w), "key" (string or integer), and
+// "value" (integer; null or absent for a read of the initial state ⊥).
+// Unknown fields ("index", "time", ...) are ignored. Lines whose process
+// is not an integer (Jepsen's nemesis events carry ":nemesis") are
+// skipped entirely. Blank lines are skipped.
+
+type jsonlEvent struct {
+	Process json.RawMessage `json:"process"`
+	Type    string          `json:"type"`
+	F       string          `json:"f"`
+	Key     json.RawMessage `json:"key"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// ParseJSONL reads a JSONL history.
+func ParseJSONL(r io.Reader) (*History, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	h := &History{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		if err := dec.Decode(&je); err != nil {
+			return nil, errLine(line, "invalid JSON: %v", err)
+		}
+		if dec.More() {
+			return nil, errLine(line, "trailing data after event object")
+		}
+		proc, ok, err := parseJSONInt(je.Process)
+		if err != nil || !ok {
+			continue // non-integer/absent process: nemesis/system event, skipped
+		}
+		e := Event{Process: int(proc)}
+		if e.Kind, err = parseKind(je.Type); err != nil {
+			return nil, errLine(line, "%v", err)
+		}
+		if e.F, err = parseFunc(je.F); err != nil {
+			return nil, errLine(line, "%v", err)
+		}
+		if e.Key, err = parseJSONKey(je.Key); err != nil {
+			return nil, errLine(line, "key: %v", err)
+		}
+		v, has, err := parseJSONInt(je.Value)
+		if err != nil {
+			return nil, errLine(line, "value: %v", err)
+		}
+		if has {
+			e.Value, e.HasValue = v, true
+		}
+		h.Events = append(h.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, errLine(line+1, "read: %v", err)
+	}
+	return h, nil
+}
+
+// parseJSONInt decodes an integer field; (0,false,nil) for absent/null.
+func parseJSONInt(raw json.RawMessage) (int64, bool, error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 || string(raw) == "null" {
+		return 0, false, nil
+	}
+	var num json.Number
+	if err := json.Unmarshal(raw, &num); err != nil {
+		return 0, false, fmt.Errorf("want an integer, got %s", raw)
+	}
+	n, err := num.Int64()
+	if err != nil {
+		return 0, false, fmt.Errorf("want an integer, got %s", num)
+	}
+	return n, true, nil
+}
+
+// parseJSONKey decodes a key: a string, or an integer rendered decimally.
+func parseJSONKey(raw json.RawMessage) (string, error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 || string(raw) == "null" {
+		return "", fmt.Errorf("missing")
+	}
+	if raw[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return "", fmt.Errorf("bad string %s", raw)
+		}
+		return s, nil
+	}
+	var num json.Number
+	if err := json.Unmarshal(raw, &num); err != nil {
+		return "", fmt.Errorf("want a string or integer, got %s", raw)
+	}
+	if _, err := num.Int64(); err != nil {
+		return "", fmt.Errorf("want a string or integer, got %s", num)
+	}
+	return num.String(), nil
+}
+
+func parseKind(s string) (Kind, error) {
+	switch strings.TrimPrefix(s, ":") {
+	case "invoke":
+		return Invoke, nil
+	case "ok":
+		return OK, nil
+	case "fail":
+		return Fail, nil
+	case "info":
+		return Info, nil
+	case "":
+		return 0, fmt.Errorf("missing event type")
+	default:
+		return 0, fmt.Errorf("unknown event type %q (want invoke|ok|fail|info)", s)
+	}
+}
+
+func parseFunc(s string) (Func, error) {
+	switch strings.TrimPrefix(s, ":") {
+	case "read", "r":
+		return Read, nil
+	case "write", "w":
+		return Write, nil
+	case "":
+		return 0, fmt.Errorf("missing operation function")
+	default:
+		return 0, fmt.Errorf("unknown operation function %q (want read|write)", s)
+	}
+}
+
+// WriteJSONL renders the history in canonical JSONL: one event per line,
+// fixed field order, "value":null spelled out for ⊥ reads on ok returns
+// and omitted elsewhere when absent. ParseJSONL of the output reproduces
+// the exact event sequence.
+func (h *History) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range h.Events {
+		key, err := json.Marshal(e.Key)
+		if err != nil {
+			return fmt.Errorf("history: key %q: %w", e.Key, err)
+		}
+		fmt.Fprintf(bw, `{"process":%d,"type":%q,"f":%q,"key":%s`, e.Process, e.Kind, e.F, key)
+		switch {
+		case e.HasValue:
+			fmt.Fprintf(bw, `,"value":%d`, e.Value)
+		case e.Kind == OK && e.F == Read:
+			bw.WriteString(`,"value":null`)
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}

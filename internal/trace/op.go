@@ -168,6 +168,25 @@ func (t Trace) Blocks() int {
 	return max
 }
 
+// Values returns the largest data value mentioned, or 0 for a trace of
+// ⊥-loads only (or an empty trace).
+func (t Trace) Values() int {
+	max := 0
+	for _, op := range t {
+		if int(op.Value) > max {
+			max = int(op.Value)
+		}
+	}
+	return max
+}
+
+// Params returns the tightest parameter triple containing the trace: the
+// maxima of its processor, block and value ranges. An empty trace yields
+// the zero Params (which disables the checker's range check).
+func (t Trace) Params() Params {
+	return Params{Procs: t.Procs(), Blocks: t.Blocks(), Values: t.Values()}
+}
+
 // ByProc splits the trace into per-processor program orders. The slice is
 // indexed by processor ID; index 0 is unused. Each entry holds the trace
 // positions (0-based) of that processor's operations, in trace order.

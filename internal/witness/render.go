@@ -54,7 +54,13 @@ func (w *Witness) Render() string {
 				fmt.Fprintf(&sb, "    … (%d more)\n", len(w.Trace)-i)
 				break
 			}
-			fmt.Fprintf(&sb, "    n%-3d %-14s P%d op %d\n", i, op.String(), op.Proc, pos[i])
+			label := ""
+			if w.Labeler != nil {
+				if l := w.Labeler(i, op); l != "" {
+					label = "  — " + l
+				}
+			}
+			fmt.Fprintf(&sb, "    n%-3d %-14s P%d op %d%s\n", i, op.String(), op.Proc, pos[i], label)
 		}
 	}
 
@@ -98,6 +104,11 @@ func (w *Witness) hopLine(h cycle.Hop, pos []int) string {
 	s := h.Node.String()
 	if h.Node.Seq >= 0 && h.Node.Seq < len(w.Trace) && h.Node.Op != nil && *h.Node.Op == w.Trace[h.Node.Seq] {
 		s += fmt.Sprintf(" (P%d op %d)", h.Node.Op.Proc, pos[h.Node.Seq])
+		if w.Labeler != nil {
+			if l := w.Labeler(h.Node.Seq, *h.Node.Op); l != "" {
+				s += " — " + l
+			}
+		}
 	}
 	return s
 }

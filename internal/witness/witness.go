@@ -74,6 +74,12 @@ type Witness struct {
 	// Minimized reports whether the ddmin reducer ran.
 	Minimized bool
 
+	// Labeler, when non-nil, renders trace position i (holding op) in the
+	// caller's vocabulary; Render appends its output to the trace listing
+	// and happens-before loop lines. internal/history uses it to describe
+	// lowered operations as history events.
+	Labeler func(i int, op trace.Op) string
+
 	// CertChecked reports whether the exact search examined Trace;
 	// Certified reports it confirmed the trace non-SC. A checked but
 	// uncertified witness means the trace itself IS sequentially
