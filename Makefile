@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid smoke-history chaos chaos-grid soak bench-serve bench-grid bench-hist bench-all clean
+.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid smoke-history smoke-tier chaos chaos-grid soak bench-serve bench-grid bench-hist bench-tier bench-all clean
 
-tier1: build vet-full race witness smoke-serve smoke-grid smoke-history chaos fuzz-burst
+tier1: build vet-full race witness smoke-serve smoke-grid smoke-history smoke-tier chaos fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,7 @@ fuzz-burst:
 	$(GO) test -run='^$$' -fuzz=FuzzServerConn -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzResumeFrame -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzRetryClient -fuzztime=$(FUZZTIME) ./internal/scserve
+	$(GO) test -run='^$$' -fuzz=FuzzTierVerdictFrame -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzMinimizer -fuzztime=$(FUZZTIME) ./internal/witness
 	$(GO) test -run='^$$' -fuzz=FuzzHistoryJSONL -fuzztime=$(FUZZTIME) ./internal/history
 	$(GO) test -run='^$$' -fuzz=FuzzHistoryEDN -fuzztime=$(FUZZTIME) ./internal/history
@@ -81,6 +82,15 @@ smoke-grid:
 smoke-history:
 	$(GO) test -race -run='TestHistorySmokeCampaign|TestHistoryRemoteChecker' -count=1 ./internal/sctest
 	$(GO) test -race -run='TestHistoryExitCodes' -count=1 ./cmd/sccheck
+
+# smoke-tier: race-enabled smoke of the tiered-verdict surface — a tiered
+# protocol campaign and a tiered history campaign through a three-backend
+# scgrid fabric, every wire tier cross-checked against the identical local
+# adjudication (one disagreement fails), storebuffer rejections required
+# to land on the TSO tier and every injected anomaly on its kind's
+# declared tier.
+smoke-tier:
+	$(GO) test -race -run='TestTierSmokeGrid' -count=1 ./internal/sctest
 
 # chaos: the fault-tolerance acceptance test — the full protocol registry
 # adjudicated through a fault-injected link (fragmented writes, short
@@ -132,8 +142,18 @@ bench-hist:
 	$(GO) run ./cmd/sccheck history -bench -bench-histories=$(BENCH_HISTORIES) \
 		-bench-ops=$(BENCH_HIST_OPS) -bench-out=BENCH_schist.json
 
+# bench-tier: weaker-model adjudication throughput (one arm per ladder
+# rung on its canonical litmus core, plus an end-to-end anomalous-history
+# arm), written to BENCH_sctier.json. Every arm asserts its expected tier
+# on every iteration, so the bench doubles as a tier-stability check.
+BENCH_TIER_N ?= 2000
+
+bench-tier:
+	$(GO) run ./cmd/sccheck -tier -bench -bench-n=$(BENCH_TIER_N) \
+		-bench-out=BENCH_sctier.json
+
 # bench-all: regenerate every committed BENCH_*.json artifact.
-bench-all: bench-serve bench-grid bench-hist
+bench-all: bench-serve bench-grid bench-hist bench-tier
 
 clean:
 	$(GO) clean ./...

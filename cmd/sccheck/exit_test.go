@@ -60,10 +60,17 @@ func TestExitCodes(t *testing.T) {
 		run  func(wire []byte, target string) int
 	}{
 		{"server", func(wire []byte, target string) int {
-			return remoteMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2)
+			return remoteMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2, false)
 		}},
 		{"grid", func(wire []byte, target string) int {
-			return gridMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2)
+			return gridMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2, false)
+		}},
+		// Asking for tiers must not disturb the exit-code contract.
+		{"server-tier", func(wire []byte, target string) int {
+			return remoteMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2, true)
+		}},
+		{"grid-tier", func(wire []byte, target string) int {
+			return gridMain(bytes.NewReader(wire), target, scserve.SyntheticK, params, 2*time.Second, 2, true)
 		}},
 	}
 	for _, m := range modes {
@@ -97,7 +104,9 @@ func TestHistoryExitCodes(t *testing.T) {
 		extra []string
 	}{
 		{"local", nil},
+		{"local-tier", []string{"-tier"}},
 		{"server", []string{"-server", addr, "-server-timeout", "2s", "-server-retries", "2"}},
+		{"server-tier", []string{"-tier", "-server", addr, "-server-timeout", "2s", "-server-retries", "2"}},
 		{"grid", []string{"-grid", addr, "-server-timeout", "2s", "-server-retries", "2"}},
 	}
 	for _, m := range modes {

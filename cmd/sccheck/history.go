@@ -16,6 +16,7 @@ import (
 	"scverify/internal/scgrid"
 	"scverify/internal/scserve"
 	"scverify/internal/sctest"
+	"scverify/internal/witness"
 )
 
 // historyMain implements `sccheck history`: adjudicate a black-box
@@ -46,6 +47,7 @@ func historyMain(args []string) int {
 		grid    = fs.String("grid", "", "comma-separated scserve backends; adjudicate through the scgrid dispatcher")
 		srvTO   = fs.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server/-grid mode")
 		retries = fs.Int("server-retries", 5, "connection attempts per remote operation before giving up")
+		tier    = fs.Bool("tier", false, "on rejection, adjudicate the witness core against the weaker-model ladder; with -server/-grid, ask the service to")
 
 		bench      = fs.Bool("bench", false, "run the ingestion+checking throughput benchmark instead of checking input")
 		benchHists = fs.Int("bench-histories", 2000, "histories per benchmark arm")
@@ -88,14 +90,24 @@ func historyMain(args []string) int {
 	}
 
 	if *server != "" || *grid != "" {
-		return historyRemote(l, *server, *grid, *srvTO, *retries)
+		return historyRemote(l, *server, *grid, *srvTO, *retries, *tier)
 	}
 
 	if err := l.Check(); err != nil {
-		if *explain {
-			if w := l.Explain(); w != nil {
+		if *explain || *tier {
+			var w *witness.Witness
+			if *tier {
+				w = l.ExplainTier()
+			} else {
+				w = l.Explain()
+			}
+			if w != nil {
 				fmt.Printf("REJECTED (%s)\n", w.Summary())
-				fmt.Print(w.Render())
+				if *explain {
+					fmt.Print(w.Render())
+				} else if w.Spectrum != nil {
+					fmt.Print(w.Spectrum.Narrative(w.Trace))
+				}
 				return 1
 			}
 		}
@@ -159,7 +171,11 @@ func sniffFormat(path string, data []byte) string {
 
 // historyRemote ships the lowered descriptor stream to a service (or
 // through the grid) and maps its verdict onto the exit-code contract.
-func historyRemote(l *history.Lowering, server, grid string, timeout time.Duration, retries int) int {
+func historyRemote(l *history.Lowering, server, grid string, timeout time.Duration, retries int, tiered bool) int {
+	var opts []sctest.CheckOpt
+	if tiered {
+		opts = append(opts, sctest.Tiered())
+	}
 	var check sctest.HistoryChecker
 	if grid != "" {
 		g, err := scgrid.New(strings.Split(grid, ","), scgrid.Config{
@@ -171,9 +187,9 @@ func historyRemote(l *history.Lowering, server, grid string, timeout time.Durati
 			return 2
 		}
 		defer g.Close()
-		check = sctest.HistoryGridChecker(g)
+		check = sctest.HistoryGridChecker(g, opts...)
 	} else {
-		check = sctest.HistoryRemoteCheckerRetry(server, scserve.RetryConfig{Timeout: timeout, MaxAttempts: retries})
+		check = sctest.HistoryRemoteCheckerRetry(server, scserve.RetryConfig{Timeout: timeout, MaxAttempts: retries}, opts...)
 	}
 	err := check(l)
 	if err == nil {

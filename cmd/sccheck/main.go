@@ -99,9 +99,21 @@ func main() {
 		grid    = flag.String("grid", "", "comma-separated scserve backends; adjudicate through the scgrid dispatcher")
 		srvTO   = flag.Duration("server-timeout", 30*time.Second, "per-operation I/O timeout for -server/-grid mode")
 		retries = flag.Int("server-retries", 5, "connection attempts per remote operation before giving up")
+		tier    = flag.Bool("tier", false, "on rejection, adjudicate the witness core against the weaker-model ladder (TSO/PSO/causal/PRAM); with -server/-grid, ask the service to")
+
+		bench    = flag.Bool("bench", false, "with -tier: run the tier-adjudication benchmark instead of checking input")
+		benchN   = flag.Int("bench-n", 2000, "adjudications per benchmark arm")
+		benchOut = flag.String("bench-out", "", "write the benchmark result as JSON to this file")
 	)
 	flag.Parse()
 
+	if *bench {
+		if !*tier {
+			fmt.Fprintln(os.Stderr, "sccheck: -bench requires -tier (the tier-adjudication benchmark)")
+			os.Exit(2)
+		}
+		os.Exit(tierBench(*benchN, *benchOut))
+	}
 	if *k < 1 {
 		fmt.Fprintln(os.Stderr, "sccheck: -k must be at least 1")
 		os.Exit(2)
@@ -133,9 +145,9 @@ func main() {
 			os.Exit(2)
 		}
 		if *grid != "" {
-			os.Exit(gridMain(r, *grid, *k, params, *srvTO, *retries))
+			os.Exit(gridMain(r, *grid, *k, params, *srvTO, *retries, *tier))
 		}
-		os.Exit(remoteMain(r, *server, *k, params, *srvTO, *retries))
+		os.Exit(remoteMain(r, *server, *k, params, *srvTO, *retries, *tier))
 	}
 	c := checker.New(*k)
 	if params.Procs > 0 {
@@ -169,7 +181,7 @@ func main() {
 		if n, ok := sym.(descriptor.Node); ok && n.Op != nil {
 			ops++
 		}
-		if *explain {
+		if *explain || *tier {
 			stream = append(stream, sym)
 			continue
 		}
@@ -178,10 +190,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *explain {
-		if w := witness.FromStream(stream, *k, witness.Options{Minimize: true, Params: params}); w != nil {
+	if *explain || *tier {
+		// -tier uses the canonical TierWitness core — the stream truncated
+		// at the rejecting symbol, minimized preserving non-SC-ness — so
+		// the tier printed here equals what a tiered scserve backend would
+		// put on the verdict for the same stream.
+		var w *witness.Witness
+		if *tier {
+			w = witness.TierWitness(stream, *k, params)
+		} else {
+			w = witness.FromStream(stream, *k, witness.Options{Minimize: true, Params: params})
+		}
+		if w != nil {
+			if *tier {
+				w.Adjudicate(0)
+			}
 			fmt.Printf("REJECTED (%s)\n", w.Summary())
-			fmt.Print(w.Render())
+			if *explain {
+				fmt.Print(w.Render())
+			} else if w.Spectrum != nil {
+				fmt.Print(w.Spectrum.Narrative(w.Trace))
+			}
 			os.Exit(1)
 		}
 	} else if err := c.Finish(); err != nil {
@@ -197,10 +226,10 @@ func main() {
 // stream is shipped as-is — the server decodes and positions errors —
 // and the session survives connection loss by resuming from the server's
 // last checkpoint.
-func remoteMain(r io.Reader, addr string, k int, params trace.Params, timeout time.Duration, retries int) int {
+func remoteMain(r io.Reader, addr string, k int, params trace.Params, timeout time.Duration, retries int, tiered bool) int {
 	rc := scserve.NewRetryClient(addr, scserve.RetryConfig{Timeout: timeout, MaxAttempts: retries})
 	defer rc.Close()
-	sess, err := rc.Session(scserve.Header{K: k, Params: params})
+	sess, err := rc.Session(scserve.Header{K: k, Params: params, Tiered: tiered})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sccheck: remote: %v\n", err)
 		return 2
@@ -235,7 +264,7 @@ func remoteMain(r io.Reader, addr string, k int, params trace.Params, timeout ti
 // a backend blip resumes from its checkpoint, a backend death fails over
 // to a live backend with a full replay, and a saturated pool answers
 // busy (exit 2) rather than hanging.
-func gridMain(r io.Reader, backends string, k int, params trace.Params, timeout time.Duration, retries int) int {
+func gridMain(r io.Reader, backends string, k int, params trace.Params, timeout time.Duration, retries int, tiered bool) int {
 	g, err := scgrid.New(strings.Split(backends, ","), scgrid.Config{
 		Timeout:     timeout,
 		MaxAttempts: retries,
@@ -245,7 +274,7 @@ func gridMain(r io.Reader, backends string, k int, params trace.Params, timeout 
 		return 2
 	}
 	defer g.Close()
-	sess, err := g.Session(scserve.Header{K: k, Params: params, Token: scserve.NewToken()})
+	sess, err := g.Session(scserve.Header{K: k, Params: params, Token: scserve.NewToken(), Tiered: tiered})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sccheck: grid: %v\n", err)
 		return 2

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"scverify/internal/history"
+	"scverify/internal/spectrum"
+	"scverify/internal/trace"
+	"scverify/internal/witness"
+)
+
+// tierLitmus is the canonical core for each rung of the ladder: the
+// smallest execution whose strongest satisfied model is exactly that
+// tier. The bench adjudicates each repeatedly and insists the tier never
+// drifts, so the numbers double as a correctness soak.
+var tierLitmus = []struct {
+	name string
+	tr   trace.Trace
+	want spectrum.Tier
+}{
+	{
+		// Store buffering (Dekker): both loads overtake the local store.
+		name: "store-buffering",
+		tr: trace.Trace{
+			trace.ST(1, 1, 1), trace.LD(1, 2, trace.Bottom),
+			trace.ST(2, 2, 1), trace.LD(2, 1, trace.Bottom),
+		},
+		want: spectrum.TierTSO,
+	},
+	{
+		// Relaxed message passing: the flag store drains before the data
+		// store — needs store-store reordering, so PSO but not TSO.
+		name: "message-passing-relaxed",
+		tr: trace.Trace{
+			trace.ST(1, 1, 1), trace.ST(1, 2, 2),
+			trace.LD(2, 2, 2), trace.LD(2, 1, trace.Bottom),
+		},
+		want: spectrum.TierPSO,
+	},
+	{
+		// IRIW: two readers disagree on the order of independent writes.
+		name: "iriw",
+		tr: trace.Trace{
+			trace.ST(1, 1, 1), trace.ST(2, 2, 1),
+			trace.LD(3, 1, 1), trace.LD(3, 2, trace.Bottom),
+			trace.LD(4, 2, 1), trace.LD(4, 1, trace.Bottom),
+		},
+		want: spectrum.TierCausal,
+	},
+	{
+		// Causality chain dropped: PRAM holds, the causal closure fails.
+		name: "causality-violation",
+		tr: trace.Trace{
+			trace.ST(1, 1, 1),
+			trace.LD(2, 1, 1), trace.ST(2, 2, 2),
+			trace.LD(3, 2, 2), trace.LD(3, 1, trace.Bottom),
+		},
+		want: spectrum.TierPRAM,
+	},
+	{
+		// A processor missing its own write fails every rung.
+		name: "read-own-writes-violation",
+		tr: trace.Trace{
+			trace.ST(1, 1, 1), trace.LD(1, 1, trace.Bottom),
+		},
+		want: spectrum.TierNone,
+	},
+}
+
+// tierBench measures weaker-model adjudication throughput: one arm per
+// ladder rung adjudicating that rung's canonical litmus core, plus an
+// end-to-end arm running anomalous histories through the full -tier
+// pipeline (lowering already done; TierWitness minimization then
+// adjudication). Every arm asserts its expected tier on every iteration,
+// so a passing bench is also a tier-stability check.
+func tierBench(n int, out string) int {
+	type arm struct {
+		Name          string  `json:"name"`
+		Tier          string  `json:"tier"`
+		Adjudications int     `json:"adjudications"`
+		Ops           int64   `json:"ops"`
+		Seconds       float64 `json:"seconds"`
+		PerSec        float64 `json:"adjudications_per_sec"`
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "sccheck: bench: "+format+"\n", args...)
+		return 2
+	}
+
+	arms := make([]arm, 0, len(tierLitmus)+1)
+	for _, lc := range tierLitmus {
+		a := arm{Name: lc.name, Tier: lc.want.String(), Adjudications: n}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			res := spectrum.Adjudicate(lc.tr, spectrum.Options{})
+			if !res.Checked {
+				return fail("%s: %d-op core not adjudicated", lc.name, len(lc.tr))
+			}
+			if res.Tier != lc.want {
+				return fail("%s adjudicated to tier %s, want %s", lc.name, res.Tier, lc.want)
+			}
+			a.Ops += int64(len(lc.tr))
+		}
+		a.Seconds = time.Since(start).Seconds()
+		if a.Seconds > 0 {
+			a.PerSec = float64(a.Adjudications) / a.Seconds
+		}
+		arms = append(arms, a)
+	}
+
+	// End-to-end arm: a rotating corpus of anomalous histories, one
+	// injected kind each, lowered once up front; the loop pays witness
+	// minimization plus ladder adjudication — what a tiered scserve
+	// backend pays per rejection.
+	const corpus = 16
+	kinds := history.AllAnomalies()
+	lowerings := make([]*history.Lowering, corpus)
+	for i := range lowerings {
+		g, err := history.Generate(history.GenConfig{
+			Seed: int64(i + 1), Processes: 4, Keys: 3, Ops: 60,
+			Anomalies: []history.AnomalyKind{kinds[i%len(kinds)]},
+		})
+		if err != nil {
+			return fail("%v", err)
+		}
+		l, err := history.Lower(g.History)
+		if err != nil {
+			return fail("%v", err)
+		}
+		lowerings[i] = l
+	}
+	e2eN := n / 10
+	if e2eN < 10 {
+		e2eN = 10
+	}
+	e2e := arm{Name: "history-e2e", Tier: spectrum.TierNone.String(), Adjudications: e2eN}
+	checked := 0
+	start := time.Now()
+	for i := 0; i < e2eN; i++ {
+		l := lowerings[i%corpus]
+		w := witness.TierWitness(l.Stream, l.K, l.Params)
+		if w == nil {
+			return fail("anomalous history %d was accepted", i%corpus)
+		}
+		w.Adjudicate(0)
+		e2e.Ops += int64(len(l.Trace))
+		if w.Spectrum == nil || !w.Spectrum.Checked || w.Spectrum.Bounded {
+			continue // missing tier is legal; a wrong one is not
+		}
+		checked++
+		want := kinds[(i%corpus)%len(kinds)].Tier()
+		if w.Spectrum.Tier != want {
+			return fail("history %d adjudicated to tier %s, want %s", i%corpus, w.Spectrum.Tier, want)
+		}
+	}
+	e2e.Seconds = time.Since(start).Seconds()
+	if e2e.Seconds > 0 {
+		e2e.PerSec = float64(e2e.Adjudications) / e2e.Seconds
+	}
+	if checked == 0 {
+		return fail("no end-to-end adjudication resolved a tier")
+	}
+	arms = append(arms, e2e)
+
+	result := struct {
+		Benchmark string    `json:"benchmark"`
+		Arms      []arm     `json:"arms"`
+		When      time.Time `json:"when"`
+	}{Benchmark: "sctier", Arms: arms, When: time.Now().UTC()}
+
+	for _, a := range result.Arms {
+		fmt.Printf("%-26s %7d adjudications (tier %-6s) in %6.2fs: %9.0f/s\n",
+			a.Name, a.Adjudications, a.Tier, a.Seconds, a.PerSec)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return 0
+}

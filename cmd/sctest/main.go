@@ -70,12 +70,13 @@ func main() {
 		retries = flag.Int("server-retries", 5, "connection attempts per remote operation before giving up")
 		hist    = flag.Bool("hist", false, "campaign over generated operation histories instead of protocol runs")
 		histOps = flag.Int("hist-ops", 60, "base operations per generated history (-hist mode)")
+		tier    = flag.Bool("tier", false, "adjudicate every rejection against the weaker-model ladder and histogram the tiers")
 	)
 	flag.Parse()
 
 	if *hist {
 		os.Exit(histMain(*runs, *seed, *procs, *blocks, *histOps, *workers,
-			*server, *grid, *rpcTO, *retries))
+			*server, *grid, *rpcTO, *retries, *tier))
 	}
 
 	params := trace.Params{Procs: *procs, Blocks: *blocks, Values: *values}
@@ -88,6 +89,11 @@ func main() {
 	cfg := sctest.Config{
 		Runs: *runs, Steps: *steps, Seed: *seed,
 		Exact: *exact, ExactLimit: *limit, Workers: *workers,
+		Tier: *tier,
+	}
+	var opts []sctest.CheckOpt
+	if *tier {
+		opts = append(opts, sctest.Tiered())
 	}
 	how := "in-process checker"
 	var g *scgrid.Grid
@@ -99,7 +105,7 @@ func main() {
 		cfg.Check = sctest.RemoteCheckerRetry(*server, scserve.RetryConfig{
 			Timeout:     *rpcTO,
 			MaxAttempts: *retries,
-		})
+		}, opts...)
 		how = "scserve at " + *server
 	}
 	if *grid != "" {
@@ -112,7 +118,7 @@ func main() {
 			os.Exit(2)
 		}
 		defer g.Close()
-		cfg.Check = sctest.GridChecker(g)
+		cfg.Check = sctest.GridChecker(g, opts...)
 		how = fmt.Sprintf("scgrid over %d backends", len(g.Stats().Backends))
 	}
 	fmt.Printf("testing %s (%s) at %s: %d runs × %d steps, adjudicated by %s\n",
@@ -130,8 +136,17 @@ func main() {
 		fmt.Println("FATAL: a run was accepted whose trace is not SC — method soundness bug")
 		os.Exit(1)
 	}
+	if res.WrongTiers > 0 {
+		fmt.Println("FATAL: service and local tier adjudication disagreed on a rejection")
+		os.Exit(1)
+	}
 	if res.FirstRejected != nil {
 		fmt.Printf("first rejected run:\n  %s\n", res.FirstRejected)
+		if *tier {
+			if lt, ok := sctest.LocalTier(res.FirstRejected, tgt); ok && lt.Checked {
+				fmt.Printf("  %s\n", lt)
+			}
+		}
 		// Replay through the witness pipeline: minimized rejecting core,
 		// concrete happens-before cycle, exact-search certification.
 		if w, werr := witness.FromRun(res.FirstRejected, tgt, witness.Explain()); werr == nil && w != nil {
@@ -147,10 +162,15 @@ func main() {
 // anomaly kind), adjudicated locally or through the chosen service, with
 // the first unexpected outcome rendered as an annotated witness.
 func histMain(seeds int, seed int64, procs, keys, ops, workers int,
-	server, grid string, rpcTO time.Duration, retries int) int {
+	server, grid string, rpcTO time.Duration, retries int, tier bool) int {
 	cfg := sctest.HistoryConfig{
 		Seeds: seeds, Seed: seed, Workers: workers,
-		Gen: history.GenConfig{Processes: procs, Keys: keys, Ops: ops},
+		Gen:  history.GenConfig{Processes: procs, Keys: keys, Ops: ops},
+		Tier: tier,
+	}
+	var opts []sctest.CheckOpt
+	if tier {
+		opts = append(opts, sctest.Tiered())
 	}
 	how := "in-process checker"
 	if server != "" && grid != "" {
@@ -162,7 +182,7 @@ func histMain(seeds int, seed int64, procs, keys, ops, workers int,
 		cfg.Check = sctest.HistoryRemoteCheckerRetry(server, scserve.RetryConfig{
 			Timeout:     rpcTO,
 			MaxAttempts: retries,
-		})
+		}, opts...)
 		how = "scserve at " + server
 	}
 	if grid != "" {
@@ -176,7 +196,7 @@ func histMain(seeds int, seed int64, procs, keys, ops, workers int,
 			return 2
 		}
 		defer g.Close()
-		cfg.Check = sctest.HistoryGridChecker(g)
+		cfg.Check = sctest.HistoryGridChecker(g, opts...)
 		how = fmt.Sprintf("scgrid over %d backends", len(g.Stats().Backends))
 	}
 	kinds := history.AllAnomalies()

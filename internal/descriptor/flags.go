@@ -20,11 +20,12 @@ package descriptor
 //     handle, and every encoder may set declared bits only.
 //
 // Declared does not mean handled: a bit may be reserved here before any
-// parser accepts it (the *Reserved* constants below). Parsers keep
-// rejecting reserved bits until the release that implements them — that
-// is the forward-compatibility contract the scserve fuzz seeds pin down —
-// but the allocation here guarantees the next wire-compatible extension
-// cannot collide with a bit already in flight.
+// parser accepts it. Parsers keep rejecting reserved bits until the
+// release that implements them — that is the forward-compatibility
+// contract the scserve fuzz seeds pin down — but the allocation here
+// guarantees the next wire-compatible extension cannot collide with a bit
+// already in flight. The tiered-verdict bits below followed exactly that
+// path: reserved-and-rejected one release, allocated-and-handled the next.
 //
 //scvet:wireflag-registry
 const (
@@ -38,10 +39,11 @@ const (
 	// checkpointed session; the payload continues with the client's last
 	// acked symbol index and byte offset.
 	HelloFlagResume = 1 << 2
-	// HelloFlagTiered is RESERVED for the tiered-verdict extension
-	// (ROADMAP item 4): a client opting into re-adjudication of rejected
-	// streams against weaker memory models. No parser handles it yet;
-	// hellos carrying it are rejected until the extension ships.
+	// HelloFlagTiered opts the session into tiered verdicts: on
+	// rejection the server re-adjudicates the minimized witness core
+	// against the weaker-model ladder of internal/spectrum and annotates
+	// the verdict with the strongest tier satisfied (VerdictFlagTier).
+	// The hello payload is otherwise unchanged.
 	HelloFlagTiered = 1 << 3
 
 	// VerdictFlagWitness marks a verdict payload carrying the witness
@@ -49,9 +51,11 @@ const (
 	// field and the message. The bit sits above the verdict-code value
 	// space (codes 0..2), so pre-extension payloads parse unchanged.
 	VerdictFlagWitness = 0x08
-	// VerdictFlagTier is RESERVED for the tiered-verdict extension: a
-	// rejection annotated with the strongest weaker model the trace still
-	// satisfies. No parser handles it yet.
+	// VerdictFlagTier marks a verdict payload carrying the tier
+	// extension: the strongest weaker model the rejected core still
+	// satisfies plus the store-buffer reorder site, appended after the
+	// witness fields (and before the message). Sent only to sessions
+	// that set HelloFlagTiered, so legacy payloads stay byte-identical.
 	VerdictFlagTier = 0x10
 )
 
@@ -60,8 +64,8 @@ const (
 // peer from the future degrades to a clean error, never to a silently
 // misread session.
 const (
-	HelloFlagMask   = HelloFlagNoValues | HelloFlagToken | HelloFlagResume
-	VerdictFlagMask = VerdictFlagWitness
+	HelloFlagMask   = HelloFlagNoValues | HelloFlagToken | HelloFlagResume | HelloFlagTiered
+	VerdictFlagMask = VerdictFlagWitness | VerdictFlagTier
 	// AckFlagMask: ack frames carry no flag field today; the zero mask
 	// records that so the first ack flag is allocated here, not ad hoc.
 	AckFlagMask = 0

@@ -17,6 +17,21 @@ func (l *Lowering) Explain() *witness.Witness {
 	return w
 }
 
+// ExplainTier builds the tier-adjudicated witness for the lowering: the
+// canonical TierWitness core — identical, by construction, to the core a
+// tiered scserve backend adjudicates for the same stream — run through the
+// weaker-model ladder and annotated with history vocabulary. Returns nil
+// when the checker accepts the stream.
+func (l *Lowering) ExplainTier() *witness.Witness {
+	w := witness.TierWitness(l.Stream, l.K, l.Params)
+	if w == nil {
+		return nil
+	}
+	w.Adjudicate(0)
+	l.Annotate(w)
+	return w
+}
+
 // Annotate installs a Labeler on the witness that renders each trace
 // position as its source history operation. The witness trace may be a
 // ddmin-minimized subsequence of the full lowered trace; minimization

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"scverify/internal/checker"
+	"scverify/internal/spectrum"
 )
 
 // The generator simulates a replicated key-value store with a single
@@ -89,6 +90,17 @@ func (k AnomalyKind) Constraint() checker.Constraint {
 		return checker.Constraint4
 	}
 	return checker.ConstraintCycle
+}
+
+// Tier is the strongest consistency tier the anomaly's minimized witness
+// core satisfies. Every injected kind lands below PRAM: stale-read and
+// partition-bottom make one process observe a single key's versions out of
+// order, read-your-writes puts the contradiction inside a single process's
+// own program order, and a phantom read returns a value no write produced —
+// in each case no per-process serialization of the writes exists, which is
+// exactly the PRAM decomposition, so no rung of the ladder holds.
+func (k AnomalyKind) Tier() spectrum.Tier {
+	return spectrum.TierNone
 }
 
 // Anomaly records one injected anomaly: its kind, where its witnessing
@@ -358,18 +370,18 @@ func Generate(cfg GenConfig) (*Generated, error) {
 			readOK(reader, v2, true)
 			a.Event = readOK(reader, v1, true)
 		case AnomalyReadYourWrites:
-			// reader writes k, then immediately misses its own write,
-			// observing the previous value (or ⊥ on a fresh key).
+			// reader writes k twice, then immediately misses its own newest
+			// write, observing its own earlier value. Seeding the key with the
+			// reader's own write (rather than picking up whatever the base
+			// workload left behind) keeps the witness core entirely on one
+			// process, so the anomaly's tier is a property of the kind, not of
+			// the seed.
 			a.Process = reader
-			_, prev := s.keyIndex(key, len(s.log))
-			hadPrev := false
-			if idx, _ := s.keyIndex(key, len(s.log)); idx > 0 {
-				hadPrev = true
-			}
-			v := s.next
-			s.next++
-			s.doScriptedWrite(reader, key, v)
-			a.Event = readOK(reader, prev, hadPrev)
+			v1, v2 := s.next, s.next+1
+			s.next += 2
+			s.doScriptedWrite(reader, key, v1)
+			s.doScriptedWrite(reader, key, v2)
+			a.Event = readOK(reader, v1, true)
 		case AnomalyPartitionBottom:
 			// writer seeds the key; reader observes the value, then its
 			// replica partitions away and serves the initial state ⊥.

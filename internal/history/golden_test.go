@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"scverify/internal/spectrum"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -74,6 +76,33 @@ func TestGoldenWitnessNarratives(t *testing.T) {
 			}
 			base := strings.TrimSuffix(name, filepath.Ext(name))
 			checkGolden(t, base+".witness.golden", got)
+		})
+	}
+}
+
+// TestGoldenTierNarratives pins the tier-adjudicated witness renderings of
+// the anomalous fixtures: the ladder verdict, its narrative, and the
+// history-vocabulary labels must all stay stable, and both fixtures must
+// land below every rung (their single-process misreads defeat even PRAM).
+func TestGoldenTierNarratives(t *testing.T) {
+	for _, name := range []string{"stale-read.jsonl", "partition.edn"} {
+		t.Run(name, func(t *testing.T) {
+			l, err := Lower(fixture(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := l.ExplainTier()
+			if w == nil {
+				t.Fatal("anomalous fixture accepted")
+			}
+			if w.Spectrum == nil || !w.Spectrum.Checked {
+				t.Fatalf("fixture core not adjudicated: %+v", w.Spectrum)
+			}
+			if w.Spectrum.Tier != spectrum.TierNone {
+				t.Errorf("fixture adjudicated to tier %s, want none", w.Spectrum.Tier)
+			}
+			base := strings.TrimSuffix(name, filepath.Ext(name))
+			checkGolden(t, base+".tier.golden", w.Render())
 		})
 	}
 }

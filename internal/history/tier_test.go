@@ -1,0 +1,52 @@
+package history
+
+import (
+	"testing"
+
+	"scverify/internal/witness"
+)
+
+// TestAnomalyTierMapping pins each injectable anomaly kind to its declared
+// consistency tier: across many seeds and workload mixes, the minimized
+// witness core of every seeded rejection must adjudicate to exactly
+// AnomalyKind.Tier(). A core too large for the adjudication limit yields a
+// missing tier, which is tolerated (and counted); a wrong tier never is.
+func TestAnomalyTierMapping(t *testing.T) {
+	for _, kind := range AllAnomalies() {
+		t.Run(kind.String(), func(t *testing.T) {
+			const seeds = 50
+			checked := 0
+			for seed := int64(0); seed < seeds; seed++ {
+				cfg := GenConfig{
+					Seed:      seed,
+					Ops:       12 + int(seed%5), // small base so cores fit the limit
+					Anomalies: []AnomalyKind{kind},
+				}
+				g, err := Generate(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				l, err := Lower(g.History)
+				if err != nil {
+					t.Fatalf("seed %d: lower: %v", seed, err)
+				}
+				w := witness.TierWitness(l.Stream, l.K, l.Params)
+				if w == nil {
+					t.Fatalf("seed %d: seeded %s history accepted", seed, kind)
+				}
+				res := w.Adjudicate(0)
+				if !res.Checked || res.Bounded {
+					continue // oversized or budget-bounded: missing tier is legal
+				}
+				checked++
+				if res.Tier != kind.Tier() {
+					t.Fatalf("seed %d: %s core adjudicated to tier %s, want %s\n%s",
+						seed, kind, res.Tier, kind.Tier(), w.Render())
+				}
+			}
+			if checked < seeds/2 {
+				t.Fatalf("only %d/%d seeds produced an adjudicable core", checked, seeds)
+			}
+		})
+	}
+}

@@ -234,6 +234,79 @@ func (p Program) TSOOutcomes() []Outcome {
 	return sortedOutcomes(seen)
 }
 
+// PSOOutcomes enumerates every outcome reachable under partial store
+// order: the same store-buffer machine as TSOOutcomes, but the buffer
+// drains in per-block FIFO order only — stores to *different* blocks may
+// reach memory out of program order. Load forwarding is unchanged (the
+// newest same-block buffered store wins). PSO therefore produces the
+// store-store reorderings TSO forbids: on Figure 1 it admits r1=0,r2=2,
+// which no TSO execution can.
+func (p Program) PSOOutcomes() []Outcome {
+	seen := map[string]Outcome{}
+	var explore func(s tsoState)
+	explore = func(s tsoState) {
+		progressed := false
+		for th := range p.Threads {
+			// Drain any buffered store with no earlier same-block store
+			// still buffered — the per-block-FIFO condition.
+			for bi, st := range s.bufs[th] {
+				blocked := false
+				for _, earlier := range s.bufs[th][:bi] {
+					if earlier.Block == st.Block {
+						blocked = true
+						break
+					}
+				}
+				if blocked {
+					continue
+				}
+				progressed = true
+				n := s.clone()
+				n.bufs[th] = append(n.bufs[th][:bi:bi], n.bufs[th][bi+1:]...)
+				n.mem[st.Block] = st.Value
+				explore(n)
+			}
+			// Execute the thread's next statement.
+			if s.next[th] < len(p.Threads[th]) {
+				progressed = true
+				stmt := p.Threads[th][s.next[th]]
+				n := s.clone()
+				n.next[th]++
+				if stmt.IsStore {
+					n.bufs[th] = append(n.bufs[th], stmt)
+				} else {
+					v, fwd := trace.Value(0), false
+					for i := len(n.bufs[th]) - 1; i >= 0; i-- {
+						if n.bufs[th][i].Block == stmt.Block {
+							v, fwd = n.bufs[th][i].Value, true
+							break
+						}
+					}
+					if !fwd {
+						v = n.mem[stmt.Block]
+					}
+					n.out[stmt.Reg] = v
+				}
+				explore(n)
+			}
+		}
+		if !progressed {
+			key := s.out.String()
+			if _, ok := seen[key]; !ok {
+				seen[key] = s.out
+			}
+		}
+	}
+	init := tsoState{
+		next: make([]int, len(p.Threads)),
+		bufs: make([][]Stmt, len(p.Threads)),
+		mem:  map[trace.BlockID]trace.Value{},
+		out:  Outcome{},
+	}
+	explore(init)
+	return sortedOutcomes(seen)
+}
+
 // RelaxedOutcomes enumerates outcomes when each thread may execute its
 // statements fully out of order (no program-order enforcement at all, but
 // each statement still executes atomically on memory). This is the "more

@@ -1,0 +1,81 @@
+package memmodel
+
+import "testing"
+
+func outcomeSet(os []Outcome) map[string]bool {
+	set := map[string]bool{}
+	for _, s := range OutcomeStrings(os) {
+		set[s] = true
+	}
+	return set
+}
+
+func TestFigure1PSOStoreStoreReordering(t *testing.T) {
+	// Figure 1 is the litmus that separates PSO from TSO: the fourth
+	// outcome r1=0,r2=2 needs the y←2 store to reach memory before x←1,
+	// a store-store reordering. TSO's FIFO drain forbids it; PSO's
+	// per-block FIFO allows it.
+	p := Figure1()
+	tso := outcomeSet(p.TSOOutcomes())
+	pso := outcomeSet(p.PSOOutcomes())
+	if tso["r1=0 r2=2"] {
+		t.Error("TSO produced the store-store reordering outcome r1=0 r2=2")
+	}
+	if !pso["r1=0 r2=2"] {
+		t.Errorf("PSO outcomes %v missing r1=0 r2=2", OutcomeStrings(p.PSOOutcomes()))
+	}
+}
+
+func TestPSOContainsTSOContainsSC(t *testing.T) {
+	// The model hierarchy as outcome-set inclusion, on both the Figure-1
+	// message-passing program and the store-buffering litmus.
+	programs := map[string]Program{
+		"figure1": Figure1(),
+		"sb": {Threads: [][]Stmt{
+			{St(1, 1), Ld(2, "r1")},
+			{St(2, 1), Ld(1, "r2")},
+		}},
+	}
+	for name, p := range programs {
+		sc := outcomeSet(p.SCOutcomes())
+		tso := outcomeSet(p.TSOOutcomes())
+		pso := outcomeSet(p.PSOOutcomes())
+		for o := range sc {
+			if !tso[o] {
+				t.Errorf("%s: SC outcome %q missing from TSO set", name, o)
+			}
+		}
+		for o := range tso {
+			if !pso[o] {
+				t.Errorf("%s: TSO outcome %q missing from PSO set", name, o)
+			}
+		}
+	}
+}
+
+func TestPSOSameBlockStoresStayOrdered(t *testing.T) {
+	// Per-block FIFO: two stores to the same block must reach memory in
+	// program order, so a reader can never observe the first value after
+	// the second. P1: x←1; x←2. P2: r1=x; r2=x. Forbidden under PSO:
+	// r1=2 ∧ r2=1.
+	p := Program{Threads: [][]Stmt{
+		{St(1, 1), St(1, 2)},
+		{Ld(1, "r1"), Ld(1, "r2")},
+	}}
+	for o := range outcomeSet(p.PSOOutcomes()) {
+		if o == "r1=2 r2=1" {
+			t.Error("PSO reordered same-block stores")
+		}
+	}
+}
+
+func TestPSOForwarding(t *testing.T) {
+	// A thread still reads its own newest buffered store under PSO.
+	p := Program{Threads: [][]Stmt{
+		{St(1, 1), Ld(1, "r1")},
+	}}
+	got := OutcomeStrings(p.PSOOutcomes())
+	if len(got) != 1 || got[0] != "r1=1" {
+		t.Errorf("PSO forwarding outcomes = %v, want [r1=1]", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"scverify/internal/descriptor"
+	"scverify/internal/spectrum"
 )
 
 // These tests pin the wire format's forward-compatibility contract, which
@@ -31,12 +32,12 @@ func TestHelloUnknownFlagBitsRejected(t *testing.T) {
 		name    string
 		payload []byte
 	}{
-		{"bit3", helloWithFlags(1 << 3)},
 		{"bit7", helloWithFlags(1 << 7)},
 		{"known+unknown", helloWithFlags(helloFlagNoValues | 1<<4)},
 		// The unknown bit must be rejected even when it rides alongside a
 		// well-formed token — not swallowed by the token parse.
 		{"token+unknown", helloWithFlags(helloFlagToken|1<<5, 2, 'a', 'b')},
+		{"tiered+unknown", helloWithFlags(helloFlagTiered | 1<<6)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -56,12 +57,13 @@ func TestHelloUnknownFlagBitsRejected(t *testing.T) {
 }
 
 func TestVerdictUnknownFlagBitsRejected(t *testing.T) {
-	// A verdict code carrying a flag bit above the witness extension must
-	// be refused as unknown, not stripped or misread.
+	// A verdict code carrying a flag bit above the allocated extensions
+	// must be refused as unknown, not stripped or misread.
 	for _, code := range []byte{
-		byte(VerdictAccept) | 0x10,
-		byte(VerdictReject) | 0x20,
-		byte(VerdictReject) | verdictFlagWitness | 0x10,
+		byte(VerdictAccept) | 0x20,
+		byte(VerdictReject) | 0x40,
+		byte(VerdictReject) | verdictFlagWitness | 0x20,
+		byte(VerdictReject) | verdictFlagWitness | verdictFlagTier | 0x20,
 	} {
 		payload := append([]byte{code, 0, 0}, "msg"...)
 		if _, err := parseVerdict(payload); err == nil {
@@ -78,31 +80,76 @@ func TestVerdictUnknownFlagBitsRejected(t *testing.T) {
 	}
 }
 
-// TestReservedFlagBitsStillRejected pins the parser side of the wire-flag
-// registry contract: a bit may be *declared* in the descriptor registry
-// (reserving its value so the next extension cannot collide) long before
-// any parser *handles* it. Until the implementing release, parsers must
-// keep rejecting reserved bits exactly like undeclared ones — a peer from
-// the future degrades to a clean error, never to a misread session. When
-// the tiered-verdict extension ships, this test is the checklist of
-// parser sites it must update.
-func TestReservedFlagBitsStillRejected(t *testing.T) {
-	if _, err := parseHello(helloWithFlags(descriptor.HelloFlagTiered)); err == nil ||
-		!strings.Contains(err.Error(), "unknown flags") {
-		t.Fatalf("reserved hello bit HelloFlagTiered not rejected: %v", err)
+// TestTieredFlagBitsRoundTrip pins the allocation side of the wire-flag
+// registry contract, now that the tiered-verdict extension has shipped:
+// the formerly reserved HelloFlagTiered/VerdictFlagTier bits parse as
+// first-class extensions, round-trip losslessly, and — crucially for a
+// mixed-version fleet — change nothing for peers that do not set them:
+// a legacy hello re-encodes byte-identically and yields verdict payloads
+// byte-identical to the pre-extension wire format.
+func TestTieredFlagBitsRoundTrip(t *testing.T) {
+	// Tiered hello: parses, carries the bit, re-encodes byte-identically.
+	h, err := parseHello(helloWithFlags(descriptor.HelloFlagTiered))
+	if err != nil {
+		t.Fatalf("tiered hello rejected: %v", err)
 	}
-	if _, err := parseHello(helloWithFlags(helloFlagToken|descriptor.HelloFlagTiered, 2, 'a', 'b')); err == nil ||
-		!strings.Contains(err.Error(), "unknown flags") {
-		t.Fatalf("reserved hello bit alongside a token not rejected: %v", err)
+	if !h.Tiered {
+		t.Fatal("tiered hello parsed without the Tiered bit")
 	}
-	for _, code := range []byte{
-		byte(VerdictReject) | descriptor.VerdictFlagTier,
-		byte(VerdictReject) | verdictFlagWitness | descriptor.VerdictFlagTier,
-	} {
-		payload := append([]byte{code, 4, 18}, "msg"...)
-		if _, err := parseVerdict(payload); err == nil || !strings.Contains(err.Error(), "unknown code") {
-			t.Fatalf("reserved verdict bit %#x not rejected: %v", code, err)
+	enc := appendHello(nil, h)
+	again, err := parseHello(enc)
+	if err != nil || again != h {
+		t.Fatalf("tiered hello round trip: %+v, %v", again, err)
+	}
+	// Alongside a token.
+	h, err = parseHello(helloWithFlags(helloFlagToken|descriptor.HelloFlagTiered, 2, 'a', 'b'))
+	if err != nil || !h.Tiered || h.Token != "ab" {
+		t.Fatalf("tiered+token hello: %+v, %v", h, err)
+	}
+
+	// Legacy hello (no tier bit): byte-identical re-encode, untier-ed.
+	legacy := helloWithFlags(helloFlagNoValues)
+	h, err = parseHello(legacy)
+	if err != nil || h.Tiered {
+		t.Fatalf("legacy hello: %+v, %v", h, err)
+	}
+	if got := appendHello(nil, h); string(got) != string(legacy) {
+		t.Fatalf("legacy hello re-encode differs: %x vs %x", got, legacy)
+	}
+
+	// Tiered verdicts: every defined tier code round-trips with and
+	// without a reorder site, and parsers tolerate codes this build does
+	// not know (a newer peer may have grown the ladder).
+	for tier := 0; tier < spectrum.NumTiers; tier++ {
+		v := Verdict{Code: VerdictReject, Symbol: 3, Offset: 17,
+			Constraint: 2, CycleLen: 4,
+			Tiered: true, Tier: tier, ReorderStore: -1, ReorderPast: -1, Msg: "cycle"}
+		if tier == 3 || tier == 4 {
+			v.ReorderStore, v.ReorderPast = 0, 1
 		}
+		got, err := parseVerdict(appendVerdict(nil, v))
+		if err != nil || got != v {
+			t.Fatalf("tier %d verdict round trip: %+v, %v", tier, got, err)
+		}
+	}
+	future := Verdict{Code: VerdictReject, Symbol: 1, Offset: 2,
+		Tiered: true, Tier: maxTierCode - 1, ReorderStore: -1, ReorderPast: -1, Msg: "m"}
+	if got, err := parseVerdict(appendVerdict(nil, future)); err != nil || got != future {
+		t.Fatalf("future tier code round trip: %+v, %v", got, err)
+	}
+
+	// Legacy verdict (no tier bit): payload byte-identical to the
+	// pre-extension encoding, and parsed untier-ed.
+	lv := Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Constraint: 2, CycleLen: 4, Msg: "cycle"}
+	payload := appendVerdict(nil, lv)
+	want := []byte{byte(VerdictReject) | verdictFlagWitness, 4, 18, 3, 4}
+	want = append(want, "cycle"...)
+	if string(payload) != string(want) {
+		t.Fatalf("legacy verdict payload changed: %x vs %x", payload, want)
+	}
+	got, err := parseVerdict(payload)
+	if err != nil || got.Tiered || got != lv {
+		t.Fatalf("legacy verdict round trip: %+v, %v", got, err)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"scverify/internal/checker"
 	"scverify/internal/descriptor"
+	"scverify/internal/spectrum"
 	"scverify/internal/trace"
 )
 
@@ -66,6 +67,12 @@ const helloFlagToken = descriptor.HelloFlagToken
 // replays its buffered tail from there.
 const helloFlagResume = descriptor.HelloFlagResume
 
+// helloFlagTiered opts the session into tiered verdicts: rejections are
+// re-adjudicated against the weaker-model ladder and the verdict carries
+// the tier extension (verdictFlagTier). The hello payload is otherwise
+// unchanged, so non-tiered hellos encode byte-identically to before.
+const helloFlagTiered = descriptor.HelloFlagTiered
+
 // maxTokenLen bounds the resume token a client may choose.
 const maxTokenLen = 64
 
@@ -84,6 +91,11 @@ type Header struct {
 	Params   trace.Params
 	NoValues bool
 
+	// Tiered opts the session into tiered verdicts: on rejection the
+	// server re-adjudicates the witness core against the weaker-model
+	// ladder and annotates the verdict with the strongest tier satisfied.
+	Tiered bool
+
 	Token     string
 	Resume    bool
 	AckSymbol int
@@ -99,6 +111,9 @@ func appendHello(dst []byte, h Header) []byte {
 	var flags uint64
 	if h.NoValues {
 		flags |= helloFlagNoValues
+	}
+	if h.Tiered {
+		flags |= helloFlagTiered
 	}
 	if h.Token != "" {
 		flags |= helloFlagToken
@@ -151,6 +166,7 @@ func parseHello(payload []byte) (Header, error) {
 			*f.dst = int(v)
 		default: // flags
 			h.NoValues = v&helloFlagNoValues != 0
+			h.Tiered = v&helloFlagTiered != 0
 			resume = v&helloFlagResume != 0
 			if resume && v&helloFlagToken == 0 {
 				return Header{}, fmt.Errorf("hello: resume flag without a session token")
@@ -191,7 +207,7 @@ func parseHello(payload []byte) (Header, error) {
 					rf.set(v)
 				}
 			}
-			if v &^= helloFlagNoValues | helloFlagToken | helloFlagResume; v != 0 {
+			if v &^= helloFlagNoValues | helloFlagToken | helloFlagResume | helloFlagTiered; v != 0 {
 				return Header{}, fmt.Errorf("hello: unknown flags %#x", v)
 			}
 		}
@@ -259,6 +275,18 @@ const (
 // wire-flag registry, like the hello bits.
 const verdictFlagWitness = descriptor.VerdictFlagWitness
 
+// verdictFlagTier is OR'd into the verdict code varint when the payload
+// carries the tier extension: three extra uvarints (tier code, reorder
+// store position + 1, reorder past position + 1) after the witness fields
+// and before the message. Sent only on sessions that opted in via
+// helloFlagTiered, so legacy sessions' payloads stay byte-identical.
+const verdictFlagTier = descriptor.VerdictFlagTier
+
+// maxTierCode bounds the tier codes a parser accepts. Codes above the
+// tiers this build knows are tolerated (a newer peer may have grown the
+// ladder) and render as "tier(N)"; the bound only rejects garbage.
+const maxTierCode = 64
+
 func (c VerdictCode) String() string {
 	switch c {
 	case VerdictAccept:
@@ -286,7 +314,17 @@ type Verdict struct {
 	// when Constraint is the acyclicity requirement, 0 otherwise.
 	Constraint int
 	CycleLen   int
-	Msg        string
+	// Tiered marks a verdict carrying the tier extension: Tier is the
+	// spectrum.Tier code of the strongest weaker model the rejected core
+	// satisfies (possibly unknown to this build when the peer is newer),
+	// and ReorderStore/ReorderPast are the trace positions, within the
+	// minimized core, of the store-buffer reordering licensing a TSO/PSO
+	// tier (-1 when not applicable).
+	Tiered       bool
+	Tier         int
+	ReorderStore int
+	ReorderPast  int
+	Msg          string
 }
 
 // String renders the verdict on one line.
@@ -299,6 +337,13 @@ func (v Verdict) String() string {
 		s += fmt.Sprintf(" [%s", checker.Constraint(v.Constraint))
 		if v.CycleLen > 0 {
 			s += fmt.Sprintf(", cycle of %d", v.CycleLen)
+		}
+		s += "]"
+	}
+	if v.Tiered {
+		s += fmt.Sprintf(" [tier: %s", spectrum.Tier(v.Tier))
+		if v.ReorderStore >= 0 && v.ReorderPast >= 0 {
+			s += fmt.Sprintf(", store op %d drained after op %d", v.ReorderStore, v.ReorderPast)
 		}
 		s += "]"
 	}
@@ -367,12 +412,20 @@ func appendVerdict(dst []byte, v Verdict) []byte {
 	if witness {
 		code |= verdictFlagWitness
 	}
+	if v.Tiered {
+		code |= verdictFlagTier
+	}
 	dst = binary.AppendUvarint(dst, code)
 	dst = binary.AppendUvarint(dst, uint64(v.Symbol+1))
 	dst = binary.AppendUvarint(dst, uint64(v.Offset+1))
 	if witness {
 		dst = binary.AppendUvarint(dst, uint64(v.Constraint+1))
 		dst = binary.AppendUvarint(dst, uint64(v.CycleLen))
+	}
+	if v.Tiered {
+		dst = binary.AppendUvarint(dst, uint64(v.Tier))
+		dst = binary.AppendUvarint(dst, uint64(v.ReorderStore+1))
+		dst = binary.AppendUvarint(dst, uint64(v.ReorderPast+1))
 	}
 	return append(dst, v.Msg...)
 }
@@ -393,7 +446,8 @@ func parseVerdict(payload []byte) (Verdict, error) {
 		return Verdict{}, err
 	}
 	witness := code&verdictFlagWitness != 0
-	code &^= verdictFlagWitness
+	tiered := code&verdictFlagTier != 0
+	code &^= verdictFlagWitness | verdictFlagTier
 	if code > uint64(VerdictProtocolError) {
 		return Verdict{}, fmt.Errorf("verdict: unknown code %d", code)
 	}
@@ -431,6 +485,30 @@ func parseVerdict(payload []byte) (Verdict, error) {
 		if v.Constraint == 0 && v.CycleLen == 0 {
 			return Verdict{}, fmt.Errorf("verdict: empty witness extension")
 		}
+	}
+	if tiered {
+		tier, err := uv("tier")
+		if err != nil {
+			return Verdict{}, err
+		}
+		if tier >= maxTierCode {
+			return Verdict{}, fmt.Errorf("verdict: tier code %d out of range", tier)
+		}
+		rstore, err := uv("reorder store")
+		if err != nil {
+			return Verdict{}, err
+		}
+		rpast, err := uv("reorder past")
+		if err != nil {
+			return Verdict{}, err
+		}
+		if rstore > 1<<40 || rpast > 1<<40 {
+			return Verdict{}, fmt.Errorf("verdict: reorder position out of range")
+		}
+		v.Tiered = true
+		v.Tier = int(tier)
+		v.ReorderStore = int(rstore) - 1
+		v.ReorderPast = int(rpast) - 1
 	}
 	v.Msg = string(payload[pos:])
 	return v, nil

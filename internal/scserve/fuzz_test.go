@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"scverify/internal/checker"
 	"scverify/internal/descriptor"
 	"scverify/internal/faultnet"
 	"scverify/internal/trace"
@@ -89,16 +90,20 @@ func FuzzHelloAndVerdictParsers(f *testing.F) {
 	f.Add(appendHello(nil, Header{K: 3, Token: "t", Resume: true, AckSymbol: 64, AckOffset: 4096}),
 		appendVerdict(nil, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: resumeMissPrefix + "unknown or expired session token"}))
 	f.Add([]byte{protocolVersion, 3, 1, 1, 2, 1 << 6}, []byte{0x10 | byte(VerdictAccept), 0, 0})
-	// Declared-but-unhandled bits: the wire-flag registry reserves
-	// HelloFlagTiered and VerdictFlagTier for the tiered-verdict
-	// extension, but no parser handles them yet. Until the extension
-	// ships, these payloads must keep failing exactly like undeclared
-	// bits do — the registry allocates the value, the parser contract
-	// stays mask-and-reject.
-	f.Add([]byte{protocolVersion, 3, 1, 1, 2, descriptor.HelloFlagTiered},
-		[]byte{descriptor.VerdictFlagTier | byte(VerdictReject), 4, 18})
+	// Tiered-extension seeds: HelloFlagTiered and VerdictFlagTier are
+	// allocated and handled now, so these payloads must parse and
+	// round-trip. A tier extension cut short mid-field must still fail
+	// cleanly (the second verdict payload ends after the witness fields).
+	f.Add(appendHello(nil, Header{K: 3, Params: trace.Params{Procs: 1, Blocks: 1, Values: 2}, Tiered: true}),
+		appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 3, Offset: 17, Constraint: 1, CycleLen: 2,
+			Tiered: true, Tier: 4, ReorderStore: 0, ReorderPast: 1, Msg: "cycle"}))
 	f.Add([]byte{protocolVersion, 3, 1, 1, 2, descriptor.HelloFlagTiered | helloFlagNoValues},
 		[]byte{descriptor.VerdictFlagTier | verdictFlagWitness | byte(VerdictReject), 4, 18, 2, 3})
+	// An unknown-to-this-build tier code (a newer peer grew the ladder)
+	// must parse and round-trip untouched.
+	f.Add(appendHello(nil, Header{K: 3, Tiered: true, Token: "t"}),
+		appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 0, Offset: 0,
+			Tiered: true, Tier: maxTierCode - 1, ReorderStore: -1, ReorderPast: -1, Msg: "m"}))
 	f.Fuzz(func(t *testing.T, hp, vp []byte) {
 		if h, err := parseHello(hp); err == nil {
 			back, err2 := parseHello(appendHello(nil, h))
@@ -207,6 +212,55 @@ func FuzzRetryClient(f *testing.F) {
 	})
 }
 
+// FuzzTierVerdictFrame fuzzes the tiered-verdict wire extension from the
+// structured side: any tier code below the tolerance bound — including
+// codes this build's ladder does not define, from a newer peer — must
+// encode, parse back field-for-field, and re-encode byte-identically.
+// Verdicts without the tier bit must stay byte-identical to the legacy
+// encoding regardless of what the (ignored) tier arguments hold.
+func FuzzTierVerdictFrame(f *testing.F) {
+	f.Add(true, uint8(5), uint16(3), uint16(9), int64(17), uint8(2), uint8(4), "cycle")
+	f.Add(true, uint8(0), uint16(0), uint16(0), int64(0), uint8(0), uint8(0), "")
+	f.Add(true, uint8(63), uint16(1), uint16(0), int64(2), uint8(0), uint8(1), "m")
+	f.Add(false, uint8(4), uint16(7), uint16(3), int64(44), uint8(1), uint8(2), "legacy")
+	f.Fuzz(func(t *testing.T, tiered bool, tier uint8, rstore, rpast uint16, off int64, constraint, cyc uint8, msg string) {
+		v := Verdict{
+			Code: VerdictReject, Symbol: int(rstore) + int(rpast), Offset: off & (1<<40 - 1),
+			Constraint: int(constraint) % (int(checker.ConstraintInternal) + 1), CycleLen: int(cyc), Msg: msg,
+		}
+		if tiered {
+			v.Tiered = true
+			v.Tier = int(tier) % maxTierCode
+			// Reorder positions are either both absent (-1) or both set.
+			if rstore%2 == 0 {
+				v.ReorderStore, v.ReorderPast = -1, -1
+			} else {
+				v.ReorderStore, v.ReorderPast = int(rstore), int(rpast)
+			}
+		}
+		enc := appendVerdict(nil, v)
+		got, err := parseVerdict(enc)
+		if err != nil {
+			t.Fatalf("tier verdict rejected by parser: %+v: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("tier verdict round trip: %+v -> %+v", v, got)
+		}
+		if again := appendVerdict(nil, got); !bytes.Equal(again, enc) {
+			t.Fatalf("tier verdict re-encode differs: % x vs % x", again, enc)
+		}
+		if !tiered {
+			legacy := appendVerdict(nil, Verdict{
+				Code: v.Code, Symbol: v.Symbol, Offset: v.Offset,
+				Constraint: v.Constraint, CycleLen: v.CycleLen, Msg: v.Msg,
+			})
+			if !bytes.Equal(enc, legacy) {
+				t.Fatalf("untier-ed verdict encoding drifted from legacy: % x vs % x", enc, legacy)
+			}
+		}
+	})
+}
+
 // FuzzServerConn throws an arbitrary client byte stream at a live
 // connection handler: the server must neither panic nor leak the handler
 // goroutine, whatever the bytes contain.
@@ -255,6 +309,21 @@ func FuzzServerConn(f *testing.F) {
 	f.Add(resuming())
 	futureHello := append([]byte{frameHello, 6}, protocolVersion, SyntheticK, 1, 1, 2, 1<<5)
 	f.Add(append(futureHello, frameEnd, 0x00))
+	// A tiered session whose stream rejects: drives the server-side tier
+	// adjudication path end to end.
+	tiered := func(stream descriptor.Stream) []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		h := SyntheticHeader()
+		h.Tiered = true
+		writeFrame(bw, frameHello, appendHello(nil, h))
+		writeFrame(bw, frameSymbols, descriptor.Marshal(stream))
+		writeFrame(bw, frameEnd, nil)
+		bw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(tiered(rej))
+	f.Add(tiered(SyntheticAccept(9)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := New(Config{MaxFrame: 1 << 16, MaxK: 64, QueueBytes: 512, ReadTimeout: 2 * time.Second})

@@ -32,6 +32,7 @@ import (
 
 	"scverify/internal/checker"
 	"scverify/internal/descriptor"
+	"scverify/internal/witness"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown begins.
@@ -77,6 +78,15 @@ type Config struct {
 	// ResumeTTL expires checkpoints untouched for this long. Default 15m;
 	// negative disables.
 	ResumeTTL time.Duration
+	// TierLimit bounds the size (in operations) of the minimized witness
+	// core the server re-adjudicates against the weaker-model ladder for
+	// sessions that opted in via Header.Tiered. 0 means the spectrum
+	// default; negative disables tiering entirely (opted-in sessions get
+	// plain verdicts — a missing tier is always legal, a wrong one never).
+	TierLimit int
+	// TierMaxSymbols caps the stream length retained for tier
+	// adjudication; longer streams are rejected untier-ed. Default 4096.
+	TierMaxSymbols int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -109,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.ResumeTTL == 0 {
 		c.ResumeTTL = 15 * time.Minute
 	}
+	if c.TierMaxSymbols <= 0 {
+		c.TierMaxSymbols = 4096
+	}
 	return c
 }
 
@@ -129,6 +142,7 @@ type Stats struct {
 	Resumes         int64   `json:"resumes"`
 	ResumeReplays   int64   `json:"resume_replays"`
 	ResumeMisses    int64   `json:"resume_misses"`
+	TiersComputed   int64   `json:"tiers_computed"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	SessionsPerSec  float64 `json:"sessions_per_sec"`
 	SymbolsPerSec   float64 `json:"symbols_per_sec"`
@@ -168,6 +182,7 @@ type Server struct {
 	resumes         atomic.Int64
 	resumeReplays   atomic.Int64
 	resumeMisses    atomic.Int64
+	tiersComputed   atomic.Int64
 }
 
 // New returns a server with cfg (zero fields defaulted).
@@ -206,6 +221,7 @@ func (s *Server) Stats() Stats {
 		Resumes:         s.resumes.Load(),
 		ResumeReplays:   s.resumeReplays.Load(),
 		ResumeMisses:    s.resumeMisses.Load(),
+		TiersComputed:   s.tiersComputed.Load(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 	}
 	if st.UptimeSeconds > 0 {
@@ -643,13 +659,41 @@ func (s *Server) checkLoop(h Header, seed *resumeSeed, pipe *bpipe, resc chan<- 
 		}
 		dec = descriptor.NewDecoder(pipe)
 	}
+	// Tier adjudication needs the decoded stream up to the rejection.
+	// Resumed sessions lack the checkpointed prefix and NoValues sessions
+	// run a checker whose rejections a value-aware replay would not
+	// reproduce, so both stay untier-ed (missing tiers are always legal;
+	// wrong tiers never are).
+	collect := h.Tiered && !h.NoValues && seed == nil && s.cfg.TierLimit >= 0
+	var stream descriptor.Stream
+	attachTier := func(v Verdict) Verdict {
+		if !collect {
+			return v
+		}
+		w := witness.TierWitness(stream, h.K, h.Params)
+		if w == nil {
+			return v
+		}
+		res := w.Adjudicate(s.cfg.TierLimit)
+		if !res.Checked {
+			return v
+		}
+		v.Tiered = true
+		v.Tier = int(res.Tier)
+		v.ReorderStore, v.ReorderPast = -1, -1
+		if res.Reorder != nil {
+			v.ReorderStore, v.ReorderPast = res.Reorder.Store, res.Reorder.Past
+		}
+		s.tiersComputed.Add(1)
+		return v
+	}
 	nextCkpt := dec.Count() + s.cfg.AckInterval
 	for {
 		off := dec.Offset()
 		sym, err := dec.Next()
 		if err == io.EOF {
 			if ferr := chk.Finish(); ferr != nil {
-				resc <- rejectVerdict(dec.Count(), dec.Offset(), "end of stream: ", ferr)
+				resc <- attachTier(rejectVerdict(dec.Count(), dec.Offset(), "end of stream: ", ferr))
 			} else {
 				resc <- Verdict{Code: VerdictAccept, Symbol: -1, Offset: -1,
 					Msg: fmt.Sprintf("%d symbols describe an acyclic constraint graph", dec.Count())}
@@ -669,8 +713,15 @@ func (s *Server) checkLoop(h Header, seed *resumeSeed, pipe *bpipe, resc chan<- 
 			return
 		}
 		s.symbolsTotal.Add(1)
+		if collect {
+			if len(stream) < s.cfg.TierMaxSymbols {
+				stream = append(stream, sym)
+			} else {
+				collect, stream = false, nil
+			}
+		}
 		if serr := chk.Step(sym); serr != nil {
-			resc <- rejectVerdict(dec.Count()-1, off, "", serr)
+			resc <- attachTier(rejectVerdict(dec.Count()-1, off, "", serr))
 			pipe.CloseRead(errSessionOver)
 			return
 		}

@@ -24,16 +24,20 @@ import (
 // Like RemoteChecker, rejections surface as *scserve.VerdictError and
 // everything that is not a checker verdict is an error prefixed
 // "sctest: grid".
-func GridChecker(g *scgrid.Grid) func(*protocol.Run, registry.Target) error {
+func GridChecker(g *scgrid.Grid, opts ...CheckOpt) func(*protocol.Run, registry.Target) error {
 	return func(run *protocol.Run, tgt registry.Target) error {
 		// Size the observer's ID pool the same way CheckRun does: the
 		// session header must announce the bandwidth bound k up front.
 		sizing := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, nil)
-		sess, err := g.Session(scserve.Header{
+		hdr := scserve.Header{
 			K:      sizing.K(),
 			Params: run.Protocol.Params(),
 			Token:  scserve.NewToken(),
-		})
+		}
+		for _, o := range opts {
+			o(&hdr)
+		}
+		sess, err := g.Session(hdr)
 		if err != nil {
 			return fmt.Errorf("sctest: grid: %w", err)
 		}

@@ -13,6 +13,7 @@ import (
 	"scverify/internal/registry"
 	"scverify/internal/scgrid"
 	"scverify/internal/scserve"
+	"scverify/internal/spectrum"
 	"scverify/internal/trace"
 )
 
@@ -139,7 +140,11 @@ func TestGridChaosSoakRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer g.Close()
-	remote := GridChecker(g)
+	// The whole soak runs tiered: on top of the never-wrong-verdict
+	// invariant, any delivered tier must equal the local adjudication of
+	// the same run — faults may cost a missing tier (resumed sessions are
+	// not tiered), never a wrong one.
+	remote := GridChecker(g, Tiered())
 
 	params := trace.Params{Procs: 2, Blocks: 2, Values: 2}
 	cases := make([]chaosCase, 0, len(registry.Names()))
@@ -181,7 +186,7 @@ found:
 	killIdx := -1 // which backend the mid-run kill struck
 	killDone := make(chan struct{})
 
-	var delivered, rejected, transportErrs, runsTotal int
+	var delivered, rejected, transportErrs, runsTotal, tieredRejections int
 	round := 0
 	for {
 		for _, c := range cases {
@@ -236,6 +241,14 @@ found:
 						t.Fatalf("%s run %d: WRONG VERDICT — grid rejected at symbol %d, local checker accepted",
 							c.name, i, ve.Verdict.Symbol)
 					}
+					if ve.Verdict.Tiered {
+						tieredRejections++
+						lt, ok := LocalTier(run, tgt)
+						if !ok || !lt.Checked || int(lt.Tier) != ve.Verdict.Tier {
+							t.Fatalf("%s run %d: WRONG TIER — grid adjudicated tier %s, local %s (ok=%v checked=%v)",
+								c.name, i, spectrum.Tier(ve.Verdict.Tier), lt.Tier, ok, lt.Checked)
+						}
+					}
 				default:
 					transportErrs++
 					t.Logf("%s run %d: transport error (tolerated): %v", c.name, i, remoteErr)
@@ -257,14 +270,17 @@ found:
 		sessions += bs.Sessions
 		t.Logf("soak: %s", bs)
 	}
-	t.Logf("soak: %d runs, %d verdicts delivered (%d rejections), %d transport errors; grid: sessions=%d resumes=%d failovers=%d ejections=%d sheds=%d; %s",
-		runsTotal, delivered, rejected, transportErrs, sessions, resumes, failovers, ejections, st.Sheds, dialer.Stats())
+	t.Logf("soak: %d runs, %d verdicts delivered (%d rejections, %d tiered), %d transport errors; grid: sessions=%d resumes=%d failovers=%d ejections=%d sheds=%d; %s",
+		runsTotal, delivered, rejected, tieredRejections, transportErrs, sessions, resumes, failovers, ejections, st.Sheds, dialer.Stats())
 
 	if delivered == 0 {
 		t.Fatal("no verdict survived — the soak proved nothing")
 	}
 	if rejected == 0 {
 		t.Fatal("no rejection was delivered — the soak never exercised a non-accept verdict")
+	}
+	if tieredRejections == 0 {
+		t.Fatal("no delivered rejection carried a tier — tiering never survived the faults")
 	}
 	if transportErrs > runsTotal/4 {
 		t.Fatalf("%d/%d runs degraded to transport errors — the fabric barely functions", transportErrs, runsTotal)

@@ -11,6 +11,7 @@ import (
 	"scverify/internal/history"
 	"scverify/internal/scgrid"
 	"scverify/internal/scserve"
+	"scverify/internal/spectrum"
 )
 
 // HistoryChecker adjudicates one lowered history: nil on acceptance, a
@@ -24,18 +25,22 @@ type HistoryChecker func(l *history.Lowering) error
 // shipped over a retrying session and the service's verdict decides the
 // history. Transport failures are prefixed "sctest: remote" like
 // RemoteChecker's.
-func HistoryRemoteChecker(addr string, timeout time.Duration) HistoryChecker {
-	return HistoryRemoteCheckerRetry(addr, scserve.RetryConfig{Timeout: timeout})
+func HistoryRemoteChecker(addr string, timeout time.Duration, opts ...CheckOpt) HistoryChecker {
+	return HistoryRemoteCheckerRetry(addr, scserve.RetryConfig{Timeout: timeout}, opts...)
 }
 
 // HistoryRemoteCheckerRetry is HistoryRemoteChecker with the full retry
 // policy exposed. Each call opens its own RetryClient, so the checker is
 // safe for concurrent campaign workers.
-func HistoryRemoteCheckerRetry(addr string, cfg scserve.RetryConfig) HistoryChecker {
+func HistoryRemoteCheckerRetry(addr string, cfg scserve.RetryConfig, opts ...CheckOpt) HistoryChecker {
 	return func(l *history.Lowering) error {
 		rc := scserve.NewRetryClient(addr, cfg)
 		defer rc.Close()
-		sess, err := rc.Session(historyHeader(l))
+		hdr := historyHeader(l)
+		for _, o := range opts {
+			o(&hdr)
+		}
+		sess, err := rc.Session(hdr)
 		if err != nil {
 			return fmt.Errorf("sctest: remote: %w", err)
 		}
@@ -53,10 +58,13 @@ func HistoryRemoteCheckerRetry(addr string, cfg scserve.RetryConfig) HistoryChec
 // HistoryGridChecker adjudicates lowerings through a scgrid fabric: each
 // history becomes one tokened grid session, placed on a healthy backend
 // by the grid's dispatcher, with the grid's resume/failover semantics.
-func HistoryGridChecker(g *scgrid.Grid) HistoryChecker {
+func HistoryGridChecker(g *scgrid.Grid, opts ...CheckOpt) HistoryChecker {
 	return func(l *history.Lowering) error {
 		hdr := historyHeader(l)
 		hdr.Token = scserve.NewToken()
+		for _, o := range opts {
+			o(&hdr)
+		}
 		sess, err := g.Session(hdr)
 		if err != nil {
 			return fmt.Errorf("sctest: grid: %w", err)
@@ -136,6 +144,11 @@ type HistoryConfig struct {
 	Workers int
 	// Check adjudicates each lowering; nil means the in-process checker.
 	Check HistoryChecker
+	// Tier adjudicates every anomalous rejection's witness core against
+	// the weaker-model ladder (wire tier when the checker is a tiered
+	// service, local TierWitness otherwise, cross-checked when both
+	// resolve) and verifies it matches the injected kind's declared tier.
+	Tier bool
 }
 
 // HistoryFailure pins one unexpected campaign outcome.
@@ -165,6 +178,15 @@ type HistoryResult struct {
 	WrongCode     int // rejected, but with an unexpected constraint code
 	Errors        int // generation, lowering, or transport failures
 
+	// Tiers histograms caught anomalies by adjudicated tier (indexed by
+	// spectrum.Tier); TierUnchecked counts rejections whose core no side
+	// could adjudicate (legal), and WrongTier counts tiers that differ
+	// from the anomaly kind's declared tier or between service and local
+	// adjudication (never legal).
+	Tiers         [spectrum.NumTiers]int
+	TierUnchecked int
+	WrongTier     int
+
 	// FirstUnexpected retains the first non-conforming outcome in item
 	// order, for rendering.
 	FirstUnexpected *HistoryFailure
@@ -172,7 +194,8 @@ type HistoryResult struct {
 
 // Passed reports whether every history behaved as scripted.
 func (r HistoryResult) Passed() bool {
-	return r.CleanRejected == 0 && r.AnomalyMissed == 0 && r.WrongCode == 0 && r.Errors == 0
+	return r.CleanRejected == 0 && r.AnomalyMissed == 0 && r.WrongCode == 0 &&
+		r.WrongTier == 0 && r.Errors == 0
 }
 
 // String renders a one-line summary.
@@ -188,8 +211,14 @@ func (r HistoryResult) String() string {
 	if r.WrongCode > 0 {
 		s += fmt.Sprintf(", %d wrong constraint codes", r.WrongCode)
 	}
+	if r.WrongTier > 0 {
+		s += fmt.Sprintf(", %d wrong tiers", r.WrongTier)
+	}
 	if r.Errors > 0 {
 		s += fmt.Sprintf(", %d errors", r.Errors)
+	}
+	if tl := tierLine(r.Tiers, r.TierUnchecked, 0); tl != "" {
+		s += "; " + tl
 	}
 	return s
 }
@@ -207,6 +236,7 @@ type historyVerdict struct {
 	lowering *history.Lowering
 	err      error // adjudication outcome (nil = accepted)
 	genErr   error // generation/lowering failure (counted as an error)
+	tv       tierVerdict
 }
 
 // HistoryCampaign sweeps generated histories through the adjudicator:
@@ -255,6 +285,11 @@ func HistoryCampaign(cfg HistoryConfig) HistoryResult {
 		}
 		v.lowering = l
 		v.err = check(l)
+		if cfg.Tier && v.anomaly != nil && v.err != nil {
+			v.tv = adjudicateTier(v.err, func() (spectrum.Result, bool) {
+				return HistoryTier(l)
+			})
+		}
 		return v
 	}
 
@@ -322,6 +357,21 @@ func HistoryCampaign(cfg HistoryConfig) HistoryResult {
 				fail(v, v.err)
 			default:
 				res.AnomalyCaught++
+				if cfg.Tier {
+					switch {
+					case v.tv.wrong:
+						res.WrongTier++
+						fail(v, fmt.Errorf("service and local tier adjudication disagree: %v", v.err))
+					case v.tv.tierOK && v.tv.tier != v.anomaly.Kind.Tier():
+						res.WrongTier++
+						fail(v, fmt.Errorf("%s adjudicated to tier %s, want %s",
+							v.anomaly.Kind, v.tv.tier, v.anomaly.Kind.Tier()))
+					case v.tv.tierOK && int(v.tv.tier) < len(res.Tiers):
+						res.Tiers[v.tv.tier]++
+					default:
+						res.TierUnchecked++
+					}
+				}
 			}
 		}
 	}

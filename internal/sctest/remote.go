@@ -18,8 +18,8 @@ import (
 // decides the run. It is RemoteCheckerRetry with a per-operation timeout
 // as the only tuning; sessions transparently survive connection loss via
 // the fault-tolerant RetryClient.
-func RemoteChecker(addr string, timeout time.Duration) func(*protocol.Run, registry.Target) error {
-	return RemoteCheckerRetry(addr, scserve.RetryConfig{Timeout: timeout})
+func RemoteChecker(addr string, timeout time.Duration, opts ...CheckOpt) func(*protocol.Run, registry.Target) error {
+	return RemoteCheckerRetry(addr, scserve.RetryConfig{Timeout: timeout}, opts...)
 }
 
 // RemoteCheckerRetry is RemoteChecker with the full retry policy exposed:
@@ -32,14 +32,18 @@ func RemoteChecker(addr string, timeout time.Duration) func(*protocol.Run, regis
 // *scserve.VerdictError); transport failures that exhausted the retry
 // budget are returned as errors prefixed "sctest: remote" so they are not
 // mistaken for genuine SC violations.
-func RemoteCheckerRetry(addr string, cfg scserve.RetryConfig) func(*protocol.Run, registry.Target) error {
+func RemoteCheckerRetry(addr string, cfg scserve.RetryConfig, opts ...CheckOpt) func(*protocol.Run, registry.Target) error {
 	return func(run *protocol.Run, tgt registry.Target) error {
 		// Size the observer's ID pool the same way CheckRun does: the
 		// session header must announce the bandwidth bound k up front.
 		sizing := observer.New(run.Protocol, tgt.Generator(), observer.Config{PoolSize: tgt.PoolSize}, nil)
 		rc := scserve.NewRetryClient(addr, cfg)
 		defer rc.Close()
-		sess, err := rc.Session(scserve.Header{K: sizing.K(), Params: run.Protocol.Params()})
+		hdr := scserve.Header{K: sizing.K(), Params: run.Protocol.Params()}
+		for _, o := range opts {
+			o(&hdr)
+		}
+		sess, err := rc.Session(hdr)
 		if err != nil {
 			return fmt.Errorf("sctest: remote: %w", err)
 		}

@@ -19,6 +19,7 @@ import (
 	"scverify/internal/observer"
 	"scverify/internal/protocol"
 	"scverify/internal/registry"
+	"scverify/internal/spectrum"
 	"scverify/internal/trace"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	// descriptor stream to an scserve service. It must be safe for
 	// concurrent use when Workers > 1.
 	Check func(*protocol.Run, registry.Target) error
+	// Tier adjudicates every rejection's witness core against the
+	// weaker-model ladder: the verdict's wire tier when the checker is a
+	// tiered service, the local TierWitness adjudication otherwise, and
+	// both cross-checked against each other whenever both resolve.
+	Tier bool
 }
 
 // Result summarizes a campaign.
@@ -59,6 +65,15 @@ type Result struct {
 	// found non-SC. Any non-zero value is a bug in the method.
 	SoundnessBreaks int
 
+	// Tiers histograms rejections by adjudicated consistency tier
+	// (indexed by spectrum.Tier) when Config.Tier is set; TiersUnchecked
+	// counts rejections whose core no side could adjudicate, and
+	// WrongTiers counts service/local tier disagreements — like
+	// SoundnessBreaks, any non-zero value is a bug.
+	Tiers          [spectrum.NumTiers]int
+	TiersUnchecked int
+	WrongTiers     int
+
 	// FirstRejected retains the first rejected run and its cause.
 	FirstRejected *protocol.Run
 	FirstCause    error
@@ -70,6 +85,9 @@ func (r Result) String() string {
 	if r.CrossChecked > 0 {
 		s += fmt.Sprintf(" (%d cross-checked: %d confirmed non-SC, %d annotation-inadequate, %d soundness breaks)",
 			r.CrossChecked, r.NonSCConfirmed, r.RejectedButSC, r.SoundnessBreaks)
+	}
+	if tl := tierLine(r.Tiers, r.TiersUnchecked, r.WrongTiers); tl != "" {
+		s += "; " + tl
 	}
 	return s
 }
@@ -100,6 +118,7 @@ type verdict struct {
 	err     error
 	checked bool
 	isSC    bool
+	tv      tierVerdict
 }
 
 func classify(tgt registry.Target, cfg Config, i int) verdict {
@@ -112,6 +131,11 @@ func classify(tgt registry.Target, cfg Config, i int) verdict {
 	if cfg.Exact && len(run.Trace) <= cfg.ExactLimit {
 		v.checked = true
 		v.isSC = trace.HasSerialReordering(run.Trace)
+	}
+	if cfg.Tier && v.err != nil {
+		v.tv = adjudicateTier(v.err, func() (spectrum.Result, bool) {
+			return LocalTier(run, tgt)
+		})
 	}
 	return v
 }
@@ -164,6 +188,16 @@ func Campaign(tgt registry.Target, cfg Config) Result {
 		if res.FirstRejected == nil {
 			res.FirstRejected = v.run
 			res.FirstCause = v.err
+		}
+		if cfg.Tier {
+			switch {
+			case v.tv.wrong:
+				res.WrongTiers++
+			case v.tv.tierOK && int(v.tv.tier) < len(res.Tiers):
+				res.Tiers[v.tv.tier]++
+			default:
+				res.TiersUnchecked++
+			}
 		}
 		if v.checked {
 			if v.isSC {

@@ -1,0 +1,129 @@
+package sctest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"scverify/internal/history"
+	"scverify/internal/protocol"
+	"scverify/internal/registry"
+	"scverify/internal/scserve"
+	"scverify/internal/spectrum"
+	"scverify/internal/witness"
+)
+
+// CheckOpt customizes the session header a remote or grid checker opens,
+// letting campaigns opt into wire extensions without widening every
+// checker constructor. Options are applied after the header's required
+// fields are filled in.
+type CheckOpt func(*scserve.Header)
+
+// Tiered asks the service to adjudicate each rejection's witness core
+// against the weaker-model ladder and carry the resulting tier on the
+// verdict. Services that cannot tier a particular session (resumed
+// sessions, value-free streams, oversized cores) simply omit the tier —
+// a missing tier is legal, a wrong one never is.
+func Tiered() CheckOpt {
+	return func(h *scserve.Header) { h.Tiered = true }
+}
+
+// TierOf extracts the service-computed consistency tier from a rejection,
+// mirroring RejectConstraint: ok is false for nil errors, transport
+// errors, acceptances, and verdicts from sessions (or peers) that did not
+// tier.
+func TierOf(err error) (spectrum.Tier, bool) {
+	var ve *scserve.VerdictError
+	if errors.As(err, &ve) && ve.Verdict.Code == scserve.VerdictReject && ve.Verdict.Tiered {
+		return spectrum.Tier(ve.Verdict.Tier), true
+	}
+	return 0, false
+}
+
+// LocalTier adjudicates a run's rejection tier in-process, using the
+// identical recipe a tiered scserve backend runs (witness.TierWitness over
+// the run's descriptor stream): the returned result is what any
+// conforming service must report for this run. ok is false when the run
+// is accepted or cannot be recorded.
+func LocalTier(run *protocol.Run, tgt registry.Target) (spectrum.Result, bool) {
+	stream, k, err := witness.Record(run, tgt)
+	if err != nil {
+		return spectrum.Result{}, false
+	}
+	w := witness.TierWitness(stream, k, run.Protocol.Params())
+	if w == nil {
+		return spectrum.Result{}, false
+	}
+	return w.Adjudicate(0), true
+}
+
+// HistoryTier adjudicates a rejected lowering's tier in-process, again by
+// the canonical TierWitness recipe. ok is false when the lowering's
+// stream is accepted.
+func HistoryTier(l *history.Lowering) (spectrum.Result, bool) {
+	w := witness.TierWitness(l.Stream, l.K, l.Params)
+	if w == nil {
+		return spectrum.Result{}, false
+	}
+	return w.Adjudicate(0), true
+}
+
+// tierLine renders a per-tier rejection histogram for campaign summaries,
+// strongest tier first; empty when nothing was tiered.
+func tierLine(tiers [spectrum.NumTiers]int, unchecked, wrong int) string {
+	var parts []string
+	for t := spectrum.TierSC; ; t-- {
+		if n := tiers[t]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", t, n))
+		}
+		if t == spectrum.TierNone {
+			break
+		}
+	}
+	if len(parts) == 0 && unchecked == 0 && wrong == 0 {
+		return ""
+	}
+	s := "tiers: " + strings.Join(parts, ", ")
+	if len(parts) == 0 {
+		s = "tiers: —"
+	}
+	if unchecked > 0 {
+		s += fmt.Sprintf(" (%d unadjudicated)", unchecked)
+	}
+	if wrong > 0 {
+		s += fmt.Sprintf(", %d WRONG TIERS", wrong)
+	}
+	return s
+}
+
+// tierVerdict is the per-item tier bookkeeping shared by the run and
+// history campaign aggregators.
+type tierVerdict struct {
+	tier    spectrum.Tier
+	tierOK  bool // a tier was adjudicated (wire or local)
+	wrong   bool // wire and local tiers both resolved and disagree
+	skipped bool // rejection had no adjudicable tier
+}
+
+// adjudicateTier resolves one rejection's tier: the wire tier when the
+// verdict carries one, the local adjudication otherwise, cross-checking
+// the two whenever both resolve. local is called lazily so accepted items
+// and untier-ed campaigns pay nothing.
+func adjudicateTier(err error, local func() (spectrum.Result, bool)) tierVerdict {
+	var tv tierVerdict
+	wt, wok := TierOf(err)
+	lr, lok := local()
+	lok = lok && lr.Checked && !lr.Bounded
+	switch {
+	case wok && lok && wt != lr.Tier:
+		tv.wrong = true
+		tv.tier, tv.tierOK = wt, true
+	case wok:
+		tv.tier, tv.tierOK = wt, true
+	case lok:
+		tv.tier, tv.tierOK = lr.Tier, true
+	default:
+		tv.skipped = true
+	}
+	return tv
+}

@@ -1,0 +1,221 @@
+// Store-buffer checkers for the TSO and PSO rungs: a memoized DFS over
+// (per-processor program counter, per-processor store buffer, memory)
+// states, in the style of internal/boundedreorder's searcher but with the
+// buffer discipline of internal/memmodel's TSOOutcomes machine. TSO
+// drains each buffer in FIFO order; PSO may drain any buffered store that
+// is the oldest to its block in its buffer (per-block FIFO). Loads issue
+// in program order, forwarding from the newest same-block store still in
+// their own buffer, else reading memory.
+package spectrum
+
+import (
+	"sort"
+	"strings"
+
+	"scverify/internal/trace"
+)
+
+type bufResult struct {
+	ok      bool
+	bounded bool
+	reorder *Reorder
+}
+
+// checkBuffered reports whether the trace is consistent with a
+// store-buffer machine — TSO when pso is false, PSO when true — and, on
+// success, extracts the program-order inversion that licenses the tier.
+func checkBuffered(t trace.Trace, pso bool) bufResult {
+	s := &bufSearch{
+		t:      t,
+		byProc: t.ByProc(),
+		pso:    pso,
+		seen:   make(map[string]struct{}),
+	}
+	st := &bufState{
+		next: make([]int, len(s.byProc)),
+		bufs: make([][]int, len(s.byProc)),
+		mem:  make(map[trace.BlockID]trace.Value),
+	}
+	ok := s.search(st)
+	res := bufResult{ok: ok, bounded: s.nodes >= nodeBudget}
+	if ok {
+		res.reorder = extractReorder(t, s.sched)
+	}
+	return res
+}
+
+type bufSearch struct {
+	t      trace.Trace
+	byProc [][]int
+	pso    bool
+	seen   map[string]struct{} // states proven to admit no completion
+	nodes  int
+	sched  []int // commit order: trace positions (loads at issue, stores at drain)
+}
+
+type bufState struct {
+	next []int   // per processor: next unissued index into byProc[p]
+	bufs [][]int // per processor: trace positions of buffered stores, issue order
+	mem  map[trace.BlockID]trace.Value
+}
+
+// key canonically encodes (next, bufs, mem). Progress is monotone — every
+// action either advances a program counter or shrinks a buffer — so no
+// path revisits a state and only failed states need memoizing.
+func (st *bufState) key() string {
+	var sb strings.Builder
+	for p := 1; p < len(st.next); p++ {
+		sb.WriteByte(byte(st.next[p]))
+	}
+	sb.WriteByte(0xfe)
+	for p := 1; p < len(st.bufs); p++ {
+		for _, pos := range st.bufs[p] {
+			sb.WriteByte(byte(pos))
+		}
+		sb.WriteByte(0xff)
+	}
+	blocks := make([]int, 0, len(st.mem))
+	for b := range st.mem {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		sb.WriteByte(byte(b))
+		sb.WriteByte(byte(st.mem[trace.BlockID(b)]))
+	}
+	return sb.String()
+}
+
+func (s *bufSearch) search(st *bufState) bool {
+	if s.nodes >= nodeBudget {
+		return false
+	}
+	s.nodes++
+	done := true
+	for p := 1; p < len(s.byProc); p++ {
+		if st.next[p] < len(s.byProc[p]) || len(st.bufs[p]) > 0 {
+			done = false
+			break
+		}
+	}
+	if done {
+		return true
+	}
+	k := st.key()
+	if _, bad := s.seen[k]; bad {
+		return false
+	}
+
+	for p := 1; p < len(s.byProc); p++ {
+		// Drain a buffered store. TSO drains the FIFO head only; PSO may
+		// drain any store with no earlier same-block store in the buffer.
+		for bi, pos := range st.bufs[p] {
+			if bi > 0 && !s.pso {
+				break
+			}
+			if s.pso && !firstOfBlock(s.t, st.bufs[p], bi) {
+				continue
+			}
+			op := s.t[pos]
+			orig := st.bufs[p]
+			nbuf := make([]int, 0, len(orig)-1)
+			nbuf = append(nbuf, orig[:bi]...)
+			nbuf = append(nbuf, orig[bi+1:]...)
+			st.bufs[p] = nbuf
+			old, had := st.mem[op.Block]
+			st.mem[op.Block] = op.Value
+			s.sched = append(s.sched, pos)
+			if s.search(st) {
+				return true
+			}
+			s.sched = s.sched[:len(s.sched)-1]
+			if had {
+				st.mem[op.Block] = old
+			} else {
+				delete(st.mem, op.Block)
+			}
+			st.bufs[p] = orig
+		}
+		// Issue the next program-order operation.
+		if st.next[p] >= len(s.byProc[p]) {
+			continue
+		}
+		pos := s.byProc[p][st.next[p]]
+		op := s.t[pos]
+		if op.IsStore() {
+			orig := st.bufs[p]
+			st.bufs[p] = append(append([]int(nil), orig...), pos)
+			st.next[p]++
+			if s.search(st) {
+				return true
+			}
+			st.next[p]--
+			st.bufs[p] = orig
+			continue
+		}
+		// Load: forward from the newest same-block buffered store, else
+		// read memory (⊥ if the block was never written).
+		v, forwarded := trace.Bottom, false
+		for i := len(st.bufs[p]) - 1; i >= 0; i-- {
+			if bop := s.t[st.bufs[p][i]]; bop.Block == op.Block {
+				v, forwarded = bop.Value, true
+				break
+			}
+		}
+		if !forwarded {
+			if mv, ok := st.mem[op.Block]; ok {
+				v = mv
+			}
+		}
+		if v != op.Value {
+			continue
+		}
+		st.next[p]++
+		s.sched = append(s.sched, pos)
+		if s.search(st) {
+			return true
+		}
+		s.sched = s.sched[:len(s.sched)-1]
+		st.next[p]--
+	}
+	s.seen[k] = struct{}{}
+	return false
+}
+
+// firstOfBlock reports whether buf[bi] has no earlier store to the same
+// block in the buffer — the PSO per-block-FIFO drain condition.
+func firstOfBlock(t trace.Trace, buf []int, bi int) bool {
+	for _, pos := range buf[:bi] {
+		if t[pos].Block == t[buf[bi]].Block {
+			return false
+		}
+	}
+	return true
+}
+
+// extractReorder finds, in a completed commit schedule, the program-order
+// inversion that licenses the store-buffer tier: a store that drained
+// after a later same-processor operation committed. It returns the
+// inversion whose overtaking commit happens earliest, or nil if the
+// schedule is actually in program order per processor (possible when the
+// trace's non-SC cause is value inheritance rather than reordering).
+func extractReorder(t trace.Trace, sched []int) *Reorder {
+	commit := make([]int, len(t))
+	for ci, pos := range sched {
+		commit[pos] = ci
+	}
+	var best *Reorder
+	for _, positions := range t.ByProc() {
+		for x := 0; x < len(positions); x++ {
+			for y := x + 1; y < len(positions); y++ {
+				a, b := positions[x], positions[y]
+				if commit[a] > commit[b] && t[a].IsStore() {
+					if best == nil || commit[b] < commit[best.Past] {
+						best = &Reorder{Store: a, Past: b}
+					}
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,278 @@
+// Session checkers for the PRAM and causal rungs, per the
+// SingleOrder/PRAM/RVal decomposition: a trace is PRAM-consistent iff
+// each process p can serialize all stores plus p's own loads so that each
+// writer's stores appear in its program order and every load returns the
+// latest same-block store (⊥ if none). Causal consistency additionally
+// requires every serialization to respect the causal order — the
+// transitive closure of program order and reads-from — for some
+// assignment of reads-from writers.
+package spectrum
+
+import (
+	"sort"
+	"strings"
+
+	"scverify/internal/trace"
+)
+
+type sessResult struct {
+	ok       bool
+	bounded  bool
+	failProc trace.ProcID
+}
+
+// checkPRAM checks the PRAM rung: independent per-process serializations
+// with no cross-process visibility constraint.
+func checkPRAM(t trace.Trace) sessResult {
+	return allSessions(t, nil)
+}
+
+// checkCausal checks the causal rung: it enumerates reads-from
+// assignments (capped at maxRFAssignments when stores repeat a
+// (block, value) pair), builds the causal order for each, and asks
+// whether every process can serialize under it.
+func checkCausal(t trace.Trace) sessResult {
+	loads, candidates, ok := rfCandidates(t)
+	if !ok {
+		// Some load's value was never stored to its block: no
+		// serialization exists for that process under any model.
+		return sessResult{ok: false}
+	}
+	total := 1
+	capped := false
+	for _, c := range candidates {
+		total *= len(c)
+		if total > maxRFAssignments {
+			total = maxRFAssignments
+			capped = true
+			break
+		}
+	}
+	res := sessResult{bounded: capped}
+	assign := make([]int, len(loads))
+	for n := 0; n < total; n++ {
+		// Decode assignment n in mixed radix over the candidate lists.
+		rem := n
+		for i, c := range candidates {
+			assign[i] = rem % len(c)
+			rem /= len(c)
+		}
+		co := causalClosure(t, loads, candidates, assign)
+		sr := allSessions(t, co)
+		res.bounded = res.bounded || sr.bounded
+		if sr.ok {
+			res.ok = true
+			return res
+		}
+	}
+	return res
+}
+
+// rfCandidates collects, for every non-⊥ load, the trace positions of
+// stores that could be its writer (same block and value). The third
+// result is false if some load has no candidate at all.
+func rfCandidates(t trace.Trace) (loads []int, candidates [][]int, ok bool) {
+	for i, op := range t {
+		if !op.IsLoad() || op.Value == trace.Bottom {
+			continue
+		}
+		var c []int
+		for j, w := range t {
+			if w.IsStore() && w.Block == op.Block && w.Value == op.Value {
+				c = append(c, j)
+			}
+		}
+		if len(c) == 0 {
+			return nil, nil, false
+		}
+		loads = append(loads, i)
+		candidates = append(candidates, c)
+	}
+	return loads, candidates, true
+}
+
+// causalClosure builds the transitive closure of program order plus the
+// chosen reads-from edges, as an adjacency matrix over trace positions.
+func causalClosure(t trace.Trace, loads []int, candidates [][]int, assign []int) [][]bool {
+	n := len(t)
+	co := make([][]bool, n)
+	for i := range co {
+		co[i] = make([]bool, n)
+	}
+	for _, positions := range t.ByProc() {
+		for x := 0; x+1 < len(positions); x++ {
+			co[positions[x]][positions[x+1]] = true
+		}
+	}
+	for i, ld := range loads {
+		co[candidates[i][assign[i]]][ld] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !co[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if co[k][j] {
+					co[i][j] = true
+				}
+			}
+		}
+	}
+	return co
+}
+
+// allSessions runs serializeFor over every process with operations in the
+// trace. A nil co checks plain PRAM; a causal order matrix adds its
+// constraints. failProc is the first process with no serialization.
+func allSessions(t trace.Trace, co [][]bool) sessResult {
+	res := sessResult{ok: true}
+	byProc := t.ByProc()
+	for p := 1; p < len(byProc); p++ {
+		if len(byProc[p]) == 0 {
+			continue
+		}
+		ok, bounded := serializeFor(t, byProc, trace.ProcID(p), co)
+		res.bounded = res.bounded || bounded
+		if !ok {
+			res.ok = false
+			if res.failProc == 0 {
+				res.failProc = trace.ProcID(p)
+			}
+		}
+	}
+	return res
+}
+
+// serializeFor searches for process p's serialization: an order over all
+// stores in the trace plus p's own loads in which each included
+// processor's items appear in its program order, each load returns the
+// latest same-block store (⊥ if none), and — when co is non-nil — no
+// item precedes a causal predecessor. Memoized DFS over (per-processor
+// frontier, memory) states; the second result reports budget exhaustion.
+func serializeFor(t trace.Trace, byProc [][]int, p trace.ProcID, co [][]bool) (bool, bool) {
+	// Per-processor lists of included positions: all of p's ops; only
+	// stores for other processors.
+	items := make([][]int, len(byProc))
+	remaining := 0
+	for q := 1; q < len(byProc); q++ {
+		for _, pos := range byProc[q] {
+			if trace.ProcID(q) == p || t[pos].IsStore() {
+				items[q] = append(items[q], pos)
+				remaining++
+			}
+		}
+	}
+	s := &sessSearch{
+		t:        t,
+		items:    items,
+		co:       co,
+		seen:     make(map[string]struct{}),
+		front:    make([]int, len(items)),
+		executed: make([]bool, len(t)),
+		mem:      make(map[trace.BlockID]trace.Value),
+	}
+	ok := s.search(remaining)
+	return ok, s.nodes >= nodeBudget
+}
+
+type sessSearch struct {
+	t     trace.Trace
+	items [][]int
+	co    [][]bool
+	seen  map[string]struct{}
+	nodes int
+
+	front    []int
+	executed []bool
+	mem      map[trace.BlockID]trace.Value
+}
+
+func (s *sessSearch) key() string {
+	var sb strings.Builder
+	for q := 1; q < len(s.front); q++ {
+		sb.WriteByte(byte(s.front[q]))
+	}
+	sb.WriteByte(0xfe)
+	blocks := make([]int, 0, len(s.mem))
+	for b := range s.mem {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		sb.WriteByte(byte(b))
+		sb.WriteByte(byte(s.mem[trace.BlockID(b)]))
+	}
+	return sb.String()
+}
+
+// ready reports whether the item at trace position pos may execute now:
+// every included causal predecessor has already executed.
+func (s *sessSearch) ready(pos int) bool {
+	if s.co == nil {
+		return true
+	}
+	for q := 1; q < len(s.items); q++ {
+		for _, y := range s.items[q] {
+			if y != pos && s.co[y][pos] && !s.executed[y] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *sessSearch) search(remaining int) bool {
+	if remaining == 0 {
+		return true
+	}
+	if s.nodes >= nodeBudget {
+		return false
+	}
+	s.nodes++
+	k := s.key()
+	if _, bad := s.seen[k]; bad {
+		return false
+	}
+	for q := 1; q < len(s.items); q++ {
+		idx := s.front[q]
+		if idx >= len(s.items[q]) {
+			continue
+		}
+		pos := s.items[q][idx]
+		op := s.t[pos]
+		if !s.ready(pos) {
+			continue
+		}
+		var saved trace.Value
+		var had bool
+		if op.IsLoad() {
+			cur, ok := s.mem[op.Block]
+			if !ok {
+				cur = trace.Bottom
+			}
+			if cur != op.Value {
+				continue
+			}
+		} else {
+			saved, had = s.mem[op.Block]
+			s.mem[op.Block] = op.Value
+		}
+		s.front[q]++
+		s.executed[pos] = true
+		if s.search(remaining - 1) {
+			return true
+		}
+		s.executed[pos] = false
+		s.front[q]--
+		if op.IsStore() {
+			if had {
+				s.mem[op.Block] = saved
+			} else {
+				delete(s.mem, op.Block)
+			}
+		}
+	}
+	s.seen[k] = struct{}{}
+	return false
+}

@@ -95,6 +95,10 @@ func (w *Witness) Render() string {
 	default:
 		sb.WriteString("  certification skipped: trace exceeds the exact-search limit\n")
 	}
+
+	if w.Spectrum != nil {
+		sb.WriteString("  " + strings.ReplaceAll(strings.TrimRight(w.Spectrum.Narrative(w.Trace), "\n"), "\n", "\n  ") + "\n")
+	}
 	return sb.String()
 }
 
@@ -128,6 +132,9 @@ func (w *Witness) Summary() string {
 		s += ", certified non-SC"
 	case w.CertChecked:
 		s += ", trace is SC (annotation inadequacy)"
+	}
+	if w.Spectrum != nil && w.Spectrum.Checked {
+		s += ", tier " + w.Spectrum.Tier.String()
 	}
 	return s
 }

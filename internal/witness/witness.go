@@ -23,6 +23,7 @@ import (
 	"scverify/internal/observer"
 	"scverify/internal/protocol"
 	"scverify/internal/registry"
+	"scverify/internal/spectrum"
 	"scverify/internal/trace"
 )
 
@@ -41,6 +42,15 @@ type Options struct {
 	ExactLimit int
 	// Params enables the checker's operation-label range check.
 	Params trace.Params
+	// CoreNonSC strengthens minimization when the original trace is too
+	// large for the exact search: candidate cores small enough to check
+	// must themselves be non-SC. Without it, ddmin over an unverifiable
+	// original is free to collapse onto a spurious same-constraint
+	// rejection whose trace is sequentially consistent — harmless for
+	// witness narratives (the rendering flags it as annotation
+	// inadequacy) but fatal for tier adjudication, which would report
+	// TierSC for a genuinely non-SC stream. TierOptions sets it.
+	CoreNonSC bool
 }
 
 // Explain is the option set the command-line tools use: minimize and
@@ -88,6 +98,49 @@ type Witness struct {
 	// distinction Section 5 draws for lazy caching.
 	CertChecked bool
 	Certified   bool
+
+	// Spectrum, when non-nil, is the tiered adjudication of Trace against
+	// the weaker-model ladder (set by Adjudicate). Render appends its
+	// narrative.
+	Spectrum *spectrum.Result
+}
+
+// Adjudicate runs the witness core through the weaker-model ladder of
+// internal/spectrum, stores the result on the witness, and returns it.
+// limit bounds the core size adjudicated (0 means spectrum.DefaultLimit,
+// which equals DefaultExactLimit — every default-minimized core that the
+// certification search examined is also tiered).
+func (w *Witness) Adjudicate(limit int) spectrum.Result {
+	res := spectrum.Adjudicate(w.Trace, spectrum.Options{Limit: limit})
+	w.Spectrum = &res
+	return res
+}
+
+// TierOptions is the canonical option set for tier adjudication: minimize
+// to the 1-minimal core and certify at the default limit, with the given
+// label ranges. Server-side and client-side tiering MUST build their
+// witnesses with identical options over an identical stream prefix, so
+// the tier a server reports always equals the tier the client would
+// compute locally — the tier-level analogue of the never-wrong-verdict
+// invariant.
+func TierOptions(params trace.Params) Options {
+	return Options{Minimize: true, Params: params, CoreNonSC: true}
+}
+
+// TierWitness builds the witness used for tier adjudication of a rejected
+// stream: the stream is truncated just past the rejecting symbol (the
+// suffix never reached a checker, so including it would let two sides
+// minimize different streams), then minimized under TierOptions. Returns
+// nil if the stream is in fact accepted.
+func TierWitness(s descriptor.Stream, k int, params trace.Params) *Witness {
+	re := runStream(s, k, params)
+	if re == nil {
+		return nil
+	}
+	if re.SymbolIndex >= 0 && re.SymbolIndex+1 < len(s) {
+		s = s[:re.SymbolIndex+1]
+	}
+	return FromStream(s, k, TierOptions(params))
 }
 
 // FromStream builds a witness for a descriptor stream, or nil if the
@@ -113,6 +166,11 @@ func FromStream(s descriptor.Stream, k int, opts Options) *Witness {
 	// construction. Otherwise minimize on rejection alone and certify (or
 	// refute) the result post hoc.
 	certify := limit > 0 && len(origTrace) <= limit && !trace.HasSerialReordering(origTrace)
+	// CoreNonSC only has work to do when the original trace could not be
+	// checked: candidates the exact search CAN check must stay non-SC.
+	// (When the original fits the limit, certify already enforces this —
+	// or the original is itself SC and there is nothing to preserve.)
+	wantNonSC := opts.CoreNonSC && limit > 0 && len(origTrace) > limit
 	min := s
 	if opts.Minimize {
 		// The reduction preserves the failure signature: a candidate counts
@@ -123,6 +181,11 @@ func FromStream(s descriptor.Stream, k int, opts Options) *Witness {
 			cre := runStream(cand, k, opts.Params)
 			if cre == nil || cre.Constraint != re.Constraint {
 				return false
+			}
+			if wantNonSC {
+				if ct := cand.Trace(); len(ct) <= limit && trace.HasSerialReordering(ct) {
+					return false
+				}
 			}
 			return !certify || !trace.HasSerialReordering(cand.Trace())
 		}
