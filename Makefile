@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid smoke-history smoke-tier chaos chaos-grid soak bench-serve bench-grid bench-hist bench-tier bench-all clean
+.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid smoke-drain smoke-history smoke-tier chaos chaos-grid soak bench-serve bench-grid bench-hist bench-tier bench-all clean
 
-tier1: build vet-full race witness smoke-serve smoke-grid smoke-history smoke-tier chaos fuzz-burst
+tier1: build vet-full race witness smoke-serve smoke-grid smoke-drain smoke-history smoke-tier chaos fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,13 @@ smoke-serve:
 smoke-grid:
 	$(GO) test -race -run='TestGridSmokeKillBackend' -count=1 ./internal/scgrid
 
+# smoke-drain: race-enabled smoke of zero-downtime live operations — a
+# registry campaign through a three-backend grid with one backend drained
+# mid-campaign over clean links. Drain may redirect sessions but must
+# never cost a verdict or surface as an error. Deterministic and <5s.
+smoke-drain:
+	$(GO) test -race -run='TestGridSmokeDrainBackend' -count=1 ./internal/sctest
+
 # smoke-history: race-enabled smoke of the operation-history pipeline —
 # a deterministic campaign of generated replicated-KV histories where
 # every anomaly-free history must be accepted and every injected anomaly
@@ -103,10 +110,12 @@ chaos:
 
 # chaos-grid: the multi-backend version of chaos — the registry campaign
 # sharded across three fault-injected backends, one hard-killed and later
-# restarted mid-campaign. Asserts resumes, ejections, AND failovers
-# occurred, with zero wrong verdicts.
+# restarted mid-campaign (asserting resumes, ejections, AND failovers
+# occurred, with zero wrong verdicts), plus the rolling-restart soak that
+# walks a drain → kill-while-draining → cold-restart cycle across the
+# whole pool and demands an undrained full rejoin.
 chaos-grid:
-	$(GO) test -run='TestGridChaosSoakRegistry' -count=1 ./internal/sctest
+	$(GO) test -run='TestGridChaosSoakRegistry|TestGridRollingRestartSoak' -count=1 ./internal/sctest
 
 # soak: the long randomized version of chaos (SOAK sets the duration).
 SOAK ?= 2m

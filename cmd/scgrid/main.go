@@ -24,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +40,65 @@ import (
 	"scverify/internal/scserve"
 )
 
+// aggregated is the /json schema of the grid stats endpoint: the pool's
+// own view plus each backend's live scserve stats (fetched over the stats
+// frame; fetch errors are reported per backend, not fatal).
+type aggregated struct {
+	Grid     scgrid.GridStats         `json:"grid"`
+	Backends map[string]scserve.Stats `json:"backends,omitempty"`
+	Errors   map[string]string        `json:"errors,omitempty"`
+}
+
+// collect snapshots pool stats and polls every backend for its own stats.
+func collect(g *scgrid.Grid, timeout time.Duration) aggregated {
+	agg := aggregated{Grid: g.Stats(), Backends: map[string]scserve.Stats{}, Errors: map[string]string{}}
+	for _, bs := range agg.Grid.Backends {
+		c, err := scserve.DialTimeout(bs.Addr, timeout)
+		if err != nil {
+			agg.Errors[bs.Addr] = err.Error()
+			continue
+		}
+		st, err := c.Stats()
+		c.Close()
+		if err != nil {
+			agg.Errors[bs.Addr] = err.Error()
+			continue
+		}
+		agg.Backends[bs.Addr] = st
+	}
+	return agg
+}
+
+// serveStats exposes the aggregated grid view over HTTP: plain text on
+// "/", JSON on "/json".
+func serveStats(addr string, g *scgrid.Grid, timeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		agg := collect(g, timeout)
+		fmt.Fprintf(w, "grid: %d backends, %d healthy, %d draining, %d sheds, %d drain redirects\n",
+			len(agg.Grid.Backends), agg.Grid.Healthy, agg.Grid.Draining, agg.Grid.Sheds, agg.Grid.DrainRedirects)
+		for _, bs := range agg.Grid.Backends {
+			fmt.Fprintf(w, "%s\n", bs)
+			if st, ok := agg.Backends[bs.Addr]; ok {
+				fmt.Fprintf(w, "  backend: %s\n", st)
+			} else if msg, ok := agg.Errors[bs.Addr]; ok {
+				fmt.Fprintf(w, "  backend: stats unavailable: %s\n", msg)
+			}
+		}
+	})
+	mux.HandleFunc("/json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(collect(g, timeout))
+	})
+	go http.Serve(ln, mux)
+	return nil
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7542", "proxy listen address")
@@ -50,6 +111,8 @@ func main() {
 		readmitDelay  = flag.Duration("readmit-delay", 3*time.Second, "base delay before re-probing an ejected backend")
 		timeout       = flag.Duration("timeout", 10*time.Second, "per-operation backend I/O deadline")
 		verbose       = flag.Bool("v", false, "log ejections, re-admissions, and failovers")
+		structured    = flag.Bool("log", false, "emit structured (slog) dispatch events on stderr")
+		statsAddr     = flag.String("stats-addr", "", "serve aggregated grid+backend stats over HTTP on this address")
 
 		bench         = flag.Bool("bench", false, "run the self-contained scaling benchmark instead of serving")
 		benchSessions = flag.Int("bench-sessions", 384, "benchmark: total sessions per backend-count row")
@@ -80,6 +143,9 @@ func main() {
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
+	if *structured {
+		cfg.Log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	g, err := scgrid.New(strings.Split(*backends, ","), cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scgrid: %v\n", err)
@@ -97,6 +163,13 @@ func main() {
 	st := g.Stats()
 	fmt.Printf("scgrid: proxy on %s over %d backends (%d healthy, %d in-flight/backend)\n",
 		ln.Addr(), len(st.Backends), st.Healthy, *maxInFlight)
+	if *statsAddr != "" {
+		if err := serveStats(*statsAddr, g, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "scgrid: stats listen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("scgrid: stats on http://%s/\n", *statsAddr)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

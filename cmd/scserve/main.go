@@ -16,6 +16,16 @@
 // flight sessions run to their verdicts (bounded by -drain-timeout), and
 // the final stats line is printed.
 //
+// SIGUSR1 toggles drain mode without touching the listener: a draining
+// server refuses fresh sessions with the draining verdict (retrying
+// clients and scgrid redirect immediately), keeps serving resumes and
+// in-flight sessions, and rejoins on the next SIGUSR1 — the rolling-
+// restart primitive. The same switch is reachable over the wire via the
+// drain admin frame (Client.Drain / Client.Undrain).
+//
+// -stats-addr serves the live stats line over HTTP as plain text ("/")
+// and JSON ("/json") for scrapers and the scgrid aggregator.
+//
 // Exit status: 0 clean serve/bench, 1 drain timeout exceeded, 2 usage/IO
 // error.
 package main
@@ -26,9 +36,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -36,6 +50,46 @@ import (
 	"scverify/internal/descriptor"
 	"scverify/internal/scserve"
 )
+
+// parseWeights parses a -tenant-weights value like "alice=3,bob=1".
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad weight entry %q (want tenant=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight for tenant %q: %q (want positive integer)", name, val)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// serveStats exposes the server's stats over HTTP: plain text on "/",
+// JSON on "/json". Failures to serve stats never take the checker down.
+func serveStats(addr string, srv *scserve.Server) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, srv.Stats())
+	})
+	mux.HandleFunc("/json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(srv.Stats())
+	})
+	go http.Serve(ln, mux)
+	return nil
+}
 
 func main() {
 	var (
@@ -52,6 +106,15 @@ func main() {
 		resumeBytes  = flag.Int64("resume-bytes", 64<<20, "checkpoint retention memory budget in bytes")
 		resumeTTL    = flag.Duration("resume-ttl", 15*time.Minute, "checkpoint retention age limit (negative disables)")
 		verbose      = flag.Bool("v", false, "log per-connection diagnostics")
+		structured   = flag.Bool("log", false, "emit structured (slog) session/drain events on stderr")
+		statsAddr    = flag.String("stats-addr", "", "serve stats over HTTP on this address (text on /, JSON on /json)")
+
+		admitWait      = flag.Duration("admit-wait", 0, "how long an over-capacity hello may wait for a fair-share slot (0 rejects busy immediately)")
+		admitQueue     = flag.Int("admit-queue", 0, "max hellos parked in the admission queue (0 = max-sessions)")
+		tenantSessions = flag.Int("tenant-sessions", 0, "per-tenant concurrent session cap (0 uncapped)")
+		tenantBPS      = flag.Int64("tenant-bytes-per-sec", 0, "per-tenant sustained stream byte rate (0 unlimited)")
+		tenantBurst    = flag.Int64("tenant-burst-bytes", 0, "per-tenant burst bucket in bytes (0 = one second at the rate)")
+		tenantWeights  = flag.String("tenant-weights", "", "fair-share weights, e.g. alice=3,bob=1 (default weight 1)")
 
 		bench         = flag.Bool("bench", false, "run the self-contained benchmark instead of serving")
 		benchSessions = flag.Int("bench-sessions", 256, "benchmark: total sessions")
@@ -61,6 +124,11 @@ func main() {
 	)
 	flag.Parse()
 
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scserve: -tenant-weights: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := scserve.Config{
 		MaxSessions:       *maxSessions,
 		MaxFrame:          *maxFrame,
@@ -72,9 +140,18 @@ func main() {
 		ResumeMaxSessions: *resumeMax,
 		ResumeMaxBytes:    *resumeBytes,
 		ResumeTTL:         *resumeTTL,
+		AdmitWait:         *admitWait,
+		AdmitQueue:        *admitQueue,
+		TenantSessions:    *tenantSessions,
+		TenantBytesPerSec: *tenantBPS,
+		TenantBurstBytes:  *tenantBurst,
+		TenantWeights:     weights,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
+	}
+	if *structured {
+		cfg.Log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
 	if *bench {
@@ -88,6 +165,31 @@ func main() {
 	}
 	srv := scserve.New(cfg)
 	fmt.Printf("scserve: listening on %s (max %d sessions, k ≤ %d)\n", ln.Addr(), *maxSessions, *maxK)
+	if *statsAddr != "" {
+		if err := serveStats(*statsAddr, srv); err != nil {
+			fmt.Fprintf(os.Stderr, "scserve: stats listen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("scserve: stats on http://%s/\n", *statsAddr)
+	}
+
+	// SIGUSR1 toggles drain mode: first signal drains (fresh hellos get
+	// the draining verdict, resumes and in-flight sessions keep running),
+	// the next undrains — so an aborted rolling restart is reversible
+	// without restarting the process.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			if srv.Draining() {
+				srv.Undrain()
+				fmt.Println("scserve: SIGUSR1: drain lifted; admitting fresh sessions")
+			} else {
+				srv.Drain()
+				fmt.Println("scserve: SIGUSR1: draining; fresh sessions redirected, resumes still served")
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -45,6 +45,14 @@ const (
 	// the verdict with the strongest tier satisfied (VerdictFlagTier).
 	// The hello payload is otherwise unchanged.
 	HelloFlagTiered = 1 << 3
+	// HelloFlagTenant marks a hello carrying a tenant identity: the
+	// payload continues with a length-prefixed tenant ID after the
+	// token/resume fields. The server accounts the session to that
+	// tenant for fair-share admission, quotas, and per-tenant stats.
+	// Tenant-free hellos encode byte-identically to the pre-tenant
+	// format, and the tenant never participates in resume-header
+	// equality (it identifies who is asking, not what is checked).
+	HelloFlagTenant = 1 << 4
 
 	// VerdictFlagWitness marks a verdict payload carrying the witness
 	// extension: constraint code and cycle length between the offset
@@ -64,7 +72,7 @@ const (
 // peer from the future degrades to a clean error, never to a silently
 // misread session.
 const (
-	HelloFlagMask   = HelloFlagNoValues | HelloFlagToken | HelloFlagResume | HelloFlagTiered
+	HelloFlagMask   = HelloFlagNoValues | HelloFlagToken | HelloFlagResume | HelloFlagTiered | HelloFlagTenant
 	VerdictFlagMask = VerdictFlagWitness | VerdictFlagTier
 	// AckFlagMask: ack frames carry no flag field today; the zero mask
 	// records that so the first ack flag is allocated here, not ad hoc.

@@ -229,11 +229,19 @@ func (s *Session) ensure() error {
 	// Placement: where should this session run now?
 	var want *backend
 	if s.hdr.Token != "" {
-		want = s.g.pool.pinned(s.hdr.Token)
-		if want == nil {
-			// Nothing healthy: wait in the admission queue for a
-			// re-admission rather than spinning the retry budget.
-			s.releaseSlot()
+		if s.base > 0 && s.b != nil && s.b.isHealthy() {
+			// Sticky resume: our checkpoint lives on this backend and it is
+			// still answering — stay, even if it started draining. Draining
+			// backends keep serving resumes precisely so in-flight sessions
+			// finish where their bytes are instead of paying a full replay.
+			want = s.b
+		} else {
+			want = s.g.pool.pinned(s.hdr.Token)
+			if want == nil {
+				// Nothing healthy: wait in the admission queue for a
+				// re-admission rather than spinning the retry budget.
+				s.releaseSlot()
+			}
 		}
 	} else {
 		want = s.b // one-shot: keep the slot unless the backend died
@@ -438,10 +446,13 @@ func (s *Session) Finish() (scserve.Verdict, error) {
 		return *s.shed, nil
 	}
 	var lastErr error
+	redirects := 0
+	skipBackoff := false
 	for attempt := 0; attempt < s.g.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !skipBackoff {
 			s.backoff(attempt - 1)
 		}
+		skipBackoff = false
 		if err := s.ensure(); err != nil {
 			if errors.Is(err, errShed) {
 				s.done = true
@@ -466,12 +477,28 @@ func (s *Session) Finish() (scserve.Verdict, error) {
 			continue
 		}
 		if v.Busy() {
+			lastErr = v.Err()
+			s.dropConn()
+			if v.Draining() {
+				// The backend is draining, not overloaded: mark it so
+				// placement avoids it, give the slot back, and redirect
+				// immediately — a drain is an explicit "go elsewhere", so
+				// it costs neither a retry attempt nor a backoff sleep.
+				s.g.pool.setDraining(s.b, true)
+				if redirects < maxDrainRedirects {
+					redirects++
+					s.g.pool.drainRedirects.Add(1)
+					s.releaseSlot()
+					s.sent = s.base
+					attempt--
+					skipBackoff = true
+					continue
+				}
+			}
 			// The backend itself is at capacity: back off and restart.
 			// One-shot sessions give their slot back so the retry can
 			// re-place least-loaded; tokened ones stay with their
 			// rendezvous backend.
-			lastErr = v.Err()
-			s.dropConn()
 			if s.hdr.Token == "" {
 				s.releaseSlot()
 			}

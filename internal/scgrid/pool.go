@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
@@ -69,6 +70,10 @@ type Config struct {
 	// Logf, when set, receives pool-level diagnostics (ejections,
 	// re-admissions, failovers).
 	Logf func(format string, args ...any)
+	// Log, when set, receives structured dispatch events (ejections,
+	// re-admissions, drain transitions, failovers) with backend
+	// attributes — the operator-facing counterpart of Logf.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +122,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// maxDrainRedirects bounds how many consecutive draining verdicts a
+// session follows without spending a retry attempt: every healthy backend
+// draining at once (a stuck full-fleet drain) must degrade to the normal
+// busy backoff, not an unmetered hot loop.
+const maxDrainRedirects = 4
+
 // errShed is the admission layer giving up on a slot within the queue
 // deadline; it surfaces to callers as the busy verdict.
 var errShed = errors.New("scgrid: session shed by admission control")
@@ -144,6 +155,7 @@ type backend struct {
 
 	mu        sync.Mutex
 	healthy   bool      // guarded by mu
+	draining  bool      // guarded by mu; healthy but refusing fresh hellos
 	downSince time.Time // guarded by mu
 	nextProbe time.Time // guarded by mu; for ejected backends: earliest re-admission probe
 }
@@ -152,6 +164,12 @@ func (b *backend) isHealthy() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.healthy
+}
+
+func (b *backend) isDraining() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining
 }
 
 // tryAcquire reserves an in-flight slot if one is free.
@@ -173,6 +191,7 @@ func (b *backend) release() { b.inflight.Add(-1) }
 type BackendStats struct {
 	Addr      string `json:"addr"`
 	Healthy   bool   `json:"healthy"`
+	Draining  bool   `json:"draining,omitempty"`
 	InFlight  int64  `json:"in_flight"`
 	Sessions  int64  `json:"sessions"`
 	Accepts   int64  `json:"accepts"`
@@ -189,6 +208,8 @@ func (b BackendStats) String() string {
 	state := "up"
 	if !b.Healthy {
 		state = "DOWN"
+	} else if b.Draining {
+		state = "draining"
 	}
 	return fmt.Sprintf("%s [%s]: %d sessions (%d accept, %d reject, %d error), %d in flight, %d resumes, %d failovers, %d probes, %d ejections",
 		b.Addr, state, b.Sessions, b.Accepts, b.Rejects, b.Errors, b.InFlight, b.Resumes, b.Failovers, b.Probes, b.Ejections)
@@ -198,7 +219,11 @@ func (b BackendStats) String() string {
 type GridStats struct {
 	Backends []BackendStats `json:"backends"`
 	Healthy  int            `json:"healthy"`
+	Draining int            `json:"draining,omitempty"`
 	Sheds    int64          `json:"sheds"`
+	// DrainRedirects counts sessions that followed a draining verdict to
+	// another backend without spending a retry attempt.
+	DrainRedirects int64 `json:"drain_redirects,omitempty"`
 }
 
 // pool owns the backend set, the health prober, and the admission queue.
@@ -210,8 +235,9 @@ type pool struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand // guarded by rngMu
 
-	waiters atomic.Int64
-	sheds   atomic.Int64
+	waiters        atomic.Int64
+	sheds          atomic.Int64
+	drainRedirects atomic.Int64
 
 	stopc    chan struct{}
 	stopOnce sync.Once
@@ -245,6 +271,32 @@ func (p *pool) logf(format string, args ...any) {
 	}
 }
 
+func (p *pool) event(ev string, args ...any) {
+	if p.cfg.Log != nil {
+		p.cfg.Log.Info(ev, args...)
+	}
+}
+
+// setDraining records that a backend announced (or stopped announcing)
+// drain mode. Draining is observed, never assumed: it is set when a
+// draining verdict comes back on a session or probe, and cleared when the
+// backend accepts a session again — so a restarted backend rejoins
+// placement within one probe round without any operator action.
+func (p *pool) setDraining(b *backend, v bool) {
+	b.mu.Lock()
+	was := b.draining
+	b.draining = v
+	b.mu.Unlock()
+	if was != v {
+		if v {
+			p.logf("scgrid: backend %s draining: deprioritized for new sessions", b.addr)
+		} else {
+			p.logf("scgrid: backend %s no longer draining", b.addr)
+		}
+		p.event("backend_drain", "backend", b.addr, "draining", v)
+	}
+}
+
 // jitter draws uniformly over [d/2, d].
 func (p *pool) jitter(d time.Duration) time.Duration {
 	if d <= 0 {
@@ -273,6 +325,28 @@ func (p *pool) healthySet() []*backend {
 	return hs
 }
 
+// placeSet is the set new sessions are placed over: healthy backends that
+// are not draining. When every healthy backend is draining (a full rolling
+// restart mid-flight) it falls back to the healthy set — a draining
+// backend still answers, so degraded placement beats refusing service.
+// Because the fallback depends only on shared observable state, every
+// dispatcher computes the same set modulo propagation lag; transient
+// disagreement degrades to a resume miss and full replay, never to a
+// wrong verdict.
+func (p *pool) placeSet() []*backend {
+	hs := p.healthySet()
+	ps := make([]*backend, 0, len(hs))
+	for _, b := range hs {
+		if !b.isDraining() {
+			ps = append(ps, b)
+		}
+	}
+	if len(ps) == 0 {
+		return hs
+	}
+	return ps
+}
+
 // rendezvous picks the highest-random-weight healthy backend for token:
 // every dispatcher instance (grid clients, proxies) maps the same token
 // to the same backend as long as the healthy set agrees, without any
@@ -295,9 +369,12 @@ func (p *pool) rendezvous(token string, hs []*backend) *backend {
 }
 
 // Pinned returns the backend the token is currently pinned to, or nil
-// when no backend is healthy. It does not reserve a slot.
+// when no backend is healthy. It does not reserve a slot. Pinning ranges
+// over the placement set, so a draining backend's tokens remap to its
+// peers — sessions already resumable there are kept in place by the
+// session layer, which checks its own backend before re-pinning.
 func (p *pool) pinned(token string) *backend {
-	return p.rendezvous(token, p.healthySet())
+	return p.rendezvous(token, p.placeSet())
 }
 
 // tryAcquireP2C reserves a slot by power-of-two-choices: two random
@@ -305,7 +382,7 @@ func (p *pool) pinned(token string) *backend {
 // back to the least-loaded healthy backend with a free slot, so capacity
 // anywhere in the pool is never stranded behind an unlucky draw.
 func (p *pool) tryAcquireP2C() (*backend, error) {
-	hs := p.healthySet()
+	hs := p.placeSet()
 	if len(hs) == 0 {
 		return nil, errNoBackend
 	}
@@ -448,6 +525,10 @@ func (p *pool) probe(b *backend) error {
 	if v.Code != scserve.VerdictAccept && !v.Busy() {
 		return fmt.Errorf("probe verdict: %s", v)
 	}
+	// The probe doubles as the drain detector: a draining verdict means
+	// healthy-but-refusing-fresh-sessions; an accept or plain busy means
+	// the backend (re)admits fresh sessions, clearing any stale drain mark.
+	p.setDraining(b, v.Draining())
 	return nil
 }
 
@@ -514,11 +595,12 @@ func (p *pool) close() {
 
 // stats snapshots every backend plus the pool-level counters.
 func (p *pool) stats() GridStats {
-	st := GridStats{Sheds: p.sheds.Load()}
+	st := GridStats{Sheds: p.sheds.Load(), DrainRedirects: p.drainRedirects.Load()}
 	for _, b := range p.backends {
 		bs := BackendStats{
 			Addr:      b.addr,
 			Healthy:   b.isHealthy(),
+			Draining:  b.isDraining(),
 			InFlight:  b.inflight.Load(),
 			Sessions:  b.sessions.Load(),
 			Accepts:   b.accepts.Load(),
@@ -531,6 +613,9 @@ func (p *pool) stats() GridStats {
 		}
 		if bs.Healthy {
 			st.Healthy++
+		}
+		if bs.Draining {
+			st.Draining++
 		}
 		st.Backends = append(st.Backends, bs)
 	}

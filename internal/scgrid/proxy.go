@@ -199,12 +199,20 @@ func (p *Proxy) splice(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, be net
 			break
 		}
 		if typ == scserve.FrameVerdict {
-			if v, perr := scserve.ParseVerdict(payload); perr == nil && !v.Busy() {
-				switch v.Code {
-				case scserve.VerdictAccept:
-					b.accepts.Add(1)
-				case scserve.VerdictReject:
-					b.rejects.Add(1)
+			if v, perr := scserve.ParseVerdict(payload); perr == nil {
+				if v.Draining() {
+					// Read-only observation: the backend announced drain
+					// mode; mark it so placement steers fresh sessions away.
+					// The verdict itself is relayed untouched below.
+					p.g.pool.setDraining(b, true)
+				}
+				if !v.Busy() {
+					switch v.Code {
+					case scserve.VerdictAccept:
+						b.accepts.Add(1)
+					case scserve.VerdictReject:
+						b.rejects.Add(1)
+					}
 				}
 			}
 		}

@@ -1,0 +1,197 @@
+package scserve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admitResult classifies an admission decision.
+type admitResult int
+
+const (
+	// admitOK: the hello owns a session slot; release it with release().
+	admitOK admitResult = iota
+	// admitBusy: global capacity (or the admission wait expired) — the
+	// client gets the retryable busy verdict.
+	admitBusy
+	// admitQuota: the tenant is at its own concurrent-session cap — the
+	// client gets the typed quota verdict. Unlike busy, the condition is
+	// the tenant's own and redirecting elsewhere would not help.
+	admitQuota
+)
+
+// admitWaiter is one hello parked in the admission queue. granted is
+// closed (under admission.mu) when the waiter receives a slot.
+type admitWaiter struct {
+	tenant  string
+	granted chan struct{}
+}
+
+// admission is the weighted fair-share session gate that replaces the
+// single global CAS cap: it still enforces MaxSessions as a hard
+// watermark, but it accounts every active session to a tenant, caps each
+// tenant's concurrency, and — when a wait budget is configured — parks
+// over-capacity hellos in a bounded queue and hands freed slots to the
+// waiting tenant with the lowest active/weight deficit, so one flooding
+// tenant queues behind everyone else instead of starving them.
+type admission struct {
+	max       int
+	perTenant int            // per-tenant concurrent cap; 0 = uncapped
+	weights   map[string]int // fair-share weights; missing/<=0 = 1
+	wait      time.Duration  // max time a hello may wait; <=0 = immediate busy
+	depth     int            // max parked waiters
+
+	mirror *atomic.Int64 // sessionsActive stats mirror, updated under mu
+	parked *atomic.Int64 // current queue depth, for stats
+
+	mu     sync.Mutex
+	active map[string]int // active sessions per tenant
+	total  int
+	queue  []*admitWaiter
+}
+
+func newAdmission(cfg Config, mirror, parked *atomic.Int64) *admission {
+	depth := cfg.AdmitQueue
+	if depth <= 0 {
+		depth = cfg.MaxSessions
+	}
+	return &admission{
+		max:       cfg.MaxSessions,
+		perTenant: cfg.TenantSessions,
+		weights:   cfg.TenantWeights,
+		wait:      cfg.AdmitWait,
+		depth:     depth,
+		mirror:    mirror,
+		parked:    parked,
+		active:    make(map[string]int),
+	}
+}
+
+func (a *admission) weight(tenant string) int {
+	if w, ok := a.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// atTenantCap reports whether tenant is at its concurrent-session cap.
+// The anonymous tenant "" is exempt: identification is opt-in, and one
+// shared cap over all unidentified clients would conflate them.
+func (a *admission) atTenantCap(tenant string) bool {
+	return tenant != "" && a.perTenant > 0 && a.active[tenant] >= a.perTenant
+}
+
+// grant claims a slot for tenant. Caller holds mu.
+func (a *admission) grant(tenant string) {
+	a.active[tenant]++
+	a.total++
+	a.mirror.Add(1)
+}
+
+// dispatch hands free slots to parked waiters, lowest active/weight
+// deficit first (FIFO within a tie, so equal-deficit tenants round-robin
+// by arrival). Caller holds mu.
+func (a *admission) dispatch() {
+	for a.total < a.max && len(a.queue) > 0 {
+		best := -1
+		for i, w := range a.queue {
+			if a.atTenantCap(w.tenant) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := a.queue[best]
+			// w beats b iff active[w]/weight(w) < active[b]/weight(b),
+			// compared cross-multiplied to stay in integers.
+			if a.active[w.tenant]*a.weight(b.tenant) < a.active[b.tenant]*a.weight(w.tenant) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return // every waiter's tenant is at its own cap
+		}
+		w := a.queue[best]
+		a.queue = append(a.queue[:best], a.queue[best+1:]...)
+		a.parked.Add(-1)
+		a.grant(w.tenant)
+		close(w.granted)
+	}
+}
+
+// admit decides one hello. On admitOK the caller owns a slot and must
+// release(tenant) exactly once.
+func (a *admission) admit(tenant string) admitResult {
+	a.mu.Lock()
+	if a.atTenantCap(tenant) {
+		a.mu.Unlock()
+		return admitQuota
+	}
+	// No barging: when waiters are parked, a newcomer queues behind them
+	// even if a slot is momentarily free, or the queue would starve.
+	if a.total < a.max && len(a.queue) == 0 {
+		a.grant(tenant)
+		a.mu.Unlock()
+		return admitOK
+	}
+	if a.wait <= 0 || len(a.queue) >= a.depth {
+		a.mu.Unlock()
+		return admitBusy
+	}
+	w := &admitWaiter{tenant: tenant, granted: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.parked.Add(1)
+	a.dispatch() // a slot may be free; the best waiter (possibly w) gets it
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return admitOK
+	case <-timer.C:
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case <-w.granted:
+		// A grant raced the timeout; the slot is ours after all.
+		return admitOK
+	default:
+	}
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.parked.Add(-1)
+			break
+		}
+	}
+	return admitBusy
+}
+
+// release returns tenant's slot and hands it to the best parked waiter.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active[tenant] > 1 {
+		a.active[tenant]--
+	} else {
+		delete(a.active, tenant)
+	}
+	a.total--
+	a.mirror.Add(-1)
+	a.dispatch()
+}
+
+// snapshotActive copies the per-tenant active counts for stats.
+func (a *admission) snapshotActive() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.active))
+	for t, n := range a.active {
+		out[t] = n
+	}
+	return out
+}

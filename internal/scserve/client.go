@@ -102,6 +102,41 @@ func (c *Client) Stats() (Stats, error) {
 	return st, nil
 }
 
+// Drain sends the drain admin frame, flipping the server into draining
+// mode (it refuses fresh hellos with the draining verdict but keeps
+// serving in-flight and resuming sessions). The server answers with a
+// stats snapshot whose Draining bit reflects the new mode.
+func (c *Client) Drain() (Stats, error) { return c.drain(1) }
+
+// Undrain lifts the server's drain mode.
+func (c *Client) Undrain() (Stats, error) { return c.drain(0) }
+
+func (c *Client) drain(mode uint64) (Stats, error) {
+	if c.open != nil {
+		return Stats{}, fmt.Errorf("scserve: drain request inside an open session")
+	}
+	c.armWrite()
+	if err := writeFrame(c.bw, frameDrain, binary.AppendUvarint(nil, mode)); err != nil {
+		return Stats{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Stats{}, err
+	}
+	c.armRead()
+	typ, payload, err := readFrame(c.br, 1<<20)
+	if err != nil {
+		return Stats{}, fmt.Errorf("scserve: drain read: %w", err)
+	}
+	if typ != frameStatsReply {
+		return Stats{}, fmt.Errorf("scserve: drain request answered by frame type %#x", typ)
+	}
+	var st Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return Stats{}, fmt.Errorf("scserve: drain stats payload: %w", err)
+	}
+	return st, nil
+}
+
 // Session opens a checking session with the given header. Only one session
 // may be open per Client; it must be concluded with Finish (or the
 // connection closed) before the next.

@@ -9,6 +9,7 @@ import (
 
 	"scverify/internal/descriptor"
 	"scverify/internal/spectrum"
+	"scverify/internal/trace"
 )
 
 // These tests pin the wire format's forward-compatibility contract, which
@@ -33,7 +34,7 @@ func TestHelloUnknownFlagBitsRejected(t *testing.T) {
 		payload []byte
 	}{
 		{"bit7", helloWithFlags(1 << 7)},
-		{"known+unknown", helloWithFlags(helloFlagNoValues | 1<<4)},
+		{"known+unknown", helloWithFlags(helloFlagNoValues | 1<<5)},
 		// The unknown bit must be rejected even when it rides alongside a
 		// well-formed token — not swallowed by the token parse.
 		{"token+unknown", helloWithFlags(helloFlagToken|1<<5, 2, 'a', 'b')},
@@ -150,6 +151,95 @@ func TestTieredFlagBitsRoundTrip(t *testing.T) {
 	got, err := parseVerdict(payload)
 	if err != nil || got.Tiered || got != lv {
 		t.Fatalf("legacy verdict round trip: %+v, %v", got, err)
+	}
+}
+
+// TestTenantFlagBitsRoundTrip pins the tenant-identity hello extension
+// the same way TestTieredFlagBitsRoundTrip pins the tier bit: the flag
+// parses and round-trips, malformed payloads fail cleanly, and — the part
+// a mixed-version fleet depends on — a tenant-free hello encodes
+// byte-identically to the pre-tenant wire format.
+func TestTenantFlagBitsRoundTrip(t *testing.T) {
+	// Tenant hello: parses, carries the identity, re-encodes identically.
+	h, err := parseHello(helloWithFlags(helloFlagTenant, 5, 'a', 'l', 'i', 'c', 'e'))
+	if err != nil {
+		t.Fatalf("tenant hello rejected: %v", err)
+	}
+	if h.Tenant != "alice" {
+		t.Fatalf("tenant hello parsed tenant %q, want alice", h.Tenant)
+	}
+	enc := appendHello(nil, h)
+	again, err := parseHello(enc)
+	if err != nil || again != h {
+		t.Fatalf("tenant hello round trip: %+v, %v", again, err)
+	}
+
+	// Tenant rides after the token/resume section: token+tenant together.
+	h, err = parseHello(helloWithFlags(helloFlagToken|helloFlagTenant, 2, 'a', 'b', 3, 'b', 'o', 'b'))
+	if err != nil || h.Token != "ab" || h.Tenant != "bob" {
+		t.Fatalf("token+tenant hello: %+v, %v", h, err)
+	}
+	if got := appendHello(nil, h); string(got) != string(helloWithFlags(helloFlagToken|helloFlagTenant, 2, 'a', 'b', 3, 'b', 'o', 'b')) {
+		t.Fatalf("token+tenant re-encode differs: %x", got)
+	}
+
+	// The tenant never participates in resume-header equality: two hellos
+	// differing only in tenant must agree on the resume identity.
+	a := Header{K: SyntheticK, Params: trace.Params{Procs: 1, Blocks: 1, Values: 2}, Token: "tok", Tenant: "alice"}
+	b := Header{K: SyntheticK, Params: trace.Params{Procs: 1, Blocks: 1, Values: 2}, Token: "tok", Tenant: "bob"}
+	if a.bare() != b.bare() {
+		t.Fatal("tenant leaked into resume-header equality")
+	}
+
+	// Malformed tenants fail as clean parse errors.
+	for name, payload := range map[string][]byte{
+		"missing length":  helloWithFlags(helloFlagTenant),
+		"zero length":     helloWithFlags(helloFlagTenant, 0),
+		"truncated bytes": helloWithFlags(helloFlagTenant, 4, 'a', 'b'),
+		"oversized":       append(helloWithFlags(helloFlagTenant, maxTenantLen+1), make([]byte, maxTenantLen+1)...),
+	} {
+		if _, err := parseHello(payload); err == nil {
+			t.Fatalf("%s tenant hello parsed without error", name)
+		}
+	}
+
+	// Legacy (tenant-free) hello: byte-identical re-encode.
+	legacy := helloWithFlags(helloFlagNoValues)
+	h, err = parseHello(legacy)
+	if err != nil || h.Tenant != "" {
+		t.Fatalf("legacy hello: %+v, %v", h, err)
+	}
+	if got := appendHello(nil, h); string(got) != string(legacy) {
+		t.Fatalf("legacy hello re-encode differs: %x vs %x", got, legacy)
+	}
+}
+
+// TestDrainingAndQuotaVerdictFamily pins the busy-family nesting the live
+// operations protocol depends on: draining and quota verdicts are each
+// *also* busy (so legacy retry loops back off safely instead of failing),
+// they survive a wire round trip, and plain busy verdicts do not
+// accidentally read as either refinement.
+func TestDrainingAndQuotaVerdictFamily(t *testing.T) {
+	d := DrainingVerdict("backend restarting")
+	if !d.Draining() || !d.Busy() || d.Quota() {
+		t.Fatalf("draining verdict classification: draining=%v busy=%v quota=%v", d.Draining(), d.Busy(), d.Quota())
+	}
+	q := QuotaVerdict(`tenant "alice" at session cap (2)`)
+	if !q.Quota() || !q.Busy() || q.Draining() {
+		t.Fatalf("quota verdict classification: quota=%v busy=%v draining=%v", q.Quota(), q.Busy(), q.Draining())
+	}
+	b := BusyVerdict("server at session capacity (4)")
+	if !b.Busy() || b.Draining() || b.Quota() {
+		t.Fatalf("plain busy verdict classification: busy=%v draining=%v quota=%v", b.Busy(), b.Draining(), b.Quota())
+	}
+	for _, v := range []Verdict{d, q, b} {
+		got, err := parseVerdict(appendVerdict(nil, v))
+		if err != nil || got != v {
+			t.Fatalf("busy-family verdict round trip: %+v, %v", got, err)
+		}
+		if got.Busy() != v.Busy() || got.Draining() != v.Draining() || got.Quota() != v.Quota() {
+			t.Fatalf("busy-family classification changed across the wire: %+v", got)
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ const (
 	frameSymbols    byte = 0x02 // descriptor wire bytes
 	frameEnd        byte = 0x03 // end of symbol stream; request final verdict
 	frameStatsReq   byte = 0x04 // request a stats frame
+	frameDrain      byte = 0x05 // admin: set drain mode (uvarint 1=drain, 0=undrain)
 	frameVerdict    byte = 0x81 // server → client: session verdict
 	frameStatsReply byte = 0x82 // server → client: JSON-encoded Stats
 	frameAck        byte = 0x83 // server → client: checkpointed progress ack
@@ -73,8 +74,17 @@ const helloFlagResume = descriptor.HelloFlagResume
 // unchanged, so non-tiered hellos encode byte-identically to before.
 const helloFlagTiered = descriptor.HelloFlagTiered
 
+// helloFlagTenant marks a hello carrying a tenant identity: the payload
+// continues with a length-prefixed tenant ID after the token/resume
+// fields. Tenant-free hellos encode byte-identically to the pre-tenant
+// format; the tenant never participates in resume-header equality.
+const helloFlagTenant = descriptor.HelloFlagTenant
+
 // maxTokenLen bounds the resume token a client may choose.
 const maxTokenLen = 64
+
+// maxTenantLen bounds the tenant ID a client may claim.
+const maxTenantLen = 64
 
 // Header opens a session: the bandwidth bound the checker is built for,
 // optional protocol parameters (zero Params disables the label range
@@ -100,6 +110,12 @@ type Header struct {
 	Resume    bool
 	AckSymbol int
 	AckOffset int64
+
+	// Tenant identifies who the session is accounted to for fair-share
+	// admission, quotas, and per-tenant stats. Empty means the default
+	// (unidentified) tenant; the field rides behind helloFlagTenant and
+	// never participates in resume-header equality.
+	Tenant string
 }
 
 func appendHello(dst []byte, h Header) []byte {
@@ -121,6 +137,9 @@ func appendHello(dst []byte, h Header) []byte {
 			flags |= helloFlagResume
 		}
 	}
+	if h.Tenant != "" {
+		flags |= helloFlagTenant
+	}
 	dst = binary.AppendUvarint(dst, flags)
 	if h.Token != "" {
 		dst = binary.AppendUvarint(dst, uint64(len(h.Token)))
@@ -129,6 +148,10 @@ func appendHello(dst []byte, h Header) []byte {
 			dst = binary.AppendUvarint(dst, uint64(h.AckSymbol))
 			dst = binary.AppendUvarint(dst, uint64(h.AckOffset))
 		}
+	}
+	if h.Tenant != "" {
+		dst = binary.AppendUvarint(dst, uint64(len(h.Tenant)))
+		dst = append(dst, h.Tenant...)
 	}
 	return dst
 }
@@ -207,7 +230,22 @@ func parseHello(payload []byte) (Header, error) {
 					rf.set(v)
 				}
 			}
-			if v &^= helloFlagNoValues | helloFlagToken | helloFlagResume | helloFlagTiered; v != 0 {
+			if v&helloFlagTenant != 0 {
+				tl, n := binary.Uvarint(payload[pos:])
+				if n <= 0 {
+					return Header{}, fmt.Errorf("hello: truncated tenant length")
+				}
+				pos += n
+				if tl < 1 || tl > maxTenantLen {
+					return Header{}, fmt.Errorf("hello: tenant length %d outside 1..%d", tl, maxTenantLen)
+				}
+				if uint64(len(payload)-pos) < tl {
+					return Header{}, fmt.Errorf("hello: truncated tenant")
+				}
+				h.Tenant = string(payload[pos : pos+int(tl)])
+				pos += int(tl)
+			}
+			if v &^= helloFlagNoValues | helloFlagToken | helloFlagResume | helloFlagTiered | helloFlagTenant; v != 0 {
 				return Header{}, fmt.Errorf("hello: unknown flags %#x", v)
 			}
 		}
@@ -353,6 +391,17 @@ func (v Verdict) String() string {
 // busyPrefix marks the server's clean capacity rejection; see Busy.
 const busyPrefix = "busy: "
 
+// drainingPrefix marks the busy-family verdict a draining backend
+// answers fresh hellos with; see Draining. Nesting inside busyPrefix is
+// deliberate: a peer that predates draining sees an ordinary busy and
+// backs off — safe, just slower than a redirect.
+const drainingPrefix = busyPrefix + "draining: "
+
+// quotaPrefix marks the busy-family verdict a tenant over its session or
+// byte quota receives; see Quota. Nested inside busyPrefix for the same
+// forward-compatibility reason as drainingPrefix.
+const quotaPrefix = busyPrefix + "quota: "
+
 // resumeMissPrefix marks the server's answer to a resume whose token is
 // unknown or expired; see ResumeMiss.
 const resumeMissPrefix = "resume: "
@@ -371,6 +420,37 @@ func (v Verdict) Busy() bool {
 // verdict so clients see one retryable vocabulary either way.
 func BusyVerdict(msg string) Verdict {
 	return Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: busyPrefix + msg}
+}
+
+// Draining reports whether the verdict is a draining backend declining a
+// fresh hello. Draining implies Busy (the message nests the prefixes), so
+// a drain-unaware client degrades to ordinary backoff; a drain-aware
+// client treats it as redirect-not-failure — re-place immediately on
+// another backend, no backoff, no retry attempt consumed.
+func (v Verdict) Draining() bool {
+	return v.Code == VerdictProtocolError && strings.HasPrefix(v.Msg, drainingPrefix)
+}
+
+// DrainingVerdict builds the verdict a draining backend answers fresh
+// hellos with (Draining and Busy both report true for it). In-flight and
+// resuming sessions are unaffected: drain refuses new work while the
+// token/checkpoint machinery hands the old work off.
+func DrainingVerdict(msg string) Verdict {
+	return Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: drainingPrefix + msg}
+}
+
+// Quota reports whether the verdict is a per-tenant quota rejection —
+// the tenant is over its concurrent-session or byte budget. Quota implies
+// Busy, so legacy clients back off; the overload is the tenant's own, and
+// redirecting to another backend would not help.
+func (v Verdict) Quota() bool {
+	return v.Code == VerdictProtocolError && strings.HasPrefix(v.Msg, quotaPrefix)
+}
+
+// QuotaVerdict builds the per-tenant quota rejection (Quota and Busy both
+// report true for it).
+func QuotaVerdict(msg string) Verdict {
+	return Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1, Msg: quotaPrefix + msg}
 }
 
 // ResumeMiss reports whether the verdict is the server declining a resume

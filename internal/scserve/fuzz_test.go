@@ -104,6 +104,16 @@ func FuzzHelloAndVerdictParsers(f *testing.F) {
 	f.Add(appendHello(nil, Header{K: 3, Tiered: true, Token: "t"}),
 		appendVerdict(nil, Verdict{Code: VerdictReject, Symbol: 0, Offset: 0,
 			Tiered: true, Tier: maxTierCode - 1, ReorderStore: -1, ReorderPast: -1, Msg: "m"}))
+	// Live-operations seeds: tenant-identified hellos (alone and riding
+	// after the token/resume section) and the draining/quota refinements of
+	// the busy verdict family. A tenant field cut short mid-ID must fail
+	// cleanly, never misparse.
+	f.Add(appendHello(nil, Header{K: 3, Params: trace.Params{Procs: 1, Blocks: 1, Values: 2}, Tenant: "alice"}),
+		appendVerdict(nil, DrainingVerdict("backend draining; redirect or retry elsewhere")))
+	f.Add(appendHello(nil, Header{K: 3, Token: "t", Resume: true, AckSymbol: 4, AckOffset: 64, Tenant: "bob"}),
+		appendVerdict(nil, QuotaVerdict(`tenant "bob" at session cap (2)`)))
+	f.Add([]byte{protocolVersion, 3, 1, 1, 2, helloFlagTenant, 3, 'a', 'b'}, // truncated tenant
+		appendVerdict(nil, BusyVerdict("draining"))) // busy mentioning draining w/o the prefix
 	f.Fuzz(func(t *testing.T, hp, vp []byte) {
 		if h, err := parseHello(hp); err == nil {
 			back, err2 := parseHello(appendHello(nil, h))
@@ -178,7 +188,7 @@ func FuzzRetryClient(f *testing.F) {
 	f.Add(int64(7), uint16(0), uint8(3), uint8(2))
 	f.Fuzz(func(t *testing.T, seed int64, resetAfter uint16, size, faulty uint8) {
 		stream, rejectIdx := SyntheticReject(int(size)%200 + 2)
-		nFaulty := int64(faulty%3) // at most 2 faulty dials, then clean
+		nFaulty := int64(faulty % 3) // at most 2 faulty dials, then clean
 
 		var dials atomic.Int64
 		dial := func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -324,6 +334,35 @@ func FuzzServerConn(f *testing.F) {
 	}
 	f.Add(tiered(rej))
 	f.Add(tiered(SyntheticAccept(9)))
+	// Live-operations seeds: a tenant-identified session (the per-tenant
+	// accounting path), the drain admin frame flipping the server into and
+	// out of drain mode around a session, and a malformed drain payload.
+	tenanted := func(stream descriptor.Stream) []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		h := SyntheticHeader()
+		h.Tenant = "fuzz-tenant"
+		writeFrame(bw, frameHello, appendHello(nil, h))
+		writeFrame(bw, frameSymbols, descriptor.Marshal(stream))
+		writeFrame(bw, frameEnd, nil)
+		bw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(tenanted(SyntheticAccept(9)))
+	drainCycle := func() []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		writeFrame(bw, frameDrain, []byte{1})
+		writeFrame(bw, frameHello, appendHello(nil, SyntheticHeader()))
+		writeFrame(bw, frameEnd, nil)
+		writeFrame(bw, frameDrain, []byte{0})
+		bw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(drainCycle())
+	f.Add([]byte{frameDrain, 0x00})             // empty drain payload
+	f.Add([]byte{frameDrain, 0x01, 0x07})       // out-of-range drain mode
+	f.Add([]byte{frameDrain, 0x02, 0x01, 0x99}) // trailing bytes after mode
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := New(Config{MaxFrame: 1 << 16, MaxK: 64, QueueBytes: 512, ReadTimeout: 2 * time.Second})

@@ -1,0 +1,5 @@
+//go:build !race
+
+package scserve
+
+const raceEnabled = false

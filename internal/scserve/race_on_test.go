@@ -1,0 +1,7 @@
+//go:build race
+
+package scserve
+
+// raceEnabled reports whether the race detector is compiled in, so timing-
+// sensitive tests can widen their windows to compensate for its slowdown.
+const raceEnabled = true

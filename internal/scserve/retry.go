@@ -357,20 +357,32 @@ func (s *RetrySession) Send(syms ...descriptor.Symbol) error {
 	return s.SendBytes(scratch)
 }
 
+// maxDrainRedirects bounds the free (no-backoff, no-attempt) redirects a
+// session takes on draining verdicts before degrading to the ordinary
+// busy backoff path — the escape hatch when every reachable backend is
+// draining at once.
+const maxDrainRedirects = 4
+
 // Finish concludes the logical session and returns the verdict, retrying
 // transport failures (resuming and replaying the unacked tail as needed)
-// and busy rejections (with backoff, restarting the session). Every
-// verdict returned was produced by the server's checker over exactly the
-// bytes this session streamed.
+// and busy rejections (with backoff, restarting the session). A draining
+// verdict is a redirect, not a failure: the connection is dropped and the
+// session restarts immediately — no backoff, no attempt consumed — so
+// that a dial through a dispatcher or VIP lands on a backend that is
+// admitting. Every verdict returned was produced by the server's checker
+// over exactly the bytes this session streamed.
 func (s *RetrySession) Finish() (Verdict, error) {
 	if s.done {
 		return Verdict{}, fmt.Errorf("scserve: session already finished")
 	}
 	var lastErr error
+	redirects := 0
+	skipBackoff := false
 	for attempt := 0; attempt < s.rc.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !skipBackoff {
 			s.rc.backoff(attempt - 1)
 		}
+		skipBackoff = false
 		if err := s.ensure(); err != nil {
 			lastErr = err
 			continue
@@ -387,12 +399,23 @@ func (s *RetrySession) Finish() (Verdict, error) {
 			continue
 		}
 		if v.Busy() {
-			// Clean capacity rejection: the session never ran. Back off
-			// and restart it (resuming if part of it was checkpointed
-			// before the connection was lost).
 			lastErr = v.Err()
 			s.sess = nil
 			s.sent = s.base
+			if v.Draining() && redirects < maxDrainRedirects {
+				// Redirect-not-failure: the backend is draining, not
+				// overloaded. Redial immediately (through a dispatcher the
+				// fresh connection is placed on an admitting backend) and
+				// give the attempt back.
+				redirects++
+				s.rc.dropConn()
+				attempt--
+				skipBackoff = true
+				continue
+			}
+			// Clean capacity rejection: the session never ran. Back off
+			// and restart it (resuming if part of it was checkpointed
+			// before the connection was lost).
 			continue
 		}
 		s.done = true

@@ -21,10 +21,12 @@ package scserve
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -87,8 +89,34 @@ type Config struct {
 	// TierMaxSymbols caps the stream length retained for tier
 	// adjudication; longer streams are rejected untier-ed. Default 4096.
 	TierMaxSymbols int
+	// AdmitWait is how long an over-capacity hello may park in the
+	// fair-share admission queue before receiving the busy verdict. 0
+	// disables waiting (immediate busy, the pre-queue behavior).
+	AdmitWait time.Duration
+	// AdmitQueue caps parked hellos. Default MaxSessions.
+	AdmitQueue int
+	// TenantSessions caps one tenant's concurrent sessions; over-cap
+	// hellos receive the typed quota verdict (Verdict.Quota). 0 uncaps.
+	// The anonymous tenant "" is exempt (identification is opt-in).
+	TenantSessions int
+	// TenantWeights sets fair-share weights for the admission queue;
+	// missing or non-positive entries weigh 1. Freed slots go to the
+	// waiting tenant with the lowest active/weight deficit.
+	TenantWeights map[string]int
+	// TenantBytesPerSec rate-limits each identified tenant's symbol
+	// bytes through a token bucket; a session that overdraws receives
+	// the quota verdict mid-stream (its checkpoint, if any, survives for
+	// a later resume). 0 disables.
+	TenantBytesPerSec int64
+	// TenantBurstBytes is the bucket size for TenantBytesPerSec.
+	// Default: one second's worth.
+	TenantBurstBytes int64
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+	// Log, when set, receives structured connection-path events
+	// (session open/verdict/abort, drains, quota hits) with session ID
+	// and tenant attributes — the operator-facing counterpart of Logf.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.TierMaxSymbols <= 0 {
 		c.TierMaxSymbols = 4096
 	}
+	if c.TenantBytesPerSec > 0 && c.TenantBurstBytes <= 0 {
+		c.TenantBurstBytes = c.TenantBytesPerSec
+	}
 	return c
 }
 
@@ -143,17 +174,46 @@ type Stats struct {
 	ResumeReplays   int64   `json:"resume_replays"`
 	ResumeMisses    int64   `json:"resume_misses"`
 	TiersComputed   int64   `json:"tiers_computed"`
+	Draining        bool    `json:"draining"`
+	Drains          int64   `json:"drains"`
+	DrainRejects    int64   `json:"drain_rejects"`
+	QuotaRejects    int64   `json:"quota_rejects"`
+	AdmitParked     int64   `json:"admit_parked"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	SessionsPerSec  float64 `json:"sessions_per_sec"`
 	SymbolsPerSec   float64 `json:"symbols_per_sec"`
+
+	// Tenants breaks the counters down by identified tenant (hellos
+	// carrying the tenant field); anonymous traffic appears only in the
+	// global counters above.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one identified tenant's slice of the counters.
+type TenantStats struct {
+	Sessions     int64 `json:"sessions"`
+	Active       int64 `json:"active"`
+	Accepts      int64 `json:"accepts"`
+	Rejects      int64 `json:"rejects"`
+	Busy         int64 `json:"busy"`
+	QuotaRejects int64 `json:"quota_rejects"`
+	Bytes        int64 `json:"bytes"`
 }
 
 // String renders the operator-facing one-liner.
 func (st Stats) String() string {
-	return fmt.Sprintf("sessions %d (%d active, %d aborted), verdicts %d/%d/%d accept/reject/error, %d busy, %d symbols, queue %dB, %d checkpoints (%dB, %d resumes/%d replays/%d misses), %.0f symbols/s",
+	s := fmt.Sprintf("sessions %d (%d active, %d aborted), verdicts %d/%d/%d accept/reject/error, %d busy, %d symbols, queue %dB, %d checkpoints (%dB, %d resumes/%d replays/%d misses), %.0f symbols/s",
 		st.SessionsTotal, st.SessionsActive, st.SessionsAborted,
 		st.Accepts, st.Rejects, st.ProtocolErrors, st.Busy, st.SymbolsTotal, st.QueueBytes,
 		st.Checkpoints, st.CheckpointBytes, st.Resumes, st.ResumeReplays, st.ResumeMisses, st.SymbolsPerSec)
+	if st.Draining {
+		s += " [DRAINING]"
+	}
+	if st.Drains > 0 || st.DrainRejects > 0 || st.QuotaRejects > 0 || st.AdmitParked > 0 {
+		s += fmt.Sprintf(", %d drains (%d refused), %d quota rejects, %d parked",
+			st.Drains, st.DrainRejects, st.QuotaRejects, st.AdmitParked)
+	}
+	return s
 }
 
 // Server is the concurrent SC-checking service. Construct with New, start
@@ -162,13 +222,24 @@ type Server struct {
 	cfg    Config
 	start  time.Time
 	resume *resumeStore
+	adm    *admission
 
-	mu       sync.Mutex
-	lns      map[net.Listener]bool // guarded by mu
-	conns    map[net.Conn]bool     // guarded by mu
-	draining bool                  // guarded by mu
+	mu     sync.Mutex
+	lns    map[net.Listener]bool // guarded by mu
+	conns  map[net.Conn]bool     // guarded by mu
+	closed bool                  // guarded by mu; set by Shutdown
 
 	wg sync.WaitGroup // one per connection handler
+
+	// drainMode is the soft drain, distinct from Shutdown: listeners
+	// stay open, in-flight and resuming sessions run to their verdicts,
+	// but fresh hellos are refused with the draining verdict so a
+	// dispatcher redirects them. Flipped by Drain/Undrain (SIGUSR1 or
+	// the drain admin frame in the daemons).
+	drainMode atomic.Bool
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantCounters // guarded by tenantMu (map only)
 
 	sessionsTotal   atomic.Int64
 	sessionsActive  atomic.Int64
@@ -183,18 +254,40 @@ type Server struct {
 	resumeReplays   atomic.Int64
 	resumeMisses    atomic.Int64
 	tiersComputed   atomic.Int64
+	drains          atomic.Int64
+	drainRejects    atomic.Int64
+	quotaRejects    atomic.Int64
+	admitParked     atomic.Int64
+}
+
+// tenantCounters is one identified tenant's counter slice plus its
+// byte-quota token bucket.
+type tenantCounters struct {
+	sessions atomic.Int64
+	accepts  atomic.Int64
+	rejects  atomic.Int64
+	busy     atomic.Int64
+	quota    atomic.Int64
+	bytes    atomic.Int64
+
+	mu     sync.Mutex
+	tokens float64   // byte-quota bucket level, guarded by mu
+	last   time.Time // last refill, guarded by mu
 }
 
 // New returns a server with cfg (zero fields defaulted).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:    cfg,
-		start:  time.Now(),
-		resume: newResumeStore(cfg.ResumeMaxSessions, cfg.ResumeMaxBytes, cfg.ResumeTTL),
-		lns:    make(map[net.Listener]bool),
-		conns:  make(map[net.Conn]bool),
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		resume:  newResumeStore(cfg.ResumeMaxSessions, cfg.ResumeMaxBytes, cfg.ResumeTTL),
+		lns:     make(map[net.Listener]bool),
+		conns:   make(map[net.Conn]bool),
+		tenants: make(map[string]*tenantCounters),
 	}
+	s.adm = newAdmission(cfg, &s.sessionsActive, &s.admitParked)
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -202,6 +295,109 @@ func (s *Server) logf(format string, args ...any) {
 		s.cfg.Logf(format, args...)
 	}
 }
+
+// event emits one structured connection-path event when Config.Log is
+// set; args are alternating slog key/value pairs.
+func (s *Server) event(ev string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info(ev, args...)
+	}
+}
+
+// tenantC returns the counters of an identified tenant, creating them on
+// first sight when create is set. The anonymous tenant "" has none.
+func (s *Server) tenantC(tenant string, create bool) *tenantCounters {
+	if tenant == "" {
+		return nil
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	tc := s.tenants[tenant]
+	if tc == nil && create {
+		tc = &tenantCounters{}
+		s.tenants[tenant] = tc
+	}
+	return tc
+}
+
+// countTenantVerdict folds a delivered verdict into the tenant's
+// counters.
+func (s *Server) countTenantVerdict(tenant string, v Verdict) {
+	tc := s.tenantC(tenant, true)
+	if tc == nil {
+		return
+	}
+	switch {
+	case v.Code == VerdictAccept:
+		tc.accepts.Add(1)
+	case v.Code == VerdictReject:
+		tc.rejects.Add(1)
+	case v.Quota():
+		tc.quota.Add(1)
+	case v.Busy():
+		tc.busy.Add(1)
+	}
+}
+
+// chargeTenant accounts n symbol bytes to the tenant and, when a byte
+// quota is configured, draws them from the tenant's token bucket. It
+// reports false when the bucket is dry — the session gets the quota
+// verdict. Anonymous sessions are never charged (identity is opt-in; the
+// global caps still bound them).
+func (s *Server) chargeTenant(tenant string, n int) bool {
+	tc := s.tenantC(tenant, true)
+	if tc == nil {
+		return true
+	}
+	tc.bytes.Add(int64(n))
+	rate := s.cfg.TenantBytesPerSec
+	if rate <= 0 {
+		return true
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	now := time.Now()
+	burst := float64(s.cfg.TenantBurstBytes)
+	if tc.last.IsZero() {
+		tc.tokens = burst
+	} else {
+		tc.tokens += now.Sub(tc.last).Seconds() * float64(rate)
+		if tc.tokens > burst {
+			tc.tokens = burst
+		}
+	}
+	tc.last = now
+	if tc.tokens < float64(n) {
+		return false
+	}
+	tc.tokens -= float64(n)
+	return true
+}
+
+// Drain flips the server into draining mode: listeners stay open and
+// in-flight, resuming, and replayed sessions still run to their
+// verdicts, but fresh hellos are refused with the draining verdict
+// (Verdict.Draining) so drain-aware clients redirect immediately. The
+// checkpoint store keeps answering resume probes, so an upgrade is a
+// mass planned failover through the existing token machinery.
+func (s *Server) Drain() {
+	if !s.drainMode.Swap(true) {
+		s.drains.Add(1)
+		s.logf("scserve: draining: refusing fresh hellos, still serving resumes")
+		s.event("drain")
+	}
+}
+
+// Undrain returns a draining server to normal admission.
+func (s *Server) Undrain() {
+	if s.drainMode.Swap(false) {
+		s.logf("scserve: drain lifted")
+		s.event("undrain")
+	}
+}
+
+// Draining reports whether the server is in drain mode.
+func (s *Server) Draining() bool { return s.drainMode.Load() }
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
@@ -222,38 +418,49 @@ func (s *Server) Stats() Stats {
 		ResumeReplays:   s.resumeReplays.Load(),
 		ResumeMisses:    s.resumeMisses.Load(),
 		TiersComputed:   s.tiersComputed.Load(),
+		Draining:        s.drainMode.Load(),
+		Drains:          s.drains.Load(),
+		DrainRejects:    s.drainRejects.Load(),
+		QuotaRejects:    s.quotaRejects.Load(),
+		AdmitParked:     s.admitParked.Load(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 	}
 	if st.UptimeSeconds > 0 {
 		st.SessionsPerSec = float64(st.SessionsTotal) / st.UptimeSeconds
 		st.SymbolsPerSec = float64(st.SymbolsTotal) / st.UptimeSeconds
 	}
+	s.tenantMu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	tcs := make(map[string]*tenantCounters, len(names))
+	for _, name := range names {
+		tcs[name] = s.tenants[name]
+	}
+	s.tenantMu.Unlock()
+	if len(tcs) > 0 {
+		active := s.adm.snapshotActive()
+		st.Tenants = make(map[string]TenantStats, len(tcs))
+		for name, tc := range tcs {
+			st.Tenants[name] = TenantStats{
+				Sessions:     tc.sessions.Load(),
+				Active:       int64(active[name]),
+				Accepts:      tc.accepts.Load(),
+				Rejects:      tc.rejects.Load(),
+				Busy:         tc.busy.Load(),
+				QuotaRejects: tc.quota.Load(),
+				Bytes:        tc.bytes.Load(),
+			}
+		}
+	}
 	return st
 }
 
-// reserveSession atomically claims one of the MaxSessions slots,
-// reporting false at capacity. The claim is a CAS loop rather than a
-// load-compare-add: with the check and the increment apart, N concurrent
-// hellos racing past the check together would all be admitted, and the
-// cap would be a suggestion exactly when it matters (at capacity under
-// load). The slot is released by runSession's deferred Add(-1), or by
-// the caller on paths that bail out before runSession.
-func (s *Server) reserveSession() bool {
-	for {
-		n := s.sessionsActive.Load()
-		if n >= int64(s.cfg.MaxSessions) {
-			return false
-		}
-		if s.sessionsActive.CompareAndSwap(n, n+1) {
-			return true
-		}
-	}
-}
-
-func (s *Server) isDraining() bool {
+func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.draining
+	return s.closed
 }
 
 // Serve accepts connections on ln until Shutdown. It returns
@@ -261,7 +468,7 @@ func (s *Server) isDraining() bool {
 // otherwise.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.draining {
+	if s.closed {
 		s.mu.Unlock()
 		ln.Close()
 		return ErrServerClosed
@@ -278,13 +485,13 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			if s.isDraining() {
+			if s.isClosed() {
 				return ErrServerClosed
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.draining {
+		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return ErrServerClosed
@@ -301,7 +508,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // connections are force-closed and ctx.Err() is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	s.draining = true
+	s.closed = true
 	for ln := range s.lns {
 		ln.Close()
 	}
@@ -359,6 +566,14 @@ func (s *Server) sendVerdict(conn net.Conn, bw *bufio.Writer, v Verdict) error {
 		s.accepts.Add(1)
 	case v.Code == VerdictReject:
 		s.rejects.Add(1)
+	case v.Draining():
+		s.drainRejects.Add(1)
+		s.busy.Add(1)
+		s.protoErrs.Add(1)
+	case v.Quota():
+		s.quotaRejects.Add(1)
+		s.busy.Add(1)
+		s.protoErrs.Add(1)
 	case v.Busy():
 		s.busy.Add(1)
 		s.protoErrs.Add(1)
@@ -402,7 +617,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 8<<10)
 
 	for {
-		if s.isDraining() {
+		if s.isClosed() {
 			return
 		}
 		typ, payload, err := s.readFrame(conn, br)
@@ -417,6 +632,23 @@ func (s *Server) handleConn(conn net.Conn) {
 			if err := s.sendStats(conn, bw); err != nil {
 				return
 			}
+		case frameDrain:
+			// Admin frame: flip drain mode and answer with a stats frame
+			// (which carries the resulting Draining bit).
+			mode, n := binary.Uvarint(payload)
+			if n <= 0 || n != len(payload) || mode > 1 {
+				s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
+					Msg: "drain: malformed payload"})
+				return
+			}
+			if mode == 1 {
+				s.Drain()
+			} else {
+				s.Undrain()
+			}
+			if err := s.sendStats(conn, bw); err != nil {
+				return
+			}
 		case frameHello:
 			h, herr := parseHello(payload)
 			switch {
@@ -427,12 +659,15 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 					Msg: fmt.Sprintf("hello: k=%d outside 1..%d", h.K, s.cfg.MaxK)})
 				return
-			case !s.reserveSession():
-				// Clean busy rejection: deliver the verdict, absorb the
-				// session's frames, and keep the connection usable so the
-				// client can back off and retry without redialing.
-				if err := s.sendVerdict(conn, bw,
-					BusyVerdict(fmt.Sprintf("server at session capacity (%d)", s.cfg.MaxSessions))); err != nil {
+			}
+			if s.drainMode.Load() && !h.Resume {
+				// Draining refuses new work but keeps honoring resume
+				// probes: the checkpointed sessions it still holds must be
+				// able to finish or replay their stored verdicts.
+				s.event("drain_reject", "tenant", h.Tenant, "remote", conn.RemoteAddr().String())
+				v := DrainingVerdict("backend draining; redirect or retry elsewhere")
+				s.countTenantVerdict(h.Tenant, v)
+				if err := s.sendVerdict(conn, bw, v); err != nil {
 					return
 				}
 				if !s.drainSession(conn, br, bw) {
@@ -440,7 +675,27 @@ func (s *Server) handleConn(conn net.Conn) {
 				}
 				continue
 			}
-			// From here the hello owns a reserved session slot; every
+			if res := s.adm.admit(h.Tenant); res != admitOK {
+				// Clean busy/quota rejection: deliver the verdict, absorb
+				// the session's frames, and keep the connection usable so
+				// the client can back off and retry without redialing.
+				var v Verdict
+				if res == admitQuota {
+					v = QuotaVerdict(fmt.Sprintf("tenant %q at session cap (%d)", h.Tenant, s.cfg.TenantSessions))
+					s.event("quota_reject", "tenant", h.Tenant, "kind", "sessions")
+				} else {
+					v = BusyVerdict(fmt.Sprintf("server at session capacity (%d)", s.cfg.MaxSessions))
+				}
+				s.countTenantVerdict(h.Tenant, v)
+				if err := s.sendVerdict(conn, bw, v); err != nil {
+					return
+				}
+				if !s.drainSession(conn, br, bw) {
+					return
+				}
+				continue
+			}
+			// From here the hello owns an admitted session slot; every
 			// path that does not reach runSession (whose defer releases
 			// it) must hand the slot back itself.
 			var seed *resumeSeed
@@ -449,13 +704,13 @@ func (s *Server) handleConn(conn net.Conn) {
 					var rerr error
 					seed, rerr = s.resume.take(h.Token, h, func() { conn.Close() })
 					if rerr != nil {
-						s.sessionsActive.Add(-1)
+						s.adm.release(h.Tenant)
 						s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 							Msg: rerr.Error()})
 						return
 					}
 					if seed == nil {
-						s.sessionsActive.Add(-1)
+						s.adm.release(h.Tenant)
 						s.resumeMisses.Add(1)
 						s.sendVerdict(conn, bw, Verdict{Code: VerdictProtocolError, Symbol: -1, Offset: -1,
 							Msg: resumeMissPrefix + "unknown or expired session token"})
@@ -491,7 +746,7 @@ func (s *Server) drainSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer)
 		case frameSymbols:
 			// discard
 		case frameEnd:
-			return !s.isDraining()
+			return !s.isClosed()
 		case frameStatsReq:
 			if err := s.sendStats(conn, bw); err != nil {
 				return false
@@ -512,10 +767,15 @@ type ackPos struct {
 // runSession drives one session to its verdict. It reports whether the
 // connection is still in a known-good state for another session.
 func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h Header, seed *resumeSeed) bool {
-	// The caller reserved the sessionsActive slot (reserveSession); this
-	// defer releases it.
-	s.sessionsTotal.Add(1)
-	defer s.sessionsActive.Add(-1)
+	// The caller admitted the session (adm.admit); this defer releases
+	// its slot back to the fair-share gate.
+	id := s.sessionsTotal.Add(1)
+	defer s.adm.release(h.Tenant)
+	if tc := s.tenantC(h.Tenant, true); tc != nil {
+		tc.sessions.Add(1)
+	}
+	s.event("session_open", "session", id, "tenant", h.Tenant, "remote", conn.RemoteAddr().String(),
+		"token", h.Token != "", "resume", h.Resume)
 
 	sent := false    // verdict already delivered (early rejection / replay)
 	discard := false // checker gone; drop further symbol payloads
@@ -523,6 +783,12 @@ func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h
 	var prog atomic.Pointer[ackPos]
 	var pipe *bpipe
 	var resc chan Verdict
+
+	deliver := func(v Verdict) error {
+		s.countTenantVerdict(h.Tenant, v)
+		s.event("verdict", "session", id, "tenant", h.Tenant, "code", v.Code.String(), "symbol", v.Symbol)
+		return s.sendVerdict(conn, bw, v)
+	}
 
 	if seed != nil {
 		// Confirm the resume position first: the client skips its buffer
@@ -556,6 +822,7 @@ func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h
 			<-resc
 		}
 		s.sessionsAborted.Add(1)
+		s.event("session_abort", "session", id, "tenant", h.Tenant)
 	}
 
 	for {
@@ -573,13 +840,29 @@ func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h
 			if discard {
 				continue
 			}
+			if !s.chargeTenant(h.Tenant, len(payload)) {
+				// The tenant's byte bucket ran dry mid-stream: stop the
+				// checker and answer with the typed quota verdict. The
+				// session's newest checkpoint (if any) survives, so the
+				// client can resume once the bucket refills.
+				pipe.CloseWrite(errClientGone)
+				<-resc
+				s.event("quota_reject", "session", id, "tenant", h.Tenant, "kind", "bytes")
+				if err := deliver(QuotaVerdict(fmt.Sprintf("tenant %q over byte rate (%d B/s)",
+					h.Tenant, s.cfg.TenantBytesPerSec))); err != nil {
+					s.sessionsAborted.Add(1)
+					return false
+				}
+				sent, discard = true, true
+				continue
+			}
 			if _, werr := pipe.Write(payload); werr != nil {
 				// The checker terminated early (rejection or undecodable
 				// input). Deliver the verdict now; keep draining frames
 				// until the client's end so the connection stays usable.
 				v := <-resc
 				s.resume.finish(h.Token, v, v.Symbol, v.Offset)
-				if err := s.sendVerdict(conn, bw, v); err != nil {
+				if err := deliver(v); err != nil {
 					s.sessionsAborted.Add(1)
 					return false
 				}
@@ -593,12 +876,12 @@ func (s *Server) runSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, h
 				v := <-resc
 				discard = true
 				s.resume.finish(h.Token, v, v.Symbol, v.Offset)
-				if err := s.sendVerdict(conn, bw, v); err != nil {
+				if err := deliver(v); err != nil {
 					s.sessionsAborted.Add(1)
 					return false
 				}
 			}
-			return !s.isDraining()
+			return !s.isClosed()
 		case frameStatsReq:
 			if err := s.sendStats(conn, bw); err != nil {
 				abort()

@@ -28,6 +28,14 @@ func Tiered() CheckOpt {
 	return func(h *scserve.Header) { h.Tiered = true }
 }
 
+// WithTenant stamps the per-tenant identity onto every session the
+// checker opens, so a shared backend can account, rate-limit, and
+// fair-share this campaign's sessions against other tenants'. Legacy
+// servers reject the flag cleanly; an empty id is a no-op (anonymous).
+func WithTenant(id string) CheckOpt {
+	return func(h *scserve.Header) { h.Tenant = id }
+}
+
 // TierOf extracts the service-computed consistency tier from a rejection,
 // mirroring RejectConstraint: ok is false for nil errors, transport
 // errors, acceptances, and verdicts from sessions (or peers) that did not
