@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid smoke-drain smoke-history smoke-tier chaos chaos-grid soak bench-serve bench-grid bench-hist bench-tier bench-all clean
+.PHONY: tier1 build vet vet-full test race scvet lint witness fuzz-burst smoke-serve smoke-grid smoke-drain smoke-history smoke-tier smoke-mc chaos chaos-grid soak bench-serve bench-grid bench-hist bench-tier bench-mc bench-all clean
 
-tier1: build vet-full race witness smoke-serve smoke-grid smoke-drain smoke-history smoke-tier chaos fuzz-burst
+tier1: build vet-full race witness smoke-serve smoke-grid smoke-drain smoke-history smoke-tier smoke-mc chaos fuzz-burst
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,7 @@ fuzz-burst:
 	$(GO) test -run='^$$' -fuzz=FuzzResumeFrame -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzRetryClient -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzTierVerdictFrame -fuzztime=$(FUZZTIME) ./internal/scserve
+	$(GO) test -run='^$$' -fuzz=FuzzExploreFrame -fuzztime=$(FUZZTIME) ./internal/scserve
 	$(GO) test -run='^$$' -fuzz=FuzzMinimizer -fuzztime=$(FUZZTIME) ./internal/witness
 	$(GO) test -run='^$$' -fuzz=FuzzHistoryJSONL -fuzztime=$(FUZZTIME) ./internal/history
 	$(GO) test -run='^$$' -fuzz=FuzzHistoryEDN -fuzztime=$(FUZZTIME) ./internal/history
@@ -98,6 +99,14 @@ smoke-history:
 # declared tier.
 smoke-tier:
 	$(GO) test -race -run='TestTierSmokeGrid' -count=1 ./internal/sctest
+
+# smoke-mc: race-enabled smoke of the scmc distributed model-checking
+# fabric — a 2-backend grid verification whose state count must equal the
+# single-node checker's, a grid run on a buggy protocol that must report
+# the violation, and a backend killed mid-exploration that must degrade
+# to incomplete, never verified. Deterministic and <5s.
+smoke-mc:
+	$(GO) test -race -run='TestSmokeGrid$$|TestGridDetectsViolation|TestGridBackendDeathIsIncomplete' -count=1 ./internal/scmc
 
 # chaos: the fault-tolerance acceptance test — the full protocol registry
 # adjudicated through a fault-injected link (fragmented writes, short
@@ -161,8 +170,16 @@ bench-tier:
 	$(GO) run ./cmd/sccheck -tier -bench -bench-n=$(BENCH_TIER_N) \
 		-bench-out=BENCH_sctier.json
 
+# bench-mc: distributed exploration scaling at 1, 2 and 4 loopback
+# backends under the simulated-latency methodology (one explore worker
+# per backend, fixed per-expansion delay), written to BENCH_scverify.json.
+# Every arm must reproduce the single-node state count exactly; exits
+# non-zero if 4 backends fail to reach 2x the single-backend states/s.
+bench-mc:
+	$(GO) run ./cmd/scverify -bench -bench-out=BENCH_scverify.json
+
 # bench-all: regenerate every committed BENCH_*.json artifact.
-bench-all: bench-serve bench-grid bench-hist bench-tier
+bench-all: bench-serve bench-grid bench-hist bench-tier bench-mc
 
 clean:
 	$(GO) clean ./...

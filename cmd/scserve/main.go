@@ -23,6 +23,12 @@
 // restart primitive. The same switch is reachable over the wire via the
 // drain admin frame (Client.Drain / Client.Undrain).
 //
+// The same server doubles as a distributed-exploration backend: an
+// `scverify -grid` coordinator opens explore sessions (flag-gated hello
+// extension) and the server runs one visited-set shard per session. The
+// -explore-* flags size those shards; explore activity shows up in the
+// stats line and on -stats-addr alongside the session counters.
+//
 // -stats-addr serves the live stats line over HTTP as plain text ("/")
 // and JSON ("/json") for scrapers and the scgrid aggregator.
 //
@@ -109,6 +115,10 @@ func main() {
 		structured   = flag.Bool("log", false, "emit structured (slog) session/drain events on stderr")
 		statsAddr    = flag.String("stats-addr", "", "serve stats over HTTP on this address (text on /, JSON on /json)")
 
+		exploreWorkers   = flag.Int("explore-workers", 0, "worker goroutines per distributed-exploration shard (0 = GOMAXPROCS)")
+		exploreMaxStates = flag.Int("explore-max-states", 0, "hard per-shard visited-state budget for explore sessions (0 = default)")
+		exploreStepDelay = flag.Duration("explore-step-delay", 0, "artificial per-expansion delay for explore sessions (benchmarking)")
+
 		admitWait      = flag.Duration("admit-wait", 0, "how long an over-capacity hello may wait for a fair-share slot (0 rejects busy immediately)")
 		admitQueue     = flag.Int("admit-queue", 0, "max hellos parked in the admission queue (0 = max-sessions)")
 		tenantSessions = flag.Int("tenant-sessions", 0, "per-tenant concurrent session cap (0 uncapped)")
@@ -146,6 +156,9 @@ func main() {
 		TenantBytesPerSec: *tenantBPS,
 		TenantBurstBytes:  *tenantBurst,
 		TenantWeights:     weights,
+		ExploreWorkers:    *exploreWorkers,
+		ExploreMaxStates:  *exploreMaxStates,
+		ExploreStepDelay:  *exploreStepDelay,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

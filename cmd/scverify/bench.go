@@ -1,0 +1,172 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"scverify/internal/mc"
+	"scverify/internal/registry"
+	"scverify/internal/scmc"
+	"scverify/internal/scserve"
+	"scverify/internal/trace"
+)
+
+// The benchmark measures distributed exploration scaling on loopback
+// backends. Real deployments win because expansion work (successor
+// generation, observer cloning, finish checks) spreads across machines;
+// on one host that work shares the same cores, so raw loopback shards
+// cannot show the win. Each backend therefore runs a single explore
+// worker with a fixed per-expansion delay — the standard simulated-
+// latency methodology (the same one bench-grid uses): the delay stands
+// in for each node's per-state work, and the measured quantity is how
+// well the fabric overlaps it across shards. Protocol, parameters, and
+// delay are pinned so BENCH_scverify.json is comparable run to run.
+const (
+	benchProtocol  = "serial"
+	benchStepDelay = time.Millisecond
+)
+
+var benchParams = trace.Params{Procs: 2, Blocks: 1, Values: 1}
+
+// benchArm is one grid configuration's measurement.
+type benchArm struct {
+	Backends       int     `json:"backends"`
+	States         int64   `json:"states"`
+	Transitions    int64   `json:"transitions"`
+	Forwards       int64   `json:"forwards"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	Speedup        float64 `json:"speedup_vs_1"`
+}
+
+// benchReport is the BENCH_scverify.json schema.
+type benchReport struct {
+	Bench            string     `json:"bench"`
+	Protocol         string     `json:"protocol"`
+	Params           string     `json:"params"`
+	StepDelayMicros  int64      `json:"step_delay_micros"`
+	SingleNodeStates int64      `json:"single_node_states"`
+	Arms             []benchArm `json:"arms"`
+	Scaling4x        float64    `json:"scaling_states_per_sec_4_vs_1"`
+}
+
+// benchBackends starts n in-process explore backends configured for the
+// simulated-latency methodology and returns their addresses plus a
+// shutdown func.
+func benchBackends(n int) ([]string, func(), error) {
+	addrs := make([]string, 0, n)
+	var stops []func()
+	stop := func() {
+		for _, f := range stops {
+			f()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv := scserve.New(scserve.Config{
+			ExploreWorkers:   1,
+			ExploreStepDelay: benchStepDelay,
+		})
+		go srv.Serve(ln)
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, stop, nil
+}
+
+// benchMain runs the scaling benchmark: a single-node reference count,
+// then grid arms at 1, 2, and 4 backends. Every arm must reproduce the
+// reference state count exactly; the 4-backend arm must deliver at least
+// twice the 1-backend throughput, the gate the fabric's existence is
+// justified by.
+func benchMain(out string, stdout, stderr io.Writer) int {
+	tgt, err := registry.Build(benchProtocol, registry.Options{Params: benchParams})
+	if err != nil {
+		fmt.Fprintf(stderr, "scverify bench: %v\n", err)
+		return 2
+	}
+	ref := mc.Verify(tgt.Protocol, mc.Options{PoolSize: tgt.PoolSize, Generator: tgt.Generator})
+	if ref.Verdict != mc.Verified {
+		fmt.Fprintf(stderr, "scverify bench: single-node reference not verified: %s\n", ref)
+		return 2
+	}
+	fmt.Fprintf(stdout, "scverify bench: %s at %s — %d states, per-expansion delay %s\n",
+		benchProtocol, benchParams, ref.States, benchStepDelay)
+
+	rep := benchReport{
+		Bench:            "scverify",
+		Protocol:         benchProtocol,
+		Params:           benchParams.String(),
+		StepDelayMicros:  benchStepDelay.Microseconds(),
+		SingleNodeStates: int64(ref.States),
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		addrs, stop, err := benchBackends(n)
+		if err != nil {
+			fmt.Fprintf(stderr, "scverify bench: %v\n", err)
+			return 2
+		}
+		res := scmc.Verify(context.Background(), addrs, scmc.Options{
+			Protocol:     benchProtocol,
+			Params:       benchParams,
+			StallTimeout: 2 * time.Minute,
+		})
+		stop()
+		if res.Verdict != mc.Verified {
+			fmt.Fprintf(stderr, "scverify bench: %d-backend arm: %s\n", n, res)
+			return 2
+		}
+		if res.States != int64(ref.States) {
+			fmt.Fprintf(stderr, "scverify bench: %d-backend arm counted %d states, single-node %d — shard soundness broken\n",
+				n, res.States, ref.States)
+			return 2
+		}
+		arm := benchArm{
+			Backends:       n,
+			States:         res.States,
+			Transitions:    res.Transitions,
+			Forwards:       res.Forwards,
+			ElapsedSeconds: res.Elapsed.Seconds(),
+			StatesPerSec:   float64(res.States) / res.Elapsed.Seconds(),
+		}
+		rep.Arms = append(rep.Arms, arm)
+		fmt.Fprintf(stdout, "scverify bench: %d backends: %d states in %.2fs — %.0f states/s\n",
+			n, arm.States, arm.ElapsedSeconds, arm.StatesPerSec)
+	}
+	base := rep.Arms[0].StatesPerSec
+	for i := range rep.Arms {
+		rep.Arms[i].Speedup = rep.Arms[i].StatesPerSec / base
+	}
+	rep.Scaling4x = rep.Arms[2].Speedup
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "scverify bench: %v\n", err)
+		return 2
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fmt.Fprintf(stderr, "scverify bench: write %s: %v\n", out, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "scverify bench: 4-backend scaling %.2fx (%s)\n", rep.Scaling4x, out)
+	if rep.Scaling4x < 2.0 {
+		fmt.Fprintf(stderr, "scverify bench: scaling gate failed: %.2fx < 2.0x\n", rep.Scaling4x)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"scverify/internal/scserve"
+)
+
+// startServer runs an in-process explore backend for the grid exit-code
+// tests.
+func startServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := scserve.New(scserve.Config{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// deadAddr returns an address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestScverifyExitCodes pins the documented contract for both the local
+// and the distributed checker: 0 = verified, 1 = violated, 2 = the run
+// never started (usage error), 3 = incomplete — never conflated. The
+// same flag set must produce the same code whether or not -grid is set.
+func TestScverifyExitCodes(t *testing.T) {
+	grid := startServer(t) + "," + startServer(t)
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		// 0: verified.
+		{"local-verified", []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2"}, 0},
+		{"grid-verified", []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2", "-grid", grid}, 0},
+		{"grid-verified-exact", []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2", "-exact", "-grid", grid}, 0},
+
+		// 1: violated (the buggy write-through config the protocol suite pins).
+		{"local-violated", []string{"-protocol", "writethrough-no-invalidate", "-p", "2", "-b", "2", "-v", "1", "-depth", "10"}, 1},
+		{"grid-violated", []string{"-protocol", "writethrough-no-invalidate", "-p", "2", "-b", "2", "-v", "1", "-depth", "10", "-grid", grid}, 1},
+
+		// 2: usage — the run never started.
+		{"local-unknown-protocol", []string{"-protocol", "no-such-protocol"}, 2},
+		{"grid-unknown-protocol", []string{"-protocol", "no-such-protocol", "-grid", grid}, 2},
+		{"bad-flag", []string{"-no-such-flag"}, 2},
+		{"grid-empty", []string{"-protocol", "serial", "-grid", " , "}, 2},
+
+		// 3: incomplete — the run started but did not exhaust the space.
+		{"local-capped", []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2", "-states", "10"}, 3},
+		{"local-depth-capped", []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2", "-depth", "3"}, 3},
+		{"grid-capped", []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2", "-states", "10", "-grid", grid}, 3},
+		{"grid-depth-capped", []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2", "-depth", "3", "-grid", grid}, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := run(c.args, io.Discard, io.Discard); got != c.want {
+				t.Errorf("scverify %s: exit %d, want %d", strings.Join(c.args, " "), got, c.want)
+			}
+		})
+	}
+
+	// A dead backend is a run that could not complete, not a verdict and
+	// not a usage error.
+	t.Run("grid-dead-backend", func(t *testing.T) {
+		args := []string{"-protocol", "serial", "-p", "1", "-b", "1", "-v", "2", "-grid", deadAddr(t)}
+		if got := run(args, io.Discard, io.Discard); got != 3 {
+			t.Errorf("scverify with dead backend: exit %d, want 3", got)
+		}
+	})
+
+	// -list is informational and exits clean.
+	t.Run("list", func(t *testing.T) {
+		var sb strings.Builder
+		if got := run([]string{"-list"}, &sb, io.Discard); got != 0 {
+			t.Errorf("-list: exit %d, want 0", got)
+		}
+		if !strings.Contains(sb.String(), "serial") {
+			t.Errorf("-list output missing protocols:\n%s", sb.String())
+		}
+	})
+}

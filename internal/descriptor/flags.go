@@ -53,6 +53,16 @@ const (
 	// format, and the tenant never participates in resume-header
 	// equality (it identifies who is asking, not what is checked).
 	HelloFlagTenant = 1 << 4
+	// HelloFlagExplore switches the session into distributed-exploration
+	// mode: the client is the scmc coordinator, and the payload continues
+	// (after the token/resume/tenant fields) with the explore extension —
+	// protocol name, queue capacity, this backend's shard index, the
+	// ordered shard identity list, per-shard state cap, depth bound, and
+	// visited-set mode. Explore sessions exchange explore item frames
+	// instead of symbol frames; the flag is mutually exclusive with
+	// NoValues, Token, Resume, and Tiered. Explore-free hellos encode
+	// byte-identically to the pre-explore format.
+	HelloFlagExplore = 1 << 5
 
 	// VerdictFlagWitness marks a verdict payload carrying the witness
 	// extension: constraint code and cycle length between the offset
@@ -72,7 +82,7 @@ const (
 // peer from the future degrades to a clean error, never to a silently
 // misread session.
 const (
-	HelloFlagMask   = HelloFlagNoValues | HelloFlagToken | HelloFlagResume | HelloFlagTiered | HelloFlagTenant
+	HelloFlagMask   = HelloFlagNoValues | HelloFlagToken | HelloFlagResume | HelloFlagTiered | HelloFlagTenant | HelloFlagExplore
 	VerdictFlagMask = VerdictFlagWitness | VerdictFlagTier
 	// AckFlagMask: ack frames carry no flag field today; the zero mask
 	// records that so the first ack flag is allocated here, not ad hoc.

@@ -7,21 +7,18 @@
 // sequentially consistent (Theorem 3.1). A rejecting state yields a
 // concrete counterexample run.
 //
-// Exploration is a level-synchronized parallel BFS: worker goroutines
-// expand the frontier concurrently and deduplicate states in a sharded
-// visited table keyed by the canonical product-state encoding.
+// Exploration runs on a shared-queue worker pool (Explorer) that also
+// serves as one shard of internal/scmc's distributed fabric; Verify is
+// the single-shard configuration. States are deduplicated in a 64-bit
+// fingerprinted visited set by default, with an exact-key fallback and a
+// collision-audit mode (Options.ExactKeys, Options.AuditCollisions).
 package mc
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"runtime"
-	"sync"
 	"time"
 
-	"scverify/internal/checker"
-	"scverify/internal/descriptor"
 	"scverify/internal/observer"
 	"scverify/internal/protocol"
 )
@@ -60,17 +57,24 @@ type Options struct {
 	Workers int
 	// MaxStates caps the number of distinct product states; 0 means 4M.
 	MaxStates int
-	// MaxDepth caps BFS depth (run length); 0 means unbounded.
+	// MaxDepth caps exploration depth (run length); 0 means unbounded.
 	MaxDepth int
 	// PoolSize overrides the observer ID pool (0 = Section 4.4 default).
 	PoolSize int
 	// Generator constructs the ST-order generator; nil means real-time.
 	Generator func() observer.STOrderGenerator
-	// Progress, if non-nil, is called after each BFS level.
+	// Progress, if non-nil, is called periodically with the deepest state
+	// seen, the visited-set size, and the ready-queue length.
 	Progress func(depth, states, frontier int)
 	// TrackObserverStates additionally counts distinct observer-component
 	// states (canonical keys), for the Section 4.4 size-bound experiment.
 	TrackObserverStates bool
+	// ExactKeys switches the visited set from 64-bit fingerprints to full
+	// canonical keys — more memory, no aliasing risk.
+	ExactKeys bool
+	// AuditCollisions keeps exact keys alongside the fingerprint table to
+	// count genuine fingerprint collisions (Result.Collisions).
+	AuditCollisions bool
 }
 
 // Result reports the outcome of Verify.
@@ -81,12 +85,15 @@ type Result struct {
 	Counterexample []int // transition indices from the initial state
 	States         int   // distinct product states
 	Transitions    int   // product transitions expanded
-	Depth          int   // BFS depth reached
+	Depth          int   // max exploration depth reached
 	PeakIDs        int   // high-water mark of observer IDs across all states
 	// ObserverStates counts distinct observer-component states when
 	// Options.TrackObserverStates is set; 0 otherwise.
 	ObserverStates int
-	Elapsed        time.Duration
+	// Collisions counts fingerprint collisions detected when
+	// Options.AuditCollisions is set; 0 otherwise.
+	Collisions int64
+	Elapsed    time.Duration
 }
 
 // String renders a one-line summary.
@@ -99,324 +106,79 @@ func (r Result) String() string {
 	return s
 }
 
-// entry is one live frontier element: the concrete product state plus the
-// path information needed to rebuild counterexamples.
-type entry struct {
-	pstate protocol.State
-	obs    *observer.Observer
-	chk    *checker.Checker
-	key    string
-	path   []int // transition indices from the initial state
-}
-
-type shardedVisited struct {
-	shards [64]struct {
-		mu sync.Mutex
-		m  map[string]struct{}
-	}
-	count int64
-	mu    sync.Mutex
-}
-
-func newVisited() *shardedVisited {
-	v := &shardedVisited{}
-	for i := range v.shards {
-		v.shards[i].m = make(map[string]struct{})
-	}
-	return v
-}
-
-// claim returns true if the key was not yet visited (and marks it).
-func (v *shardedVisited) claim(key string) bool {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	s := &v.shards[h.Sum32()%64]
-	s.mu.Lock()
-	_, seen := s.m[key]
-	if !seen {
-		s.m[key] = struct{}{}
-	}
-	s.mu.Unlock()
-	if !seen {
-		v.mu.Lock()
-		v.count++
-		v.mu.Unlock()
-	}
-	return !seen
-}
-
-func (v *shardedVisited) size() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return int(v.count)
-}
-
-// violation carries a rejection discovered by a worker.
-type violation struct {
-	err  error
-	path []int
-}
-
 // Verify exhaustively explores the product state space of the protocol,
-// its observer, and the checker.
+// its observer, and the checker on a single-shard Explorer.
 func Verify(p protocol.Protocol, opts Options) Result {
 	start := time.Now()
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-	if opts.MaxStates <= 0 {
-		opts.MaxStates = 4 << 20
-	}
-	genFn := opts.Generator
-	if genFn == nil {
-		genFn = func() observer.STOrderGenerator { return observer.NewRealTime() }
-	}
-
 	res := Result{Protocol: p.Name()}
 
-	// Initial product state.
-	sink := func(descriptor.Symbol) error { return nil }
-	obs0 := observer.New(p, genFn(), observer.Config{PoolSize: opts.PoolSize}, sink)
-	chk0 := checker.New(obs0.K())
-	chk0.SetParams(p.Params())
-	init := &entry{pstate: p.Initial(), obs: obs0, chk: chk0}
-	init.key = productKey(init)
-
-	visited := newVisited()
-	visited.claim(init.key)
-	var obsVisited *shardedVisited
-	if opts.TrackObserverStates {
-		obsVisited = newVisited()
-		obsVisited.claim(string(init.obs.CanonicalKey(init.obs.CanonicalRename())))
-	}
-	if v := finishCheck(init); v != nil {
-		res.Verdict = Violated
-		res.Err = v.err
-		res.Counterexample = v.path
-		res.States = 1
+	x, err := NewExplorer(p, ProductOptions{PoolSize: opts.PoolSize, Generator: opts.Generator}, ExplorerConfig{
+		Workers:             opts.Workers,
+		MaxStates:           opts.MaxStates,
+		MaxDepth:            opts.MaxDepth,
+		Exact:               opts.ExactKeys,
+		Audit:               opts.AuditCollisions,
+		TrackObserverStates: opts.TrackObserverStates,
+	})
+	if err != nil {
+		res.Verdict = Incomplete
+		res.Err = err
 		res.Elapsed = time.Since(start)
 		return res
 	}
 
-	frontier := []*entry{init}
-	depth := 0
-	var transitions int64
-	var peakIDs int
-
-	for len(frontier) > 0 {
-		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
-			res.Verdict = Incomplete
-			break
-		}
-		next, viol, expanded := expandLevel(p, frontier, visited, opts, genFn)
-		transitions += expanded
-		for _, e := range next {
-			if st := e.obs.Stats(); st.PeakIDs > peakIDs {
-				peakIDs = st.PeakIDs
-			}
-			if obsVisited != nil {
-				obsVisited.claim(string(e.obs.CanonicalKey(e.obs.CanonicalRename())))
-			}
-		}
-		if viol != nil {
-			res.Verdict = Violated
-			res.Err = viol.err
-			res.Counterexample = viol.path
-			res.States = visited.size()
-			res.Transitions = int(transitions)
-			res.Depth = depth + 1
-			res.PeakIDs = peakIDs
-			res.Elapsed = time.Since(start)
-			return res
-		}
-		depth++
-		frontier = next
-		if opts.Progress != nil {
-			opts.Progress(depth, visited.size(), len(frontier))
-		}
-		if visited.size() >= opts.MaxStates {
-			res.Verdict = Incomplete
-			res.Err = errors.New("mc: state cap reached")
-			break
-		}
-	}
-
-	if res.Verdict != Incomplete {
-		res.Verdict = Verified
-	}
-	if obsVisited != nil {
-		res.ObserverStates = obsVisited.size()
-	}
-	res.States = visited.size()
-	res.Transitions = int(transitions)
-	res.Depth = depth
-	res.PeakIDs = peakIDs
-	res.Elapsed = time.Since(start)
-	return res
-}
-
-// expandLevel expands one BFS level in parallel.
-func expandLevel(p protocol.Protocol, frontier []*entry, visited *shardedVisited, opts Options, genFn func() observer.STOrderGenerator) (next []*entry, viol *violation, transitions int64) {
-	workers := opts.Workers
-	if workers > len(frontier) {
-		workers = len(frontier)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	var (
-		mu       sync.Mutex
-		stop     bool
-		firstVio *violation
-		out      []*entry
-		total    int64
-	)
-	work := make(chan *entry)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+	var progressDone chan struct{}
+	if opts.Progress != nil {
+		progressDone = make(chan struct{})
 		go func() {
-			defer wg.Done()
-			var local []*entry
-			var localTrans int64
-			for e := range work {
-				mu.Lock()
-				halted := stop
-				mu.Unlock()
-				if halted {
-					continue
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-tick.C:
+					r := x.Report()
+					opts.Progress(r.Depth, int(r.States), int(r.QueueLen))
 				}
-				succ, v, n := expandOne(p, e, visited)
-				localTrans += n
-				if v != nil {
-					mu.Lock()
-					if firstVio == nil {
-						firstVio = v
-						stop = true
-					}
-					mu.Unlock()
-					continue
-				}
-				local = append(local, succ...)
 			}
-			mu.Lock()
-			out = append(out, local...)
-			total += localTrans
-			mu.Unlock()
 		}()
 	}
-	for _, e := range frontier {
-		work <- e
-	}
-	close(work)
-	wg.Wait()
-	return out, firstVio, total
-}
 
-// expandOne expands a single product state.
-func expandOne(p protocol.Protocol, e *entry, visited *shardedVisited) (succ []*entry, viol *violation, transitions int64) {
-	trs := p.Transitions(e.pstate)
-	for i, tr := range trs {
-		transitions++
-		ne, err := stepProduct(e, tr, i)
-		if err != nil {
-			return nil, &violation{err: err, path: appendPath(e.path, i)}, transitions
-		}
-		if !visited.claim(ne.key) {
-			continue
-		}
-		if v := finishCheck(ne); v != nil {
-			return nil, v, transitions
-		}
-		succ = append(succ, ne)
+	x.Seed()
+	x.Wait()
+	x.Stop()
+	if progressDone != nil {
+		close(progressDone)
 	}
-	return succ, nil, transitions
-}
 
-// stepProduct clones the product state and applies one protocol transition
-// through the observer into the checker.
-func stepProduct(e *entry, tr protocol.Transition, idx int) (*entry, error) {
-	chk := e.chk.Clone()
-	var ferr error
-	obs := e.obs.Clone(func(sym descriptor.Symbol) error {
-		if err := chk.Step(sym); err != nil {
-			ferr = err
-			return err
-		}
-		return nil
-	})
-	if err := obs.Step(tr); err != nil {
-		if ferr != nil {
-			return nil, ferr
-		}
-		return nil, err
+	r := x.Report()
+	res.States = int(r.States)
+	res.Transitions = int(r.Transitions)
+	res.Depth = r.Depth
+	res.PeakIDs = r.PeakIDs
+	res.Collisions = r.Collisions
+	res.ObserverStates = x.ObserverStates()
+
+	switch {
+	case x.Violation() != nil:
+		v := x.Violation()
+		res.Verdict = Violated
+		res.Err = v.Err
+		res.Counterexample = v.Path
+	case x.Failed() != nil:
+		res.Verdict = Incomplete
+		res.Err = x.Failed()
+	case r.Capped:
+		res.Verdict = Incomplete
+		res.Err = errors.New("mc: state cap reached")
+	case r.DepthCapped:
+		res.Verdict = Incomplete
+	default:
+		res.Verdict = Verified
 	}
-	ne := &entry{pstate: tr.Next, obs: obs, chk: chk, path: appendPath(e.path, idx)}
-	ne.key = productKey(ne)
-	return ne, nil
-}
-
-// finishCheck verifies that stopping the run at this state is accepted:
-// the observer completes the ST order and the checker's end-of-stream
-// checks pass. When the generator has nothing left to serialize the check
-// runs in place via the checker's non-mutating FinishDry; otherwise the
-// pipeline is cloned.
-func finishCheck(e *entry) *violation {
-	if e.obs.FinishIsNoOp() {
-		if err := e.chk.FinishDry(); err != nil {
-			return &violation{err: err, path: e.path}
-		}
-		return nil
-	}
-	chk := e.chk.Clone()
-	var ferr error
-	obs := e.obs.Clone(func(sym descriptor.Symbol) error {
-		if err := chk.Step(sym); err != nil {
-			ferr = err
-			return err
-		}
-		return nil
-	})
-	if err := obs.Finish(); err != nil {
-		if ferr != nil {
-			return &violation{err: ferr, path: e.path}
-		}
-		return &violation{err: err, path: e.path}
-	}
-	if err := chk.Finish(); err != nil {
-		return &violation{err: err, path: e.path}
-	}
-	return nil
-}
-
-func appendPath(path []int, idx int) []int {
-	out := make([]int, len(path)+1)
-	copy(out, path)
-	out[len(path)] = idx
-	return out
-}
-
-// productKey canonically encodes (protocol state, observer state, checker
-// state) with length prefixes so components cannot alias. Observer and
-// checker keys are taken under the observer's canonical ID renaming so
-// that runs differing only in ID-pool allocation history merge.
-func productKey(e *entry) string {
-	rename := e.obs.CanonicalRename()
-	pk := e.pstate.Key()
-	ok := e.obs.CanonicalKey(rename)
-	ck := e.chk.StateKeyRenamed(rename)
-	buf := make([]byte, 0, len(pk)+len(ok)+len(ck)+12)
-	buf = appendLP(buf, []byte(pk))
-	buf = appendLP(buf, ok)
-	buf = appendLP(buf, ck)
-	return string(buf)
-}
-
-func appendLP(dst, chunk []byte) []byte {
-	n := len(chunk)
-	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
-	return append(dst, chunk...)
+	res.Elapsed = time.Since(start)
+	return res
 }
 
 // Replay re-executes a counterexample path, returning the offending run.

@@ -1,0 +1,28 @@
+package mc
+
+// Counterexample paths are kept as parent-pointer chains instead of a
+// per-state []int copy. The old representation copied the whole prefix
+// into every frontier entry, an O(depth²) aggregate that dominated memory
+// on deep state spaces; a pathNode shares the prefix between siblings, so
+// the aggregate is one node (pointer + int32) per reachable state, and a
+// concrete counterexample is materialized only when a violation is
+// actually reported.
+type pathNode struct {
+	parent *pathNode
+	idx    int32
+}
+
+// indices materializes the transition-index path from the initial state.
+// A nil node (the initial state itself) yields an empty path.
+func (n *pathNode) indices() []int {
+	depth := 0
+	for c := n; c != nil; c = c.parent {
+		depth++
+	}
+	out := make([]int, depth)
+	for c := n; c != nil; c = c.parent {
+		depth--
+		out[depth] = int(c.idx)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package mc
+
+import (
+	"fmt"
+
+	"scverify/internal/checker"
+	"scverify/internal/descriptor"
+	"scverify/internal/observer"
+	"scverify/internal/protocol"
+)
+
+// ProductOptions fixes how the observer/checker side of the product is
+// built. Every participant of a distributed exploration must construct
+// the product identically (same generator, same pool size) or canonical
+// keys — and therefore shard ownership — would disagree.
+type ProductOptions struct {
+	// PoolSize overrides the observer ID pool (0 = Section 4.4 default).
+	PoolSize int
+	// Generator constructs the ST-order generator; nil means real-time.
+	Generator func() observer.STOrderGenerator
+}
+
+func (po ProductOptions) generator() func() observer.STOrderGenerator {
+	if po.Generator != nil {
+		return po.Generator
+	}
+	return func() observer.STOrderGenerator { return observer.NewRealTime() }
+}
+
+// Product is one concrete product state: the protocol state plus live
+// observer and checker clones, its canonical key and fingerprint, the
+// depth it was reached at, and the parent-pointer path back to the
+// initial state.
+type Product struct {
+	PState protocol.State
+	Obs    *observer.Observer
+	Chk    *checker.Checker
+	Key    string
+	FP     uint64
+	Depth  int
+	node   *pathNode
+}
+
+// NewProduct builds the initial product state of p.
+func NewProduct(p protocol.Protocol, po ProductOptions) *Product {
+	sink := func(descriptor.Symbol) error { return nil }
+	obs := observer.New(p, po.generator()(), observer.Config{PoolSize: po.PoolSize}, sink)
+	chk := checker.New(obs.K())
+	chk.SetParams(p.Params())
+	e := &Product{PState: p.Initial(), Obs: obs, Chk: chk}
+	e.rekey()
+	return e
+}
+
+func (e *Product) rekey() {
+	e.Key = productKey(e)
+	e.FP = Fingerprint(e.Key)
+}
+
+// Path materializes the transition-index path from the initial state.
+func (e *Product) Path() []int { return e.node.indices() }
+
+// Step clones the product state and applies one protocol transition
+// through the observer into the checker. A non-nil error is a rejection:
+// the run extended by this transition is not SC-consistent.
+func (e *Product) Step(tr protocol.Transition, idx int) (*Product, error) {
+	chk := e.Chk.Clone()
+	var ferr error
+	obs := e.Obs.Clone(func(sym descriptor.Symbol) error {
+		if err := chk.Step(sym); err != nil {
+			ferr = err
+			return err
+		}
+		return nil
+	})
+	if err := obs.Step(tr); err != nil {
+		if ferr != nil {
+			return nil, ferr
+		}
+		return nil, err
+	}
+	ne := &Product{
+		PState: tr.Next,
+		Obs:    obs,
+		Chk:    chk,
+		Depth:  e.Depth + 1,
+		node:   &pathNode{parent: e.node, idx: int32(idx)},
+	}
+	ne.rekey()
+	return ne, nil
+}
+
+// FinishCheck verifies that stopping the run at this state is accepted:
+// the observer completes the ST order and the checker's end-of-stream
+// checks pass (every run prefix is itself a run, so every reachable state
+// must finish cleanly). When the generator has nothing left to serialize
+// the check runs in place via the checker's non-mutating FinishDry;
+// otherwise the pipeline is cloned.
+func (e *Product) FinishCheck() error {
+	if e.Obs.FinishIsNoOp() {
+		return e.Chk.FinishDry()
+	}
+	chk := e.Chk.Clone()
+	var ferr error
+	obs := e.Obs.Clone(func(sym descriptor.Symbol) error {
+		if err := chk.Step(sym); err != nil {
+			ferr = err
+			return err
+		}
+		return nil
+	})
+	if err := obs.Finish(); err != nil {
+		if ferr != nil {
+			return ferr
+		}
+		return err
+	}
+	return chk.Finish()
+}
+
+// Violation carries a rejection discovered during exploration: the
+// rejection cause and the transition-index path that reproduces it.
+type Violation struct {
+	Err  error
+	Path []int
+}
+
+// ReplayProduct rebuilds the product state at the end of path by
+// replaying the transition indices from the initial state — the state
+// transfer used for cross-shard work items, which ship as paths because
+// the deterministic Transitions order makes a path a compact, canonical
+// serialization of any reachable product state. A rejection along the
+// way is returned as a Violation (the path prefix is a counterexample); a
+// structurally impossible path (index out of range) is an error — a
+// corrupt or mismatched work item, never a protocol verdict.
+func ReplayProduct(p protocol.Protocol, po ProductOptions, path []int) (*Product, *Violation, error) {
+	e := NewProduct(p, po)
+	for n, idx := range path {
+		trs := p.Transitions(e.PState)
+		if idx < 0 || idx >= len(trs) {
+			return nil, nil, fmt.Errorf("mc: replay step %d: transition index %d out of range (%d available)", n, idx, len(trs))
+		}
+		ne, err := e.Step(trs[idx], idx)
+		if err != nil {
+			return nil, &Violation{Err: err, Path: append(append([]int(nil), path[:n]...), idx)}, nil
+		}
+		e = ne
+	}
+	return e, nil, nil
+}
+
+// productKey canonically encodes (protocol state, observer state, checker
+// state) with length prefixes so components cannot alias. Observer and
+// checker keys are taken under the observer's canonical ID renaming so
+// that runs differing only in ID-pool allocation history merge.
+func productKey(e *Product) string {
+	rename := e.Obs.CanonicalRename()
+	pk := e.PState.Key()
+	ok := e.Obs.CanonicalKey(rename)
+	ck := e.Chk.StateKeyRenamed(rename)
+	buf := make([]byte, 0, len(pk)+len(ok)+len(ck)+12)
+	buf = appendLP(buf, []byte(pk))
+	buf = appendLP(buf, ok)
+	buf = appendLP(buf, ck)
+	return string(buf)
+}
+
+func appendLP(dst, chunk []byte) []byte {
+	n := len(chunk)
+	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	return append(dst, chunk...)
+}

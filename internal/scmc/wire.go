@@ -1,0 +1,87 @@
+package scmc
+
+import (
+	"bufio"
+	"net"
+	"sync"
+
+	"scverify/internal/scserve"
+)
+
+// coordMaxFrame bounds frames the coordinator accepts from a backend —
+// the same default budget scserve itself enforces.
+const coordMaxFrame = 1 << 20
+
+// writerState is one backend connection's buffered writer. All writes
+// happen on the coordinator's central loop, so no locking is needed; the
+// type exists to pair the bufio.Writer with its flush discipline (every
+// frame is flushed — the grid's liveness depends on items reaching
+// backends promptly, not on throughput of any single stream).
+type writerState struct {
+	bw *bufio.Writer
+}
+
+func newWriterState(conn net.Conn) *writerState {
+	return &writerState{bw: bufio.NewWriterSize(conn, 32<<10)}
+}
+
+func (w *writerState) writeFrame(typ byte, payload []byte) error {
+	if err := scserve.WriteRawFrame(w.bw, typ, payload); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func newReader(conn net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(conn, 32<<10)
+}
+
+func readRaw(br *bufio.Reader) (byte, []byte, error) {
+	return scserve.ReadRawFrame(br, coordMaxFrame)
+}
+
+// eventQueue is an unbounded MPSC queue from the backend readers to the
+// central loop. Unboundedness is load-bearing, not a convenience: the
+// coordinator is a cycle of streams (it writes to backends that write
+// back to it), and any bounded buffer on the read side can deadlock the
+// ring — reader blocked on a full channel stops draining a backend,
+// which stops that backend reading, which blocks the central loop's
+// write to it. Queued events are parsed frames, so memory is bounded by
+// the run's total cross-shard traffic, the same order as the visited
+// sets themselves.
+type eventQueue struct {
+	mu     sync.Mutex
+	items  []event
+	notify chan struct{} // cap 1; coalesced wake-up
+}
+
+func newEventQueue() *eventQueue {
+	return &eventQueue{notify: make(chan struct{}, 1)}
+}
+
+// push enqueues without ever blocking.
+func (q *eventQueue) push(ev event) {
+	q.mu.Lock()
+	q.items = append(q.items, ev)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues one event; ok is false when the queue is empty.
+func (q *eventQueue) pop() (event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return event{}, false
+	}
+	ev := q.items[0]
+	q.items[0] = event{}
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		q.items = nil
+	}
+	return ev, true
+}

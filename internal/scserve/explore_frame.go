@@ -1,0 +1,414 @@
+package scserve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scverify/internal/mc"
+)
+
+// Explore sessions turn a scserve backend into one shard of the scmc
+// distributed exploration fabric. The hello's explore extension fixes the
+// target to build and this backend's place in the ownership partition;
+// after that the session exchanges item batches (frameExplore inbound,
+// frameExploreFwd outbound) and credit reports (frameExploreRep) until the
+// coordinator's frameEnd, which is answered with a final report and an
+// accept verdict. A violation preempts everything via frameExploreViol.
+//
+// All explore payloads are uvarint-based like the rest of the protocol,
+// and item batches are bounded (maxExploreItems) so a frame stays within
+// the ordinary MaxFrame budget without trusting the peer.
+
+// Explore visited-set modes. The mode is a uvarint enum, not a flag
+// field: new modes extend the value space and old parsers reject them.
+const (
+	ExploreModeFP    = 0 // 64-bit fingerprint visited set (default)
+	ExploreModeExact = 1 // exact canonical-key visited set
+	ExploreModeAudit = 2 // fingerprints plus collision audit
+)
+
+// Explore payload bounds.
+const (
+	maxExploreItems    = 8192    // items per batch frame
+	maxExplorePath     = 1 << 20 // transition indices per work item
+	maxExploreKey      = 1 << 16 // canonical key bytes per claim
+	maxExploreShards   = 256     // shards per grid
+	maxExploreProtoLen = 64      // protocol name bytes
+)
+
+// ExploreHeader is the hello extension opening an explore session.
+type ExploreHeader struct {
+	// Protocol names the registry target every shard builds.
+	Protocol string
+	// QueueCap is the registry queue-capacity parameter (0 = default).
+	QueueCap int
+	// Shard is this backend's index in Shards.
+	Shard int
+	// Shards is the ordered shard identity list the rendezvous ownership
+	// partition is computed over — identical on every backend of the grid.
+	Shards []string
+	// MaxStates caps this shard's visited set (0 = server default).
+	MaxStates int
+	// MaxDepth bounds exploration depth (0 = unbounded).
+	MaxDepth int
+	// Mode selects the visited-set implementation (ExploreMode*).
+	Mode int
+}
+
+func appendExploreHeader(dst []byte, eh *ExploreHeader) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(eh.Protocol)))
+	dst = append(dst, eh.Protocol...)
+	dst = binary.AppendUvarint(dst, uint64(eh.QueueCap))
+	dst = binary.AppendUvarint(dst, uint64(eh.Shard))
+	dst = binary.AppendUvarint(dst, uint64(len(eh.Shards)))
+	for _, id := range eh.Shards {
+		dst = binary.AppendUvarint(dst, uint64(len(id)))
+		dst = append(dst, id...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(eh.MaxStates))
+	dst = binary.AppendUvarint(dst, uint64(eh.MaxDepth))
+	dst = binary.AppendUvarint(dst, uint64(eh.Mode))
+	return dst
+}
+
+func parseExploreHeader(payload []byte) (*ExploreHeader, int, error) {
+	eh := &ExploreHeader{}
+	pos := 0
+	uv := func(name string, max uint64) (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("hello: truncated explore %s field", name)
+		}
+		pos += n
+		if v > max {
+			return 0, fmt.Errorf("hello: explore %s %d out of range", name, v)
+		}
+		return v, nil
+	}
+	str := func(name string, min, max uint64) (string, error) {
+		l, err := uv(name+" length", max)
+		if err != nil {
+			return "", err
+		}
+		if l < min {
+			return "", fmt.Errorf("hello: explore %s length %d below %d", name, l, min)
+		}
+		if uint64(len(payload)-pos) < l {
+			return "", fmt.Errorf("hello: truncated explore %s", name)
+		}
+		s := string(payload[pos : pos+int(l)])
+		pos += int(l)
+		return s, nil
+	}
+	var err error
+	if eh.Protocol, err = str("protocol", 1, maxExploreProtoLen); err != nil {
+		return nil, 0, err
+	}
+	qc, err := uv("queue capacity", 1<<20)
+	if err != nil {
+		return nil, 0, err
+	}
+	eh.QueueCap = int(qc)
+	shard, err := uv("shard", maxExploreShards-1)
+	if err != nil {
+		return nil, 0, err
+	}
+	eh.Shard = int(shard)
+	nShards, err := uv("shard count", maxExploreShards)
+	if err != nil {
+		return nil, 0, err
+	}
+	if nShards < 1 {
+		return nil, 0, fmt.Errorf("hello: explore shard count 0")
+	}
+	if shard >= nShards {
+		return nil, 0, fmt.Errorf("hello: explore shard %d outside 0..%d", shard, nShards-1)
+	}
+	eh.Shards = make([]string, nShards)
+	for i := range eh.Shards {
+		if eh.Shards[i], err = str("shard identity", 1, maxExploreProtoLen); err != nil {
+			return nil, 0, err
+		}
+	}
+	ms, err := uv("max states", 1<<40)
+	if err != nil {
+		return nil, 0, err
+	}
+	eh.MaxStates = int(ms)
+	md, err := uv("max depth", 1<<32)
+	if err != nil {
+		return nil, 0, err
+	}
+	eh.MaxDepth = int(md)
+	mode, err := uv("mode", 1<<8)
+	if err != nil {
+		return nil, 0, err
+	}
+	if mode > ExploreModeAudit {
+		return nil, 0, fmt.Errorf("hello: unknown explore mode %d", mode)
+	}
+	eh.Mode = int(mode)
+	return eh, pos, nil
+}
+
+// AppendExploreItems encodes an item batch. Batches larger than
+// maxExploreItems must be split by the caller (the session layer chunks).
+func AppendExploreItems(dst []byte, items []mc.Item) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for i := range items {
+		it := &items[i]
+		dst = binary.AppendUvarint(dst, uint64(it.Kind))
+		dst = binary.AppendUvarint(dst, uint64(it.Peer))
+		switch it.Kind {
+		case mc.ItemWork:
+			dst = binary.AppendUvarint(dst, uint64(it.Act))
+			dst = binary.AppendUvarint(dst, uint64(len(it.Path)))
+			for _, idx := range it.Path {
+				dst = binary.AppendUvarint(dst, uint64(idx))
+			}
+		case mc.ItemClaim:
+			dst = binary.AppendUvarint(dst, it.Seq)
+			dst = binary.LittleEndian.AppendUint64(dst, it.FP)
+			dst = binary.AppendUvarint(dst, uint64(it.Depth))
+			dst = binary.AppendUvarint(dst, uint64(len(it.Key)))
+			dst = append(dst, it.Key...)
+		case mc.ItemReply:
+			dst = binary.AppendUvarint(dst, it.Seq)
+			dst = binary.AppendUvarint(dst, uint64(it.Act))
+		case mc.ItemShed:
+			dst = binary.AppendUvarint(dst, uint64(it.N))
+			dst = binary.AppendUvarint(dst, uint64(it.Target))
+		}
+	}
+	return dst
+}
+
+// ParseExploreItems decodes an item batch, rejecting unknown kinds,
+// out-of-range acts, and oversized paths/keys — a corrupt batch is a
+// protocol error, never a panic or a silently dropped item.
+func ParseExploreItems(payload []byte) ([]mc.Item, error) {
+	pos := 0
+	uv := func(name string, max uint64) (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("explore items: truncated %s field", name)
+		}
+		pos += n
+		if v > max {
+			return 0, fmt.Errorf("explore items: %s %d out of range", name, v)
+		}
+		return v, nil
+	}
+	count, err := uv("count", maxExploreItems)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]mc.Item, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, err := uv("kind", uint64(mc.ItemShed))
+		if err != nil {
+			return nil, err
+		}
+		peer, err := uv("peer", maxExploreShards-1)
+		if err != nil {
+			return nil, err
+		}
+		it := mc.Item{Kind: mc.ItemKind(kind), Peer: int(peer)}
+		switch it.Kind {
+		case mc.ItemWork:
+			act, err := uv("act", uint64(mc.ActExpand))
+			if err != nil {
+				return nil, err
+			}
+			if mc.Act(act) == mc.ActDup {
+				return nil, fmt.Errorf("explore items: work item with dup act")
+			}
+			it.Act = mc.Act(act)
+			plen, err := uv("path length", maxExplorePath)
+			if err != nil {
+				return nil, err
+			}
+			if plen > 0 {
+				it.Path = make([]int, plen)
+				for j := range it.Path {
+					idx, err := uv("path index", maxExplorePath)
+					if err != nil {
+						return nil, err
+					}
+					it.Path[j] = int(idx)
+				}
+			}
+		case mc.ItemClaim:
+			seq, err := uv("seq", 1<<62)
+			if err != nil {
+				return nil, err
+			}
+			it.Seq = seq
+			if len(payload)-pos < 8 {
+				return nil, fmt.Errorf("explore items: truncated fingerprint")
+			}
+			it.FP = binary.LittleEndian.Uint64(payload[pos:])
+			pos += 8
+			depth, err := uv("depth", 1<<32)
+			if err != nil {
+				return nil, err
+			}
+			it.Depth = int(depth)
+			klen, err := uv("key length", maxExploreKey)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(payload)-pos) < klen {
+				return nil, fmt.Errorf("explore items: truncated key")
+			}
+			if klen > 0 {
+				it.Key = append([]byte(nil), payload[pos:pos+int(klen)]...)
+			}
+			pos += int(klen)
+		case mc.ItemReply:
+			seq, err := uv("seq", 1<<62)
+			if err != nil {
+				return nil, err
+			}
+			it.Seq = seq
+			act, err := uv("act", uint64(mc.ActExpand))
+			if err != nil {
+				return nil, err
+			}
+			if mc.Act(act) == mc.ActClaim {
+				return nil, fmt.Errorf("explore items: reply without adjudication")
+			}
+			it.Act = mc.Act(act)
+		case mc.ItemShed:
+			n, err := uv("shed count", maxExplorePath)
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("explore items: empty shed")
+			}
+			it.N = int(n)
+			target, err := uv("shed target", maxExploreShards-1)
+			if err != nil {
+				return nil, err
+			}
+			it.Target = int(target)
+		}
+		items = append(items, it)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("explore items: %d trailing bytes", len(payload)-pos)
+	}
+	return items, nil
+}
+
+// AppendExploreReport encodes a shard's credit/progress report. The
+// capped/depth-capped/failed markers are uvarint enums (0/1), not a flag
+// field, so the report stays outside the wire-flag registry's scope.
+func AppendExploreReport(dst []byte, r mc.Report) []byte {
+	b01 := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	dst = binary.AppendUvarint(dst, uint64(r.Shard))
+	dst = binary.AppendUvarint(dst, uint64(r.ItemsIn))
+	dst = binary.AppendUvarint(dst, uint64(r.ItemsOut))
+	dst = binary.AppendUvarint(dst, uint64(r.States))
+	dst = binary.AppendUvarint(dst, uint64(r.Transitions))
+	dst = binary.AppendUvarint(dst, uint64(r.PeakIDs))
+	dst = binary.AppendUvarint(dst, uint64(r.Depth))
+	dst = binary.AppendUvarint(dst, uint64(r.Pending))
+	dst = binary.AppendUvarint(dst, uint64(r.QueueLen))
+	dst = binary.AppendUvarint(dst, uint64(r.Collisions))
+	dst = binary.AppendUvarint(dst, b01(r.Capped))
+	dst = binary.AppendUvarint(dst, b01(r.DepthCapped))
+	dst = binary.AppendUvarint(dst, b01(r.Failed))
+	return append(dst, r.Err...)
+}
+
+// ParseExploreReport decodes a shard report; trailing bytes are the
+// failure message.
+func ParseExploreReport(payload []byte) (mc.Report, error) {
+	var r mc.Report
+	pos := 0
+	uv := func(name string, max uint64) (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("explore report: truncated %s field", name)
+		}
+		pos += n
+		if v > max {
+			return 0, fmt.Errorf("explore report: %s %d out of range", name, v)
+		}
+		return v, nil
+	}
+	fields := []struct {
+		name string
+		max  uint64
+		set  func(uint64)
+	}{
+		{"shard", maxExploreShards - 1, func(v uint64) { r.Shard = int(v) }},
+		{"items in", 1 << 62, func(v uint64) { r.ItemsIn = int64(v) }},
+		{"items out", 1 << 62, func(v uint64) { r.ItemsOut = int64(v) }},
+		{"states", 1 << 62, func(v uint64) { r.States = int64(v) }},
+		{"transitions", 1 << 62, func(v uint64) { r.Transitions = int64(v) }},
+		{"peak ids", 1 << 32, func(v uint64) { r.PeakIDs = int(v) }},
+		{"depth", 1 << 32, func(v uint64) { r.Depth = int(v) }},
+		{"pending", 1 << 62, func(v uint64) { r.Pending = int64(v) }},
+		{"queue length", 1 << 62, func(v uint64) { r.QueueLen = int64(v) }},
+		{"collisions", 1 << 62, func(v uint64) { r.Collisions = int64(v) }},
+		{"capped", 1, func(v uint64) { r.Capped = v != 0 }},
+		{"depth capped", 1, func(v uint64) { r.DepthCapped = v != 0 }},
+		{"failed", 1, func(v uint64) { r.Failed = v != 0 }},
+	}
+	for _, f := range fields {
+		v, err := uv(f.name, f.max)
+		if err != nil {
+			return mc.Report{}, err
+		}
+		f.set(v)
+	}
+	r.Err = string(payload[pos:])
+	if r.Err != "" && !r.Failed {
+		return mc.Report{}, fmt.Errorf("explore report: error message without failed marker")
+	}
+	return r, nil
+}
+
+// AppendExploreViolation encodes a violation: the counterexample path and
+// the rejection message as trailing bytes.
+func AppendExploreViolation(dst []byte, path []int, msg string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(path)))
+	for _, idx := range path {
+		dst = binary.AppendUvarint(dst, uint64(idx))
+	}
+	return append(dst, msg...)
+}
+
+// ParseExploreViolation decodes a violation frame.
+func ParseExploreViolation(payload []byte) ([]int, string, error) {
+	pos := 0
+	plen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, "", fmt.Errorf("explore violation: truncated path length")
+	}
+	pos += n
+	if plen > maxExplorePath {
+		return nil, "", fmt.Errorf("explore violation: path length %d out of range", plen)
+	}
+	path := make([]int, plen)
+	for i := range path {
+		idx, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return nil, "", fmt.Errorf("explore violation: truncated path index")
+		}
+		pos += n
+		if idx > maxExplorePath {
+			return nil, "", fmt.Errorf("explore violation: path index %d out of range", idx)
+		}
+		path[i] = int(idx)
+	}
+	return path, string(payload[pos:]), nil
+}

@@ -1,0 +1,230 @@
+package scserve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"scverify/internal/descriptor"
+	"scverify/internal/mc"
+	"scverify/internal/trace"
+)
+
+// These tests pin the explore extension the same way the tier and tenant
+// suites pin theirs: the flag-gated hello parses and round-trips, every
+// malformed shape is a clean named error, and — the mixed-fleet
+// invariant — an explore-free hello stays byte-identical to the legacy
+// encoding.
+
+func exploreHeader() Header {
+	return Header{
+		K:      SyntheticK,
+		Params: trace.Params{Procs: 1, Blocks: 1, Values: 2},
+		Explore: &ExploreHeader{
+			Protocol:  "serial",
+			Shard:     1,
+			Shards:    []string{"10.0.0.1:7541", "10.0.0.2:7541", "10.0.0.3:7541"},
+			MaxStates: 1 << 20,
+			MaxDepth:  64,
+			Mode:      ExploreModeAudit,
+		},
+	}
+}
+
+func TestExploreHelloRoundTrip(t *testing.T) {
+	h := exploreHeader()
+	got, err := parseHello(appendHello(nil, h))
+	if err != nil {
+		t.Fatalf("explore hello rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("explore hello round trip: %+v -> %+v", h, got)
+	}
+
+	// The explore flag is mutually exclusive with every symbol-session
+	// extension: a session is either a descriptor stream or a shard, never
+	// both, and the parser enforces it rather than leaving the combination
+	// undefined.
+	for name, mix := range map[string]func(*Header){
+		"novalues": func(h *Header) { h.NoValues = true },
+		"token":    func(h *Header) { h.Token = "tok" },
+		"tiered":   func(h *Header) { h.Tiered = true },
+	} {
+		bad := exploreHeader()
+		mix(&bad)
+		if _, err := parseHello(appendHello(nil, bad)); err == nil {
+			t.Errorf("explore+%s hello parsed without error", name)
+		}
+	}
+
+	// An explore-free hello must stay byte-identical to the legacy wire
+	// format — the flag costs nothing for peers that do not set it.
+	legacy := Header{K: SyntheticK, Params: trace.Params{Procs: 1, Blocks: 1, Values: 2}}
+	enc := appendHello(nil, legacy)
+	want := []byte{protocolVersion, SyntheticK, 1, 1, 2, 0}
+	if string(enc) != string(want) {
+		t.Fatalf("explore-free hello encoding changed: % x, want % x", enc, want)
+	}
+
+	// The registry mask knows the bit: a hello with the explore flag but a
+	// truncated extension fails as a clean parse error.
+	trunc := helloWithFlags(uint64(descriptor.HelloFlagExplore))
+	if _, err := parseHello(trunc); err == nil {
+		t.Fatal("truncated explore hello parsed without error")
+	}
+
+	// Unknown visited-set modes are rejected, not defaulted: a newer
+	// coordinator cannot silently get the wrong visited semantics.
+	future := exploreHeader()
+	future.Explore.Mode = ExploreModeAudit + 1
+	if _, err := parseHello(appendHello(nil, future)); err == nil {
+		t.Fatal("unknown explore mode parsed without error")
+	} else if !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("error %q does not name the mode", err)
+	}
+
+	// Shard index outside the identity list is structurally invalid.
+	oob := exploreHeader()
+	oob.Explore.Shard = len(oob.Explore.Shards)
+	if _, err := parseHello(appendHello(nil, oob)); err == nil {
+		t.Fatal("out-of-range shard index parsed without error")
+	}
+}
+
+func TestExploreItemsRoundTrip(t *testing.T) {
+	items := []mc.Item{
+		{Kind: mc.ItemWork, Peer: 0, Act: mc.ActClaim},
+		{Kind: mc.ItemWork, Peer: 3, Act: mc.ActFreshExpand, Path: []int{0, 7, 2, 11}},
+		{Kind: mc.ItemClaim, Peer: 1, Seq: 42, FP: 0xdeadbeefcafef00d, Depth: 9},
+		{Kind: mc.ItemClaim, Peer: 2, Seq: 43, FP: 1, Depth: 0, Key: []byte("exact-canonical-key")},
+		{Kind: mc.ItemReply, Peer: 0, Seq: 42, Act: mc.ActDup},
+		{Kind: mc.ItemReply, Peer: 1, Seq: 43, Act: mc.ActExpandCount},
+		{Kind: mc.ItemShed, Peer: 2, N: 128, Target: 0},
+	}
+	got, err := ParseExploreItems(AppendExploreItems(nil, items))
+	if err != nil {
+		t.Fatalf("item batch rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, items) {
+		t.Fatalf("item batch round trip:\n%+v\n->\n%+v", items, got)
+	}
+
+	// Structurally invalid batches are named errors, never accepted.
+	for name, bad := range map[string][]byte{
+		"empty":            nil,
+		"unknown kind":     {1, 4, 0},
+		"work dup act":     {1, 0, 0, 1, 0},
+		"reply unadjudged": {1, 2, 0, 5, 0},
+		"empty shed":       {1, 3, 0, 0, 1},
+		"trailing bytes":   append(AppendExploreItems(nil, items[:1]), 0xff),
+		"truncated claim":  {1, 1, 0, 5, 1, 2, 3},
+	} {
+		if _, err := ParseExploreItems(bad); err == nil {
+			t.Errorf("%s batch parsed without error", name)
+		}
+	}
+}
+
+func TestExploreReportRoundTrip(t *testing.T) {
+	reports := []mc.Report{
+		{},
+		{Shard: 3, ItemsIn: 1000, ItemsOut: 998, States: 40000, Transitions: 200000,
+			PeakIDs: 12, Depth: 31, Pending: 4, QueueLen: 77, Collisions: 2},
+		{Shard: 1, Capped: true, DepthCapped: true},
+		{Shard: 0, Failed: true, Err: "pool exhausted"},
+	}
+	for _, r := range reports {
+		got, err := ParseExploreReport(AppendExploreReport(nil, r))
+		if err != nil {
+			t.Fatalf("report %+v rejected: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("report round trip: %+v -> %+v", r, got)
+		}
+	}
+
+	// A failure message without the failed marker would let line noise
+	// smuggle an error string into a healthy report.
+	healthy := AppendExploreReport(nil, mc.Report{Shard: 1})
+	if _, err := ParseExploreReport(append(healthy, "oops"...)); err == nil {
+		t.Fatal("error message without failed marker parsed without error")
+	}
+	if _, err := ParseExploreReport(nil); err == nil {
+		t.Fatal("empty report parsed without error")
+	}
+}
+
+func TestExploreViolationRoundTrip(t *testing.T) {
+	path := []int{3, 0, 0, 9, 1}
+	gotPath, gotMsg, err := ParseExploreViolation(AppendExploreViolation(nil, path, "checker: cycle"))
+	if err != nil {
+		t.Fatalf("violation rejected: %v", err)
+	}
+	if !reflect.DeepEqual(gotPath, path) || gotMsg != "checker: cycle" {
+		t.Fatalf("violation round trip: (%v, %q)", gotPath, gotMsg)
+	}
+	if _, _, err := ParseExploreViolation(nil); err == nil {
+		t.Fatal("empty violation parsed without error")
+	}
+	if _, _, err := ParseExploreViolation([]byte{5, 1, 2}); err == nil {
+		t.Fatal("truncated violation path parsed without error")
+	}
+}
+
+// FuzzExploreFrame fuzzes every explore payload parser behind a selector
+// byte: parsers must never panic, and any payload they accept must
+// re-encode and re-parse to the same value — the round-trip law the
+// coordinator's relay loop depends on (it re-encodes items it routes).
+func FuzzExploreFrame(f *testing.F) {
+	items := []mc.Item{
+		{Kind: mc.ItemWork, Peer: 0, Act: mc.ActClaim},
+		{Kind: mc.ItemWork, Peer: 3, Act: mc.ActExpand, Path: []int{0, 7, 2}},
+		{Kind: mc.ItemClaim, Peer: 1, Seq: 42, FP: 0xdeadbeefcafef00d, Depth: 9, Key: []byte("k")},
+		{Kind: mc.ItemReply, Peer: 0, Seq: 42, Act: mc.ActFreshFinish},
+		{Kind: mc.ItemShed, Peer: 2, N: 64, Target: 0},
+	}
+	f.Add(byte(0), AppendExploreItems(nil, items))
+	f.Add(byte(0), AppendExploreItems(nil, nil))
+	f.Add(byte(1), AppendExploreReport(nil, mc.Report{Shard: 2, ItemsIn: 9, States: 1000, Failed: true, Err: "x"}))
+	f.Add(byte(1), AppendExploreReport(nil, mc.Report{Capped: true, DepthCapped: true}))
+	f.Add(byte(2), AppendExploreViolation(nil, []int{1, 2, 3}, "cycle"))
+	f.Add(byte(3), appendHello(nil, exploreHeader()))
+	f.Add(byte(3), helloWithFlags(uint64(descriptor.HelloFlagExplore), 6, 's', 'e', 'r', 'i', 'a', 'l'))
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), []byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, sel byte, payload []byte) {
+		switch sel % 4 {
+		case 0:
+			if its, err := ParseExploreItems(payload); err == nil {
+				back, err2 := ParseExploreItems(AppendExploreItems(nil, its))
+				if err2 != nil || !reflect.DeepEqual(back, its) {
+					t.Fatalf("items round trip: %+v -> %+v (%v)", its, back, err2)
+				}
+			}
+		case 1:
+			if r, err := ParseExploreReport(payload); err == nil {
+				back, err2 := ParseExploreReport(AppendExploreReport(nil, r))
+				if err2 != nil || back != r {
+					t.Fatalf("report round trip: %+v -> %+v (%v)", r, back, err2)
+				}
+			}
+		case 2:
+			if path, msg, err := ParseExploreViolation(payload); err == nil {
+				p2, m2, err2 := ParseExploreViolation(AppendExploreViolation(nil, path, msg))
+				if err2 != nil || !reflect.DeepEqual(p2, path) || m2 != msg {
+					t.Fatalf("violation round trip: (%v, %q) -> (%v, %q) (%v)", path, msg, p2, m2, err2)
+				}
+			}
+		case 3:
+			if h, err := parseHello(payload); err == nil {
+				back, err2 := parseHello(appendHello(nil, h))
+				if err2 != nil || !reflect.DeepEqual(back, h) {
+					t.Fatalf("hello round trip: %+v -> %+v (%v)", h, back, err2)
+				}
+				if h.Explore != nil && (h.NoValues || h.Token != "" || h.Resume || h.Tiered) {
+					t.Fatalf("parseHello accepted explore alongside symbol-session flags: %+v", h)
+				}
+			}
+		}
+	})
+}

@@ -34,10 +34,10 @@ func TestHelloUnknownFlagBitsRejected(t *testing.T) {
 		payload []byte
 	}{
 		{"bit7", helloWithFlags(1 << 7)},
-		{"known+unknown", helloWithFlags(helloFlagNoValues | 1<<5)},
+		{"known+unknown", helloWithFlags(helloFlagNoValues | 1<<6)},
 		// The unknown bit must be rejected even when it rides alongside a
 		// well-formed token — not swallowed by the token parse.
-		{"token+unknown", helloWithFlags(helloFlagToken|1<<5, 2, 'a', 'b')},
+		{"token+unknown", helloWithFlags(helloFlagToken|1<<6, 2, 'a', 'b')},
 		{"tiered+unknown", helloWithFlags(helloFlagTiered | 1<<6)},
 	}
 	for _, tc := range cases {

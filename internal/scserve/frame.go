@@ -36,9 +36,13 @@ const (
 	frameEnd        byte = 0x03 // end of symbol stream; request final verdict
 	frameStatsReq   byte = 0x04 // request a stats frame
 	frameDrain      byte = 0x05 // admin: set drain mode (uvarint 1=drain, 0=undrain)
+	frameExplore    byte = 0x06 // explore session: item batch, coordinator → backend
 	frameVerdict    byte = 0x81 // server → client: session verdict
 	frameStatsReply byte = 0x82 // server → client: JSON-encoded Stats
 	frameAck        byte = 0x83 // server → client: checkpointed progress ack
+	frameExploreFwd  byte = 0x84 // explore session: item batch, backend → coordinator
+	frameExploreRep  byte = 0x85 // explore session: credit/progress report
+	frameExploreViol byte = 0x86 // explore session: violation path + rejection message
 )
 
 // protocolVersion is the hello version this package speaks.
@@ -80,6 +84,15 @@ const helloFlagTiered = descriptor.HelloFlagTiered
 // format; the tenant never participates in resume-header equality.
 const helloFlagTenant = descriptor.HelloFlagTenant
 
+// helloFlagExplore switches the session into distributed-exploration mode:
+// the payload continues (after the tenant field, were one present) with
+// the explore extension, and the session exchanges explore item frames
+// instead of symbol frames. Mutually exclusive with NoValues, Token,
+// Resume, and Tiered — an explore session has no symbol stream to
+// checkpoint and builds its own product checker per state. Explore-free
+// hellos encode byte-identically to the pre-explore format.
+const helloFlagExplore = descriptor.HelloFlagExplore
+
 // maxTokenLen bounds the resume token a client may choose.
 const maxTokenLen = 64
 
@@ -116,6 +129,11 @@ type Header struct {
 	// (unidentified) tenant; the field rides behind helloFlagTenant and
 	// never participates in resume-header equality.
 	Tenant string
+
+	// Explore, when non-nil, switches the session into distributed
+	// exploration: this backend becomes one shard of an scmc grid. The
+	// extension rides behind helloFlagExplore after the tenant field.
+	Explore *ExploreHeader
 }
 
 func appendHello(dst []byte, h Header) []byte {
@@ -140,6 +158,9 @@ func appendHello(dst []byte, h Header) []byte {
 	if h.Tenant != "" {
 		flags |= helloFlagTenant
 	}
+	if h.Explore != nil {
+		flags |= helloFlagExplore
+	}
 	dst = binary.AppendUvarint(dst, flags)
 	if h.Token != "" {
 		dst = binary.AppendUvarint(dst, uint64(len(h.Token)))
@@ -152,6 +173,9 @@ func appendHello(dst []byte, h Header) []byte {
 	if h.Tenant != "" {
 		dst = binary.AppendUvarint(dst, uint64(len(h.Tenant)))
 		dst = append(dst, h.Tenant...)
+	}
+	if h.Explore != nil {
+		dst = appendExploreHeader(dst, h.Explore)
 	}
 	return dst
 }
@@ -245,7 +269,18 @@ func parseHello(payload []byte) (Header, error) {
 				h.Tenant = string(payload[pos : pos+int(tl)])
 				pos += int(tl)
 			}
-			if v &^= helloFlagNoValues | helloFlagToken | helloFlagResume | helloFlagTiered | helloFlagTenant; v != 0 {
+			if v&helloFlagExplore != 0 {
+				if v&(helloFlagNoValues|helloFlagToken|helloFlagResume|helloFlagTiered) != 0 {
+					return Header{}, fmt.Errorf("hello: explore flag combined with symbol-session flags %#x", v)
+				}
+				eh, n, err := parseExploreHeader(payload[pos:])
+				if err != nil {
+					return Header{}, err
+				}
+				pos += n
+				h.Explore = eh
+			}
+			if v &^= helloFlagNoValues | helloFlagToken | helloFlagResume | helloFlagTiered | helloFlagTenant | helloFlagExplore; v != 0 {
 				return Header{}, fmt.Errorf("hello: unknown flags %#x", v)
 			}
 		}

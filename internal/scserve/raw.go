@@ -23,6 +23,12 @@ const (
 	FrameVerdict    = frameVerdict
 	FrameStatsReply = frameStatsReply
 	FrameAck        = frameAck
+
+	// Explore-session frames (the scmc coordinator speaks these raw).
+	FrameExplore     = frameExplore
+	FrameExploreFwd  = frameExploreFwd
+	FrameExploreRep  = frameExploreRep
+	FrameExploreViol = frameExploreViol
 )
 
 // ReadRawFrame reads one frame from br, enforcing maxPayload. A clean EOF

@@ -111,6 +111,18 @@ type Config struct {
 	// TenantBurstBytes is the bucket size for TenantBytesPerSec.
 	// Default: one second's worth.
 	TenantBurstBytes int64
+	// ExploreWorkers is the expansion worker count for each explore
+	// session's engine shard; 0 means GOMAXPROCS.
+	ExploreWorkers int
+	// ExploreMaxStates clamps the per-shard visited-set cap an explore
+	// hello may request. Default 4M; a hello asking for more is clamped,
+	// never trusted (hitting the clamp degrades the grid verdict to
+	// incomplete, not to a wrong verified).
+	ExploreMaxStates int
+	// ExploreStepDelay sleeps before each state expansion in explore
+	// sessions — the simulated per-state latency the scaling bench uses
+	// (zero in production).
+	ExploreStepDelay time.Duration
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 	// Log, when set, receives structured connection-path events
@@ -153,6 +165,9 @@ func (c Config) withDefaults() Config {
 	if c.TenantBytesPerSec > 0 && c.TenantBurstBytes <= 0 {
 		c.TenantBurstBytes = c.TenantBytesPerSec
 	}
+	if c.ExploreMaxStates <= 0 {
+		c.ExploreMaxStates = 4 << 20
+	}
 	return c
 }
 
@@ -179,6 +194,14 @@ type Stats struct {
 	DrainRejects    int64   `json:"drain_rejects"`
 	QuotaRejects    int64   `json:"quota_rejects"`
 	AdmitParked     int64   `json:"admit_parked"`
+
+	// Explore-session (distributed exploration shard) counters.
+	ExploreSessions    int64 `json:"explore_sessions"`
+	ExploreStates      int64 `json:"explore_states"`
+	ExploreTransitions int64 `json:"explore_transitions"`
+	ExploreForwards    int64 `json:"explore_forwards"`
+	ExploreViolations  int64 `json:"explore_violations"`
+
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	SessionsPerSec  float64 `json:"sessions_per_sec"`
 	SymbolsPerSec   float64 `json:"symbols_per_sec"`
@@ -212,6 +235,10 @@ func (st Stats) String() string {
 	if st.Drains > 0 || st.DrainRejects > 0 || st.QuotaRejects > 0 || st.AdmitParked > 0 {
 		s += fmt.Sprintf(", %d drains (%d refused), %d quota rejects, %d parked",
 			st.Drains, st.DrainRejects, st.QuotaRejects, st.AdmitParked)
+	}
+	if st.ExploreSessions > 0 {
+		s += fmt.Sprintf(", explore: %d sessions, %d states, %d transitions, %d forwards, %d violations",
+			st.ExploreSessions, st.ExploreStates, st.ExploreTransitions, st.ExploreForwards, st.ExploreViolations)
 	}
 	return s
 }
@@ -258,6 +285,12 @@ type Server struct {
 	drainRejects    atomic.Int64
 	quotaRejects    atomic.Int64
 	admitParked     atomic.Int64
+
+	exploreSessions    atomic.Int64
+	exploreStates      atomic.Int64
+	exploreTransitions atomic.Int64
+	exploreForwards    atomic.Int64
+	exploreViolations  atomic.Int64
 }
 
 // tenantCounters is one identified tenant's counter slice plus its
@@ -423,7 +456,14 @@ func (s *Server) Stats() Stats {
 		DrainRejects:    s.drainRejects.Load(),
 		QuotaRejects:    s.quotaRejects.Load(),
 		AdmitParked:     s.admitParked.Load(),
-		UptimeSeconds:   time.Since(s.start).Seconds(),
+
+		ExploreSessions:    s.exploreSessions.Load(),
+		ExploreStates:      s.exploreStates.Load(),
+		ExploreTransitions: s.exploreTransitions.Load(),
+		ExploreForwards:    s.exploreForwards.Load(),
+		ExploreViolations:  s.exploreViolations.Load(),
+
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	if st.UptimeSeconds > 0 {
 		st.SessionsPerSec = float64(st.SessionsTotal) / st.UptimeSeconds
@@ -696,8 +736,14 @@ func (s *Server) handleConn(conn net.Conn) {
 				continue
 			}
 			// From here the hello owns an admitted session slot; every
-			// path that does not reach runSession (whose defer releases
-			// it) must hand the slot back itself.
+			// path that does not reach runSession or runExploreSession
+			// (whose defers release it) must hand the slot back itself.
+			if h.Explore != nil {
+				if !s.runExploreSession(conn, br, bw, h) {
+					return
+				}
+				continue
+			}
 			var seed *resumeSeed
 			if h.Token != "" {
 				if h.Resume {
